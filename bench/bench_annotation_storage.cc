@@ -1,0 +1,148 @@
+// Experiment E1 (paper Figure 3 vs Figure 5, §3.1): the compact
+// rectangle-region annotation scheme against the naive per-cell scheme —
+// storage bytes, insertion cost, and retrieval cost, swept over annotation
+// granularity (cell / row / column / table).
+#include <benchmark/benchmark.h>
+
+#include "annot/annotation_table.h"
+#include "annot/cell_scheme.h"
+#include "common/clock.h"
+
+namespace bdbms {
+namespace {
+
+constexpr size_t kColumns = 4;  // GID, GName, GSequence, ... style table
+constexpr const char* kBody =
+    "<Annotation>obtained from GenoBase</Annotation>";
+
+enum Granularity { kCell = 0, kRow = 1, kColumn = 2, kTable = 3 };
+
+const char* GranularityName(int g) {
+  switch (g) {
+    case kCell: return "cell";
+    case kRow: return "row";
+    case kColumn: return "column";
+    default: return "table";
+  }
+}
+
+// Regions for `count` annotations of the given granularity over a table of
+// `rows` x kColumns.
+std::vector<std::vector<Region>> MakeRegions(int granularity, size_t rows,
+                                             size_t count) {
+  std::vector<std::vector<Region>> out;
+  for (size_t i = 0; i < count; ++i) {
+    switch (granularity) {
+      case kCell:
+        out.push_back({{ColumnBit(i % kColumns), i % rows, i % rows}});
+        break;
+      case kRow:
+        out.push_back({{AllColumnsMask(kColumns), i % rows, i % rows}});
+        break;
+      case kColumn:
+        out.push_back({{ColumnBit(i % kColumns), 0, rows - 1}});
+        break;
+      default:
+        out.push_back({{AllColumnsMask(kColumns), 0, rows - 1}});
+        break;
+    }
+  }
+  return out;
+}
+
+void BM_RectangleSchemeAdd(benchmark::State& state) {
+  int granularity = static_cast<int>(state.range(0));
+  size_t rows = static_cast<size_t>(state.range(1));
+  size_t count = 64;
+  auto regions = MakeRegions(granularity, rows, count);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    LogicalClock clock;
+    auto table = AnnotationTable::CreateInMemory("A", &clock);
+    for (size_t i = 0; i < count; ++i) {
+      benchmark::DoNotOptimize((*table)->Add(kBody, regions[i], "bench"));
+    }
+    bytes = (*table)->SizeBytes();
+  }
+  state.counters["storage_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_annotation"] =
+      static_cast<double>(bytes) / static_cast<double>(count);
+  state.SetLabel(GranularityName(granularity));
+}
+BENCHMARK(BM_RectangleSchemeAdd)
+    ->ArgsProduct({{kCell, kRow, kColumn, kTable}, {1000, 10000}});
+
+void BM_CellSchemeAdd(benchmark::State& state) {
+  int granularity = static_cast<int>(state.range(0));
+  size_t rows = static_cast<size_t>(state.range(1));
+  size_t count = 64;
+  auto regions = MakeRegions(granularity, rows, count);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto store = CellSchemeStore::CreateInMemory();
+    for (size_t i = 0; i < count; ++i) {
+      benchmark::DoNotOptimize((*store)->Add(kBody, regions[i]));
+    }
+    bytes = (*store)->SizeBytes();
+  }
+  state.counters["storage_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_annotation"] =
+      static_cast<double>(bytes) / static_cast<double>(count);
+  state.SetLabel(GranularityName(granularity));
+}
+// Whole-table / column adds on the cell scheme write one record per cell:
+// restrict the sweep so the naive scheme finishes in reasonable time.
+BENCHMARK(BM_CellSchemeAdd)
+    ->ArgsProduct({{kCell, kRow, kColumn, kTable}, {1000}});
+
+// Retrieval: annotations covering one whole column (the paper's
+// "propagate B3 with GSequence" case).
+void BM_RectangleSchemeColumnRetrieval(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  LogicalClock clock;
+  auto table = AnnotationTable::CreateInMemory("A", &clock);
+  // One column-level annotation + per-row annotations as background noise.
+  (void)(*table)->Add(kBody, {{ColumnBit(2), 0, rows - 1}}, "bench");
+  for (size_t r = 0; r < rows; r += 16) {
+    (void)(*table)->Add(kBody, {{AllColumnsMask(kColumns), r, r}}, "bench");
+  }
+  uint64_t fetched = 0;
+  for (auto _ : state) {
+    fetched = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      for (AnnotationId id : (*table)->IdsForCell(r, 2)) {
+        auto body = (*table)->Body(id);
+        benchmark::DoNotOptimize(body);
+        ++fetched;
+      }
+    }
+  }
+  state.counters["bodies_fetched"] = static_cast<double>(fetched);
+  state.counters["page_reads"] =
+      static_cast<double>((*table)->io_stats().page_reads);
+}
+BENCHMARK(BM_RectangleSchemeColumnRetrieval)->Arg(1000)->Arg(10000);
+
+void BM_CellSchemeColumnRetrieval(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  auto store = CellSchemeStore::CreateInMemory();
+  (void)(*store)->Add(kBody, {{ColumnBit(2), 0, rows - 1}});
+  for (size_t r = 0; r < rows; r += 16) {
+    (void)(*store)->Add(kBody, {{AllColumnsMask(kColumns), r, r}});
+  }
+  uint64_t fetched = 0;
+  for (auto _ : state) {
+    auto bodies = (*store)->BodiesForColumnRange(2, 0, rows - 1);
+    fetched = bodies.ok() ? bodies->size() : 0;
+    benchmark::DoNotOptimize(bodies);
+  }
+  state.counters["bodies_fetched"] = static_cast<double>(fetched);
+  state.counters["page_reads"] =
+      static_cast<double>((*store)->io_stats().page_reads);
+}
+BENCHMARK(BM_CellSchemeColumnRetrieval)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace bdbms
+
+BENCHMARK_MAIN();

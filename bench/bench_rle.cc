@@ -1,0 +1,90 @@
+// Experiment E7 (paper Figure 12): RLE compression behaviour across
+// biological sequence types — protein secondary structures compress by
+// roughly their mean run length, DNA/protein primary structures barely at
+// all — plus codec throughput.
+#include <benchmark/benchmark.h>
+
+#include "bio/sequence_generator.h"
+#include "common/rle.h"
+
+namespace bdbms {
+namespace {
+
+constexpr size_t kLen = 100000;
+
+enum Workload { kSecondary4 = 0, kSecondary8, kSecondary16, kDna, kProtein };
+
+std::string MakeSequence(int workload) {
+  SequenceGenerator gen(71);
+  switch (workload) {
+    case kSecondary4: return gen.SecondaryStructure(kLen, 4.0);
+    case kSecondary8: return gen.SecondaryStructure(kLen, 8.0);
+    case kSecondary16: return gen.SecondaryStructure(kLen, 16.0);
+    case kDna: return gen.Dna(kLen);
+    default: return gen.Protein(kLen);
+  }
+}
+
+const char* WorkloadName(int w) {
+  switch (w) {
+    case kSecondary4: return "secondary_mean4";
+    case kSecondary8: return "secondary_mean8";
+    case kSecondary16: return "secondary_mean16";
+    case kDna: return "dna";
+    default: return "protein_primary";
+  }
+}
+
+void BM_RleEncode(benchmark::State& state) {
+  std::string seq = MakeSequence(static_cast<int>(state.range(0)));
+  std::vector<RleRun> runs;
+  for (auto _ : state) {
+    runs = Rle::Encode(seq);
+    benchmark::DoNotOptimize(runs);
+  }
+  state.SetBytesProcessed(state.iterations() * seq.size());
+  state.counters["raw_bytes"] = static_cast<double>(seq.size());
+  state.counters["rle_bytes"] = static_cast<double>(Rle::BinarySize(runs));
+  state.counters["compression_x"] =
+      static_cast<double>(seq.size()) /
+      static_cast<double>(Rle::BinarySize(runs));
+  state.counters["runs"] = static_cast<double>(runs.size());
+  state.counters["chars_per_run"] =
+      static_cast<double>(seq.size()) / static_cast<double>(runs.size());
+  state.SetLabel(WorkloadName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_RleEncode)
+    ->Arg(kSecondary4)
+    ->Arg(kSecondary8)
+    ->Arg(kSecondary16)
+    ->Arg(kDna)
+    ->Arg(kProtein);
+
+void BM_RleDecode(benchmark::State& state) {
+  std::string seq = MakeSequence(static_cast<int>(state.range(0)));
+  auto runs = Rle::Encode(seq);
+  for (auto _ : state) {
+    std::string raw = Rle::Decode(runs);
+    benchmark::DoNotOptimize(raw);
+  }
+  state.SetBytesProcessed(state.iterations() * seq.size());
+  state.SetLabel(WorkloadName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_RleDecode)->Arg(kSecondary8)->Arg(kDna);
+
+void BM_RleTextRoundTrip(benchmark::State& state) {
+  // The paper's textual form (Figure 12: "L3E7H22...").
+  std::string seq = MakeSequence(kSecondary8);
+  for (auto _ : state) {
+    std::string text = Rle::CompressToText(seq);
+    auto back = Rle::DecompressText(text);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * seq.size());
+}
+BENCHMARK(BM_RleTextRoundTrip);
+
+}  // namespace
+}  // namespace bdbms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// Experiment E6 (paper §7.2, claims of [17], Figure 12): the SBC-tree over
+// RLE-compressed protein secondary structures against the String B-tree
+// over the uncompressed sequences — storage, insertion I/O and search.
+// Paper claims: ~an order of magnitude storage reduction, up to 30% fewer
+// insertion I/Os, search on par with the uncompressed String B-tree.
+#include <benchmark/benchmark.h>
+
+#include "bio/sequence_generator.h"
+#include "index/sbc/sbc_tree.h"
+#include "index/sbc/string_btree.h"
+
+namespace bdbms {
+namespace {
+
+constexpr size_t kSequences = 60;
+constexpr size_t kSeqLen = 1200;
+
+std::vector<std::string> MakeWorkload(double mean_run) {
+  SequenceGenerator gen(55);
+  std::vector<std::string> seqs;
+  for (size_t i = 0; i < kSequences; ++i) {
+    seqs.push_back(gen.SecondaryStructure(kSeqLen, mean_run));
+  }
+  return seqs;
+}
+
+void BM_SbcTreeBuild(benchmark::State& state) {
+  double mean_run = static_cast<double>(state.range(0));
+  auto seqs = MakeWorkload(mean_run);
+  uint64_t bytes = 0, writes = 0, entries = 0;
+  for (auto _ : state) {
+    auto tree = SbcTree::CreateInMemory(/*pool_pages=*/64);
+    for (const std::string& s : seqs) {
+      benchmark::DoNotOptimize((*tree)->AddSequence(s));
+    }
+    bytes = (*tree)->SizeBytes();
+    writes = (*tree)->TotalIo().page_writes + (*tree)->TotalIo().page_reads;
+    entries = (*tree)->entry_count();
+  }
+  state.counters["storage_bytes"] = static_cast<double>(bytes);
+  state.counters["build_page_io"] = static_cast<double>(writes);
+  state.counters["suffix_entries"] = static_cast<double>(entries);
+  state.SetLabel("mean_run=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SbcTreeBuild)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_StringBTreeBuild(benchmark::State& state) {
+  double mean_run = static_cast<double>(state.range(0));
+  auto seqs = MakeWorkload(mean_run);
+  uint64_t bytes = 0, writes = 0, entries = 0;
+  for (auto _ : state) {
+    auto tree = StringBTree::CreateInMemory(/*pool_pages=*/64);
+    for (const std::string& s : seqs) {
+      benchmark::DoNotOptimize((*tree)->AddSequence(s));
+    }
+    bytes = (*tree)->SizeBytes();
+    writes = (*tree)->TotalIo().page_writes + (*tree)->TotalIo().page_reads;
+    entries = (*tree)->entry_count();
+  }
+  state.counters["storage_bytes"] = static_cast<double>(bytes);
+  state.counters["build_page_io"] = static_cast<double>(writes);
+  state.counters["suffix_entries"] = static_cast<double>(entries);
+  state.SetLabel("mean_run=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_StringBTreeBuild)->Arg(2)->Arg(8)->Arg(16);
+
+// Substring search over identical data, patterns drawn from the corpus.
+void BM_SbcTreeSubstring(benchmark::State& state) {
+  auto seqs = MakeWorkload(8.0);
+  auto tree = SbcTree::CreateInMemory(/*pool_pages=*/64);
+  for (const std::string& s : seqs) (void)(*tree)->AddSequence(s);
+  Rng rng(61);
+  (*tree)->ResetIo();
+  size_t hits = 0;
+  for (auto _ : state) {
+    const std::string& src = seqs[rng.Uniform(seqs.size())];
+    size_t start = rng.Uniform(src.size() - 24);
+    std::string pattern = src.substr(start, 12 + rng.Uniform(12));
+    auto r = (*tree)->SearchSubstring(pattern);
+    benchmark::DoNotOptimize(r);
+    hits = r.ok() ? r->size() : 0;
+  }
+  state.counters["page_reads_per_query"] =
+      static_cast<double>((*tree)->TotalIo().page_reads) /
+      static_cast<double>(state.iterations());
+  state.counters["hits_last"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_SbcTreeSubstring);
+
+void BM_SbcTreeSubstringWithRTree(benchmark::State& state) {
+  auto seqs = MakeWorkload(8.0);
+  auto tree = SbcTree::CreateInMemory(/*pool_pages=*/64);
+  for (const std::string& s : seqs) (void)(*tree)->AddSequence(s);
+  (void)(*tree)->BuildThreeSidedIndex();
+  Rng rng(61);
+  (*tree)->ResetIo();
+  for (auto _ : state) {
+    const std::string& src = seqs[rng.Uniform(seqs.size())];
+    size_t start = rng.Uniform(src.size() - 24);
+    std::string pattern = src.substr(start, 12 + rng.Uniform(12));
+    auto r = (*tree)->SearchSubstring(pattern);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["page_reads_per_query"] =
+      static_cast<double>((*tree)->TotalIo().page_reads) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SbcTreeSubstringWithRTree);
+
+void BM_StringBTreeSubstring(benchmark::State& state) {
+  auto seqs = MakeWorkload(8.0);
+  auto tree = StringBTree::CreateInMemory(/*pool_pages=*/64);
+  for (const std::string& s : seqs) (void)(*tree)->AddSequence(s);
+  Rng rng(61);
+  (*tree)->ResetIo();
+  size_t hits = 0;
+  for (auto _ : state) {
+    const std::string& src = seqs[rng.Uniform(seqs.size())];
+    size_t start = rng.Uniform(src.size() - 24);
+    std::string pattern = src.substr(start, 12 + rng.Uniform(12));
+    auto r = (*tree)->SearchSubstring(pattern);
+    benchmark::DoNotOptimize(r);
+    hits = r.ok() ? r->size() : 0;
+  }
+  state.counters["page_reads_per_query"] =
+      static_cast<double>((*tree)->TotalIo().page_reads) /
+      static_cast<double>(state.iterations());
+  state.counters["hits_last"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_StringBTreeSubstring);
+
+void BM_SbcTreePrefix(benchmark::State& state) {
+  auto seqs = MakeWorkload(8.0);
+  auto tree = SbcTree::CreateInMemory(/*pool_pages=*/64);
+  for (const std::string& s : seqs) (void)(*tree)->AddSequence(s);
+  Rng rng(67);
+  (*tree)->ResetIo();
+  for (auto _ : state) {
+    const std::string& src = seqs[rng.Uniform(seqs.size())];
+    auto r = (*tree)->SearchPrefix(src.substr(0, 10));
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["page_reads_per_query"] =
+      static_cast<double>((*tree)->TotalIo().page_reads) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SbcTreePrefix);
+
+void BM_StringBTreePrefix(benchmark::State& state) {
+  auto seqs = MakeWorkload(8.0);
+  auto tree = StringBTree::CreateInMemory(/*pool_pages=*/64);
+  for (const std::string& s : seqs) (void)(*tree)->AddSequence(s);
+  Rng rng(67);
+  (*tree)->ResetIo();
+  for (auto _ : state) {
+    const std::string& src = seqs[rng.Uniform(seqs.size())];
+    auto r = (*tree)->SearchPrefix(src.substr(0, 10));
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["page_reads_per_query"] =
+      static_cast<double>((*tree)->TotalIo().page_reads) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_StringBTreePrefix);
+
+}  // namespace
+}  // namespace bdbms
+
+BENCHMARK_MAIN();

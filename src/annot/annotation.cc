@@ -1,0 +1,34 @@
+#include "annot/annotation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bdbms {
+
+std::vector<Region> ComputeRegions(
+    std::vector<std::pair<RowId, ColumnMask>> targets) {
+  std::map<RowId, ColumnMask> by_row;
+  for (const auto& [row, mask] : targets) by_row[row] |= mask;
+
+  std::vector<Region> regions;
+  for (auto it = by_row.begin(); it != by_row.end();) {
+    if (it->second == 0) {
+      ++it;
+      continue;
+    }
+    RowId begin = it->first;
+    RowId end = begin;
+    ColumnMask mask = it->second;
+    auto run = std::next(it);
+    while (run != by_row.end() && run->first == end + 1 &&
+           run->second == mask) {
+      end = run->first;
+      ++run;
+    }
+    regions.push_back({mask, begin, end});
+    it = run;
+  }
+  return regions;
+}
+
+}  // namespace bdbms

@@ -1,0 +1,64 @@
+#ifndef BDBMS_ANNOT_ANNOTATION_H_
+#define BDBMS_ANNOT_ANNOTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "table/table.h"
+
+namespace bdbms {
+
+using AnnotationId = uint64_t;
+
+// A rectangle in the 2-D view of a relation (paper Figure 5): a set of
+// columns (bitmask, X axis) × an inclusive row interval (Y axis). One
+// annotation maps to one or more regions; an annotation over any group of
+// contiguous cells costs a single region record regardless of how many
+// cells it covers — this is the compact scheme's whole point.
+struct Region {
+  ColumnMask columns = 0;
+  RowId row_begin = 0;  // inclusive
+  RowId row_end = 0;    // inclusive
+
+  bool ContainsCell(RowId row, size_t col) const {
+    return row >= row_begin && row <= row_end &&
+           (columns & ColumnBit(col)) != 0;
+  }
+  bool OverlapsRows(RowId begin, RowId end) const {
+    return row_begin <= end && begin <= row_end;
+  }
+  bool Overlaps(const Region& other) const {
+    return (columns & other.columns) != 0 &&
+           OverlapsRows(other.row_begin, other.row_end);
+  }
+  // Number of cells covered.
+  uint64_t CellCount() const {
+    return (row_end - row_begin + 1) *
+           static_cast<uint64_t>(__builtin_popcountll(columns));
+  }
+
+  bool operator==(const Region&) const = default;
+};
+
+// Annotation metadata kept in memory; the XML body lives in the heap file.
+struct AnnotationMeta {
+  AnnotationId id = 0;
+  uint64_t timestamp = 0;  // LogicalClock tick when added
+  bool archived = false;
+  std::string author;
+  std::vector<Region> regions;
+};
+
+// Greedily covers a set of (row, column-mask) targets — the output of the
+// ON <SQL statement> clause of ADD ANNOTATION — with maximal rectangles:
+// maximal runs of consecutive rows sharing an identical column mask
+// collapse into one region. Input needn't be sorted; duplicate rows merge
+// their masks.
+std::vector<Region> ComputeRegions(
+    std::vector<std::pair<RowId, ColumnMask>> targets);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_ANNOT_ANNOTATION_H_

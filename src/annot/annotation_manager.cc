@@ -1,0 +1,78 @@
+#include "annot/annotation_manager.h"
+
+namespace bdbms {
+
+Status AnnotationManager::CreateAnnotationTable(const std::string& table,
+                                                const std::string& ann_name) {
+  std::string key = Key(table, ann_name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("annotation table " + key +
+                                 " already exists");
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<AnnotationTable> at,
+                         AnnotationTable::CreateInMemory(ann_name, clock_));
+  tables_[key] = std::move(at);
+  return Status::Ok();
+}
+
+Status AnnotationManager::DropAnnotationTable(const std::string& table,
+                                              const std::string& ann_name) {
+  auto it = tables_.find(Key(table, ann_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no annotation table " + ann_name + " on " +
+                            table);
+  }
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+void AnnotationManager::DropAllFor(const std::string& table) {
+  std::string prefix = table + ".";
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<AnnotationTable*> AnnotationManager::Get(
+    const std::string& table, const std::string& ann_name) const {
+  auto it = tables_.find(Key(table, ann_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no annotation table " + ann_name + " on " +
+                            table);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> AnnotationManager::ListFor(
+    const std::string& table) const {
+  std::vector<std::string> names;
+  std::string prefix = table + ".";
+  for (const auto& [key, at] : tables_) {
+    if (key.compare(0, prefix.size(), prefix) == 0) {
+      names.push_back(key.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+Result<std::vector<std::pair<std::string, AnnotationId>>>
+AnnotationManager::IdsForRow(const std::string& table,
+                             const std::vector<std::string>& ann_names,
+                             RowId row, ColumnMask mask) const {
+  std::vector<std::string> names =
+      ann_names.empty() ? ListFor(table) : ann_names;
+  std::vector<std::pair<std::string, AnnotationId>> out;
+  for (const std::string& name : names) {
+    BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at, Get(table, name));
+    for (AnnotationId id : at->IdsForRow(row, mask)) {
+      out.emplace_back(name, id);
+    }
+  }
+  return out;
+}
+
+}  // namespace bdbms

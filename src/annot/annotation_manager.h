@@ -1,0 +1,66 @@
+#ifndef BDBMS_ANNOT_ANNOTATION_MANAGER_H_
+#define BDBMS_ANNOT_ANNOTATION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annot/annotation_table.h"
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace bdbms {
+
+// The bdbms annotation manager (paper §2, §3): owns the annotation storage
+// space — every AnnotationTable of every user relation — and implements
+// the storage side of the A-SQL commands. Command-level validation
+// (catalog existence, authorization) happens in the executor; this class
+// is the storage authority.
+class AnnotationManager {
+ public:
+  // `clock` stamps annotations; must outlive the manager.
+  explicit AnnotationManager(LogicalClock* clock) : clock_(clock) {}
+
+  AnnotationManager(const AnnotationManager&) = delete;
+  AnnotationManager& operator=(const AnnotationManager&) = delete;
+
+  // CREATE ANNOTATION TABLE <ann_name> ON <table> (storage side).
+  Status CreateAnnotationTable(const std::string& table,
+                               const std::string& ann_name);
+
+  // DROP ANNOTATION TABLE <ann_name> ON <table>.
+  Status DropAnnotationTable(const std::string& table,
+                             const std::string& ann_name);
+
+  // Drops every annotation table attached to `table` (DROP TABLE cascade).
+  void DropAllFor(const std::string& table);
+
+  // Storage object lookup.
+  Result<AnnotationTable*> Get(const std::string& table,
+                               const std::string& ann_name) const;
+
+  // All annotation table names attached to `table`.
+  std::vector<std::string> ListFor(const std::string& table) const;
+
+  // Aggregates the non-archived bodies covering `row`∩`mask` across the
+  // given annotation tables (or all tables of `table` if `ann_names` is
+  // empty) — the propagation primitive behind the A-SQL SELECT
+  // ANNOTATION(...) operator.
+  Result<std::vector<std::pair<std::string, AnnotationId>>> IdsForRow(
+      const std::string& table, const std::vector<std::string>& ann_names,
+      RowId row, ColumnMask mask) const;
+
+ private:
+  static std::string Key(const std::string& table, const std::string& ann) {
+    return table + "." + ann;
+  }
+
+  LogicalClock* clock_;
+  std::map<std::string, std::unique_ptr<AnnotationTable>> tables_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_ANNOT_ANNOTATION_MANAGER_H_

@@ -1,0 +1,207 @@
+#include "annot/annotation_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/xml.h"
+
+namespace bdbms {
+
+Result<std::unique_ptr<AnnotationTable>> AnnotationTable::CreateInMemory(
+    std::string name, LogicalClock* clock, size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                         HeapFile::CreateInMemory(pool_pages));
+  return std::unique_ptr<AnnotationTable>(
+      new AnnotationTable(std::move(name), clock, std::move(heap)));
+}
+
+std::string AnnotationTable::EncodeRecord(const AnnotationMeta& meta,
+                                          const std::string& body) {
+  std::string out;
+  auto put_u64 = [&out](uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.append(buf, 8);
+  };
+  put_u64(meta.id);
+  put_u64(meta.timestamp);
+  out.push_back(meta.archived ? 1 : 0);
+  put_u64(meta.author.size());
+  out += meta.author;
+  put_u64(meta.regions.size());
+  for (const Region& r : meta.regions) {
+    put_u64(r.columns);
+    put_u64(r.row_begin);
+    put_u64(r.row_end);
+  }
+  out += body;
+  return out;
+}
+
+Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
+                                          std::vector<Region> regions,
+                                          const std::string& author) {
+  if (regions.empty()) {
+    return Status::InvalidArgument(
+        "annotation must cover at least one region");
+  }
+  BDBMS_RETURN_IF_ERROR(Xml::Parse(xml_body).status());
+
+  AnnotationMeta meta;
+  meta.id = next_id_++;
+  meta.timestamp = clock_->Tick();
+  meta.archived = false;
+  meta.author = author;
+  meta.regions = std::move(regions);
+
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid,
+                         heap_->Insert(EncodeRecord(meta, xml_body)));
+  for (const Region& r : meta.regions) {
+    index_.Insert(r.row_begin, r.row_end, meta.id);
+  }
+  records_[meta.id] = rid;
+  AnnotationId id = meta.id;
+  metas_[id] = std::move(meta);
+  return id;
+}
+
+std::vector<AnnotationId> AnnotationTable::IdsForCell(RowId row,
+                                                      size_t col) const {
+  return IdsForRow(row, ColumnBit(col));
+}
+
+std::vector<AnnotationId> AnnotationTable::IdsForRow(RowId row,
+                                                     ColumnMask mask) const {
+  std::vector<AnnotationId> ids;
+  index_.QueryPoint(row, [&](RowId, RowId, uint64_t id) {
+    const AnnotationMeta& meta = metas_.at(id);
+    if (meta.archived) return;
+    for (const Region& r : meta.regions) {
+      if ((r.columns & mask) != 0 && row >= r.row_begin && row <= r.row_end) {
+        ids.push_back(id);
+        return;
+      }
+    }
+  });
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<AnnotationId> AnnotationTable::IdsForRegions(
+    const std::vector<Region>& regions) const {
+  std::vector<AnnotationId> ids;
+  for (const Region& query : regions) {
+    index_.QueryRange(query.row_begin, query.row_end,
+                      [&](RowId, RowId, uint64_t id) {
+                        const AnnotationMeta& meta = metas_.at(id);
+                        if (meta.archived) return;
+                        for (const Region& r : meta.regions) {
+                          if (r.Overlaps(query)) {
+                            ids.push_back(id);
+                            return;
+                          }
+                        }
+                      });
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+Result<std::string> AnnotationTable::Body(AnnotationId id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("no annotation " + std::to_string(id));
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(it->second));
+  // Skip the fixed prefix: id, timestamp, archived, author, regions.
+  const AnnotationMeta& meta = metas_.at(id);
+  size_t offset = 8 + 8 + 1 + 8 + meta.author.size() + 8 + 24 * meta.regions.size();
+  if (offset > payload.size()) {
+    return Status::Corruption("annotation record too short");
+  }
+  return payload.substr(offset);
+}
+
+Result<AnnotationMeta> AnnotationTable::Meta(AnnotationId id) const {
+  auto it = metas_.find(id);
+  if (it == metas_.end()) {
+    return Status::NotFound("no annotation " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status AnnotationTable::SetArchived(AnnotationId id, bool archived) {
+  auto it = metas_.find(id);
+  if (it == metas_.end()) {
+    return Status::NotFound("no annotation " + std::to_string(id));
+  }
+  if (it->second.archived == archived) return Status::Ok();
+  BDBMS_ASSIGN_OR_RETURN(std::string body, Body(id));
+  it->second.archived = archived;
+  return Rewrite(id, body);
+}
+
+Status AnnotationTable::Rewrite(AnnotationId id, const std::string& body) {
+  BDBMS_RETURN_IF_ERROR(heap_->Delete(records_.at(id)));
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid,
+                         heap_->Insert(EncodeRecord(metas_.at(id), body)));
+  records_[id] = rid;
+  return Status::Ok();
+}
+
+Result<size_t> AnnotationTable::ArchiveMatching(
+    const std::vector<Region>& regions, uint64_t t1, uint64_t t2) {
+  size_t archived = 0;
+  for (AnnotationId id : IdsForRegions(regions)) {
+    const AnnotationMeta& meta = metas_.at(id);
+    if (meta.timestamp < t1 || meta.timestamp > t2) continue;
+    BDBMS_RETURN_IF_ERROR(SetArchived(id, true));
+    ++archived;
+  }
+  return archived;
+}
+
+Result<size_t> AnnotationTable::RestoreMatching(
+    const std::vector<Region>& regions, uint64_t t1, uint64_t t2) {
+  // IdsForRegions skips archived annotations, so enumerate directly.
+  size_t restored = 0;
+  for (auto& [id, meta] : metas_) {
+    if (!meta.archived) continue;
+    if (meta.timestamp < t1 || meta.timestamp > t2) continue;
+    bool overlaps = false;
+    for (const Region& r : meta.regions) {
+      for (const Region& q : regions) {
+        if (r.Overlaps(q)) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) break;
+    }
+    if (!overlaps) continue;
+    BDBMS_RETURN_IF_ERROR(SetArchived(id, false));
+    ++restored;
+  }
+  return restored;
+}
+
+void AnnotationTable::ForEach(
+    bool include_archived,
+    const std::function<void(const AnnotationMeta&)>& fn) const {
+  for (const auto& [id, meta] : metas_) {
+    if (!include_archived && meta.archived) continue;
+    fn(meta);
+  }
+}
+
+uint64_t AnnotationTable::live_count() const {
+  uint64_t n = 0;
+  for (const auto& [id, meta] : metas_) {
+    if (!meta.archived) ++n;
+  }
+  return n;
+}
+
+}  // namespace bdbms

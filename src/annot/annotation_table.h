@@ -1,0 +1,99 @@
+#ifndef BDBMS_ANNOT_ANNOTATION_TABLE_H_
+#define BDBMS_ANNOT_ANNOTATION_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annot/annotation.h"
+#include "annot/interval_index.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/heap_file.h"
+
+namespace bdbms {
+
+// One annotation table (paper §3.1): a named, categorized store of
+// annotations over a single user relation, using the compact
+// rectangle-region scheme of Figure 5. Each annotation is one heap record
+// holding metadata + regions + XML body; region lookup goes through an
+// interval index, so an annotation covering a whole column costs one
+// record, not one copy per cell.
+class AnnotationTable {
+ public:
+  // `clock` assigns creation timestamps (used by ARCHIVE/RESTORE BETWEEN);
+  // it must outlive the table.
+  static Result<std::unique_ptr<AnnotationTable>> CreateInMemory(
+      std::string name, LogicalClock* clock, size_t pool_pages = 64);
+
+  AnnotationTable(const AnnotationTable&) = delete;
+  AnnotationTable& operator=(const AnnotationTable&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Validates `xml_body` as XML and stores it over `regions`.
+  Result<AnnotationId> Add(const std::string& xml_body,
+                           std::vector<Region> regions,
+                           const std::string& author);
+
+  // Non-archived annotation ids covering the cell, ascending.
+  std::vector<AnnotationId> IdsForCell(RowId row, size_t col) const;
+
+  // Non-archived annotation ids touching any column in `mask` of `row`.
+  std::vector<AnnotationId> IdsForRow(RowId row, ColumnMask mask) const;
+
+  // Non-archived ids overlapping any of `regions`.
+  std::vector<AnnotationId> IdsForRegions(
+      const std::vector<Region>& regions) const;
+
+  // Reads the XML body from storage.
+  Result<std::string> Body(AnnotationId id) const;
+
+  Result<AnnotationMeta> Meta(AnnotationId id) const;
+
+  // ARCHIVE ANNOTATION ... [BETWEEN t1 AND t2] ON <selection>: archives
+  // every live annotation whose regions overlap `regions` and whose
+  // creation timestamp lies in [t1, t2]. Returns how many were archived.
+  Result<size_t> ArchiveMatching(const std::vector<Region>& regions,
+                                 uint64_t t1 = 0, uint64_t t2 = UINT64_MAX);
+
+  // RESTORE ANNOTATION: the inverse of ArchiveMatching.
+  Result<size_t> RestoreMatching(const std::vector<Region>& regions,
+                                 uint64_t t1 = 0, uint64_t t2 = UINT64_MAX);
+
+  // Visits every annotation (optionally including archived ones).
+  void ForEach(bool include_archived,
+               const std::function<void(const AnnotationMeta&)>& fn) const;
+
+  uint64_t count() const { return metas_.size(); }
+  uint64_t live_count() const;
+  uint64_t SizeBytes() const { return heap_->SizeBytes(); }
+  const IoStats& io_stats() const { return heap_->io_stats(); }
+  IoStats& io_stats() { return heap_->io_stats(); }
+
+ private:
+  AnnotationTable(std::string name, LogicalClock* clock,
+                  std::unique_ptr<HeapFile> heap)
+      : name_(std::move(name)), clock_(clock), heap_(std::move(heap)) {}
+
+  // (Re)writes the heap record for `id` after a metadata change.
+  Status Rewrite(AnnotationId id, const std::string& body);
+
+  static std::string EncodeRecord(const AnnotationMeta& meta,
+                                  const std::string& body);
+
+  Status SetArchived(AnnotationId id, bool archived);
+
+  std::string name_;
+  LogicalClock* clock_;
+  std::unique_ptr<HeapFile> heap_;
+  std::map<AnnotationId, AnnotationMeta> metas_;
+  std::map<AnnotationId, RecordId> records_;
+  IntervalIndex index_;  // row intervals of all regions, payload = id
+  AnnotationId next_id_ = 1;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_ANNOT_ANNOTATION_TABLE_H_

@@ -1,0 +1,101 @@
+#include "annot/cell_scheme.h"
+
+#include <cstring>
+
+namespace bdbms {
+
+Result<std::unique_ptr<CellSchemeStore>> CellSchemeStore::CreateInMemory(
+    size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                         HeapFile::CreateInMemory(pool_pages));
+  return std::unique_ptr<CellSchemeStore>(
+      new CellSchemeStore(std::move(heap)));
+}
+
+std::string CellSchemeStore::EncodeBodies(
+    const std::vector<std::string>& bodies) {
+  std::string out;
+  auto put_u64 = [&out](uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.append(buf, 8);
+  };
+  put_u64(bodies.size());
+  for (const std::string& b : bodies) {
+    put_u64(b.size());
+    out += b;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CellSchemeStore::DecodeBodies(
+    std::string_view payload) {
+  size_t offset = 0;
+  auto get_u64 = [&](uint64_t* v) -> bool {
+    if (offset + 8 > payload.size()) return false;
+    std::memcpy(v, payload.data() + offset, 8);
+    offset += 8;
+    return true;
+  };
+  uint64_t n;
+  if (!get_u64(&n)) return Status::Corruption("cell record: truncated count");
+  std::vector<std::string> bodies;
+  bodies.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len;
+    if (!get_u64(&len) || offset + len > payload.size()) {
+      return Status::Corruption("cell record: truncated body");
+    }
+    bodies.emplace_back(payload.substr(offset, len));
+    offset += len;
+  }
+  return bodies;
+}
+
+Status CellSchemeStore::Add(const std::string& xml_body,
+                            const std::vector<Region>& regions) {
+  for (const Region& r : regions) {
+    for (RowId row = r.row_begin; row <= r.row_end; ++row) {
+      for (size_t col = 0; col < kMaxColumns; ++col) {
+        if ((r.columns & ColumnBit(col)) == 0) continue;
+        CellKey key{row, col};
+        auto it = cells_.find(key);
+        std::vector<std::string> bodies;
+        if (it != cells_.end()) {
+          BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(it->second));
+          BDBMS_ASSIGN_OR_RETURN(bodies, DecodeBodies(payload));
+          BDBMS_RETURN_IF_ERROR(heap_->Delete(it->second));
+        }
+        bodies.push_back(xml_body);
+        BDBMS_ASSIGN_OR_RETURN(RecordId rid,
+                               heap_->Insert(EncodeBodies(bodies)));
+        cells_[key] = rid;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> CellSchemeStore::BodiesForCell(
+    RowId row, size_t col) const {
+  auto it = cells_.find({row, col});
+  if (it == cells_.end()) return std::vector<std::string>{};
+  BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(it->second));
+  return DecodeBodies(payload);
+}
+
+Result<std::vector<std::string>> CellSchemeStore::BodiesForColumnRange(
+    size_t col, RowId row_begin, RowId row_end) const {
+  std::vector<std::string> out;
+  for (auto it = cells_.lower_bound({row_begin, 0}); it != cells_.end(); ++it) {
+    if (it->first.first > row_end) break;
+    if (it->first.second != col) continue;
+    BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(it->second));
+    BDBMS_ASSIGN_OR_RETURN(std::vector<std::string> bodies,
+                           DecodeBodies(payload));
+    for (std::string& b : bodies) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace bdbms

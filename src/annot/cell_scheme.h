@@ -1,0 +1,65 @@
+#ifndef BDBMS_ANNOT_CELL_SCHEME_H_
+#define BDBMS_ANNOT_CELL_SCHEME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annot/annotation.h"
+#include "common/result.h"
+#include "storage/heap_file.h"
+
+namespace bdbms {
+
+// The straightforward storage scheme of paper Figure 3 ("every data column
+// has a corresponding annotation column"): each annotated cell owns a
+// record holding full copies of every annotation body attached to it. An
+// annotation spanning N cells is therefore stored N times — exactly the
+// redundancy §3.1 criticizes (annotations A2/B3 "repeated 6 and 5 times").
+//
+// Kept as the baseline for experiment E1; the engine itself uses
+// AnnotationTable (the compact rectangle scheme).
+class CellSchemeStore {
+ public:
+  static Result<std::unique_ptr<CellSchemeStore>> CreateInMemory(
+      size_t pool_pages = 64);
+
+  CellSchemeStore(const CellSchemeStore&) = delete;
+  CellSchemeStore& operator=(const CellSchemeStore&) = delete;
+
+  // Replicates `xml_body` into the annotation cell of every cell covered
+  // by `regions`.
+  Status Add(const std::string& xml_body, const std::vector<Region>& regions);
+
+  // All annotation bodies attached to one cell.
+  Result<std::vector<std::string>> BodiesForCell(RowId row, size_t col) const;
+
+  // All bodies attached to any cell of `col` in [row_begin, row_end]
+  // (duplicates across cells preserved — that is what this scheme stores).
+  Result<std::vector<std::string>> BodiesForColumnRange(size_t col,
+                                                        RowId row_begin,
+                                                        RowId row_end) const;
+
+  uint64_t annotated_cell_count() const { return cells_.size(); }
+  uint64_t SizeBytes() const { return heap_->SizeBytes(); }
+  const IoStats& io_stats() const { return heap_->io_stats(); }
+  IoStats& io_stats() { return heap_->io_stats(); }
+
+ private:
+  explicit CellSchemeStore(std::unique_ptr<HeapFile> heap)
+      : heap_(std::move(heap)) {}
+
+  using CellKey = std::pair<RowId, size_t>;
+
+  static std::string EncodeBodies(const std::vector<std::string>& bodies);
+  static Result<std::vector<std::string>> DecodeBodies(
+      std::string_view payload);
+
+  std::unique_ptr<HeapFile> heap_;
+  std::map<CellKey, RecordId> cells_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_ANNOT_CELL_SCHEME_H_

@@ -1,0 +1,96 @@
+#include "auth/access_control.h"
+
+namespace bdbms {
+
+std::string_view PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kSelect:
+      return "SELECT";
+    case Privilege::kInsert:
+      return "INSERT";
+    case Privilege::kUpdate:
+      return "UPDATE";
+    case Privilege::kDelete:
+      return "DELETE";
+  }
+  return "UNKNOWN";
+}
+
+Status AccessControl::CreateUser(const std::string& user) {
+  if (user.empty()) return Status::InvalidArgument("empty user name");
+  if (!users_.insert(user).second) {
+    return Status::AlreadyExists("user " + user + " already exists");
+  }
+  return Status::Ok();
+}
+
+Status AccessControl::CreateGroup(const std::string& group) {
+  if (group.empty()) return Status::InvalidArgument("empty group name");
+  if (groups_.count(group)) {
+    return Status::AlreadyExists("group " + group + " already exists");
+  }
+  groups_[group] = {};
+  return Status::Ok();
+}
+
+Status AccessControl::AddToGroup(const std::string& user,
+                                 const std::string& group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::NotFound("no group " + group);
+  it->second.insert(user);
+  return Status::Ok();
+}
+
+bool AccessControl::IsMember(const std::string& user,
+                             const std::string& group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.count(user) > 0;
+}
+
+bool AccessControl::MatchesPrincipal(const std::string& principal,
+                                     const std::string& spec) const {
+  return principal == spec || IsMember(principal, spec);
+}
+
+Status AccessControl::Grant(const std::string& principal,
+                            const std::string& table, Privilege privilege) {
+  grants_[{principal, table}].insert(privilege);
+  return Status::Ok();
+}
+
+Status AccessControl::Revoke(const std::string& principal,
+                             const std::string& table, Privilege privilege) {
+  auto it = grants_.find({principal, table});
+  if (it == grants_.end() || it->second.erase(privilege) == 0) {
+    return Status::NotFound("no such grant to revoke");
+  }
+  return Status::Ok();
+}
+
+bool AccessControl::IsGranted(const std::string& user,
+                              const std::string& table,
+                              Privilege privilege) const {
+  if (IsSuperuser(user)) return true;
+  auto direct = grants_.find({user, table});
+  if (direct != grants_.end() && direct->second.count(privilege)) return true;
+  for (const auto& [group, members] : groups_) {
+    if (!members.count(user)) continue;
+    auto via_group = grants_.find({group, table});
+    if (via_group != grants_.end() && via_group->second.count(privilege)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status AccessControl::Check(const std::string& user, const std::string& table,
+                            Privilege privilege) const {
+  if (!IsGranted(user, table, privilege)) {
+    return Status::PermissionDenied(
+        user + " lacks " + std::string(PrivilegeName(privilege)) + " on " +
+        table);
+  }
+  return Status::Ok();
+}
+
+}  // namespace bdbms

@@ -1,0 +1,92 @@
+#include "bio/alignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bdbms {
+
+int SmithWatermanScore(std::string_view a, std::string_view b,
+                       const AlignmentParams& params) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<int> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = 0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      int diag = prev[j - 1] +
+                 (a[i - 1] == b[j - 1] ? params.match : params.mismatch);
+      int up = prev[j] + params.gap;
+      int left = cur[j - 1] + params.gap;
+      cur[j] = std::max({0, diag, up, left});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+double AlignmentEvalue(int score, size_t m, size_t n,
+                       const AlignmentParams& params) {
+  return params.k * static_cast<double>(m) * static_cast<double>(n) *
+         std::exp(-params.lambda * score);
+}
+
+ProcedureInfo MakeBlastProcedure(std::string name, AlignmentParams params) {
+  ProcedureInfo info;
+  info.name = std::move(name);
+  info.executable = true;
+  info.invertible = false;
+  info.fn = [params](const std::vector<Value>& in) -> Result<Value> {
+    if (in.size() != 2 || !in[0].is_string() || !in[1].is_string()) {
+      return Status::InvalidArgument(
+          "BLAST procedure expects two sequence inputs");
+    }
+    const std::string& a = in[0].as_string();
+    const std::string& b = in[1].as_string();
+    int score = SmithWatermanScore(a, b, params);
+    return Value::Double(AlignmentEvalue(score, a.size(), b.size(), params));
+  };
+  return info;
+}
+
+std::string TranslateGene(std::string_view gene_sequence) {
+  // Synthetic codon table: each DNA triplet maps deterministically onto
+  // one of 20 amino acids (a stand-in, not the real genetic code).
+  static constexpr char kAmino[] = "ACDEFGHIKLMNPQRSTVWY";
+  auto base = [](char c) -> int {
+    switch (c) {
+      case 'A': return 0;
+      case 'C': return 1;
+      case 'G': return 2;
+      case 'T': return 3;
+      default: return 0;
+    }
+  };
+  std::string protein;
+  protein.reserve(gene_sequence.size() / 3 + 1);
+  for (size_t i = 0; i + 2 < gene_sequence.size(); i += 3) {
+    int codon = base(gene_sequence[i]) * 16 + base(gene_sequence[i + 1]) * 4 +
+                base(gene_sequence[i + 2]);
+    protein.push_back(kAmino[codon % 20]);
+  }
+  if (protein.empty()) protein = "M";
+  return protein;
+}
+
+ProcedureInfo MakePredictionToolProcedure(std::string name) {
+  ProcedureInfo info;
+  info.name = std::move(name);
+  info.executable = true;
+  info.invertible = false;
+  info.fn = [](const std::vector<Value>& in) -> Result<Value> {
+    if (in.size() != 1 || !in[0].is_string()) {
+      return Status::InvalidArgument(
+          "prediction tool expects one gene sequence");
+    }
+    return Value::Sequence(TranslateGene(in[0].as_string()));
+  };
+  return info;
+}
+
+}  // namespace bdbms

@@ -1,0 +1,48 @@
+#ifndef BDBMS_BIO_ALIGNMENT_H_
+#define BDBMS_BIO_ALIGNMENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "dep/procedure.h"
+
+namespace bdbms {
+
+// Local sequence alignment (Smith–Waterman) standing in for BLAST-2.2.15
+// in the dependency-tracking experiments: an executable, non-invertible
+// procedure deriving an alignment score / E-value from two sequences
+// (paper Figure 9(b), Rule 3).
+struct AlignmentParams {
+  int match = 2;
+  int mismatch = -1;
+  int gap = -2;
+  // Karlin–Altschul style constants for the E-value model.
+  double lambda = 0.267;
+  double k = 0.041;
+};
+
+// Best local alignment score of a vs b. O(|a|*|b|) dynamic program.
+int SmithWatermanScore(std::string_view a, std::string_view b,
+                       const AlignmentParams& params = {});
+
+// E-value of a local alignment score between sequences of lengths m and n:
+// E = K * m * n * exp(-lambda * S).
+double AlignmentEvalue(int score, size_t m, size_t n,
+                       const AlignmentParams& params = {});
+
+// Builds the ProcedureInfo registering Smith–Waterman as the executable
+// "BLAST" procedure: inputs = (sequence1, sequence2), output = E-value.
+ProcedureInfo MakeBlastProcedure(std::string name = "BLAST-2.2.15",
+                                 AlignmentParams params = {});
+
+// Builds a deterministic stand-in for "prediction tool P" (Figure 9(a)):
+// derives a protein sequence from a gene sequence by codon translation
+// over a fixed synthetic codon table.
+ProcedureInfo MakePredictionToolProcedure(std::string name = "P");
+
+// The translation used by MakePredictionToolProcedure, exposed for tests.
+std::string TranslateGene(std::string_view gene_sequence);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_BIO_ALIGNMENT_H_

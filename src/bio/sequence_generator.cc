@@ -1,0 +1,113 @@
+#include "bio/sequence_generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bdbms {
+
+std::string SequenceGenerator::Dna(size_t length) {
+  return rng_.NextString(length, "ACGT");
+}
+
+std::string SequenceGenerator::Protein(size_t length) {
+  return rng_.NextString(length, "ACDEFGHIKLMNPQRSTVWY");
+}
+
+std::string SequenceGenerator::SecondaryStructure(size_t length,
+                                                  double mean_run_len) {
+  static constexpr char kStates[] = {'H', 'E', 'L'};
+  std::string out;
+  out.reserve(length);
+  char state = kStates[rng_.Uniform(3)];
+  double p_end = mean_run_len <= 1.0 ? 1.0 : 1.0 / mean_run_len;
+  while (out.size() < length) {
+    out.push_back(state);
+    if (rng_.Bernoulli(p_end)) {
+      // Switch to one of the other two states.
+      char next = kStates[rng_.Uniform(3)];
+      while (next == state) next = kStates[rng_.Uniform(3)];
+      state = next;
+    }
+  }
+  return out;
+}
+
+std::string SequenceGenerator::GeneId(size_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "JW%04zu", index);
+  return buf;
+}
+
+std::string SequenceGenerator::GeneName() {
+  std::string name = rng_.NextString(3, "abcdefghijklmnopqrstuvwxyz");
+  name += static_cast<char>('A' + rng_.Uniform(26));
+  return name;
+}
+
+std::vector<SpPoint> SequenceGenerator::StructurePoints(size_t n,
+                                                        const Rect& bounds) {
+  std::vector<SpPoint> points;
+  points.reserve(n);
+  double x = (bounds.x1 + bounds.x2) / 2;
+  double y = (bounds.y1 + bounds.y2) / 2;
+  double step_x = (bounds.x2 - bounds.x1) / 64.0;
+  double step_y = (bounds.y2 - bounds.y1) / 64.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += (rng_.UniformDouble() - 0.5) * step_x;
+    y += (rng_.UniformDouble() - 0.5) * step_y;
+    x = std::min(std::max(x, bounds.x1), bounds.x2);
+    y = std::min(std::max(y, bounds.y1), bounds.y2);
+    points.push_back({x, y});
+  }
+  return points;
+}
+
+std::string WriteFasta(const std::vector<FastaRecord>& records,
+                       size_t line_width) {
+  std::string out;
+  for (const FastaRecord& rec : records) {
+    out += ">" + rec.id;
+    if (!rec.description.empty()) out += " " + rec.description;
+    out += "\n";
+    for (size_t i = 0; i < rec.sequence.size(); i += line_width) {
+      out += rec.sequence.substr(i, line_width);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::vector<FastaRecord>> ParseFasta(std::string_view text) {
+  std::vector<FastaRecord> records;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      FastaRecord rec;
+      std::string_view header = line.substr(1);
+      size_t space = header.find(' ');
+      if (space == std::string_view::npos) {
+        rec.id = std::string(header);
+      } else {
+        rec.id = std::string(header.substr(0, space));
+        rec.description = std::string(header.substr(space + 1));
+      }
+      if (rec.id.empty()) {
+        return Status::InvalidArgument("FASTA: empty record id");
+      }
+      records.push_back(std::move(rec));
+    } else {
+      if (records.empty()) {
+        return Status::InvalidArgument("FASTA: sequence before first header");
+      }
+      records.back().sequence += std::string(line);
+    }
+  }
+  return records;
+}
+
+}  // namespace bdbms

@@ -1,0 +1,59 @@
+#ifndef BDBMS_BIO_SEQUENCE_GENERATOR_H_
+#define BDBMS_BIO_SEQUENCE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/spgist/kd_ops.h"  // SpPoint
+
+namespace bdbms {
+
+// Synthetic biological workloads standing in for the paper's E. coli /
+// GenoBase / protein-structure datasets (see DESIGN.md, substitutions).
+// All generators are deterministic in the seed.
+class SequenceGenerator {
+ public:
+  explicit SequenceGenerator(uint64_t seed) : rng_(seed) {}
+
+  // Nucleotide sequence over ACGT (i.i.d.) — nearly incompressible with
+  // RLE, the contrast case in experiment E7.
+  std::string Dna(size_t length);
+
+  // Protein primary structure over the 20 amino-acid alphabet.
+  std::string Protein(size_t length);
+
+  // Protein secondary structure over {H, E, L} with geometric run lengths
+  // of the given mean — the RLE-friendly workload of Figure 12.
+  std::string SecondaryStructure(size_t length, double mean_run_len = 8.0);
+
+  // E. coli style gene identifiers: JW0001, JW0002, ...
+  static std::string GeneId(size_t index);
+
+  // Gene names in the paper's style (mraW, ftsI, ...).
+  std::string GeneName();
+
+  // Pseudo protein 3-D structure projected to 2-D: a self-avoiding-ish
+  // random walk inside `bounds`, one point per residue.
+  std::vector<SpPoint> StructurePoints(size_t n, const Rect& bounds);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+// Minimal FASTA reader/writer for the examples.
+struct FastaRecord {
+  std::string id;
+  std::string description;
+  std::string sequence;
+};
+
+std::string WriteFasta(const std::vector<FastaRecord>& records,
+                       size_t line_width = 60);
+Result<std::vector<FastaRecord>> ParseFasta(std::string_view text);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_BIO_SEQUENCE_GENERATOR_H_

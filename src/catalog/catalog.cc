@@ -1,0 +1,106 @@
+#include "catalog/catalog.h"
+
+namespace bdbms {
+
+Status Catalog::CreateTable(const TableSchema& schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table " + schema.name() +
+                                   " must have at least one column");
+  }
+  if (tables_.count(schema.name())) {
+    return Status::AlreadyExists("table " + schema.name() + " already exists");
+  }
+  tables_[schema.name()] = schema;
+  return Status::Ok();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + name);
+  }
+  tables_.erase(it);
+  // Drop dependent annotation tables.
+  for (auto ann_it = annotation_tables_.begin();
+       ann_it != annotation_tables_.end();) {
+    if (ann_it->second.on_table == name) {
+      ann_it = annotation_tables_.erase(ann_it);
+    } else {
+      ++ann_it;
+    }
+  }
+  return Status::Ok();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<TableSchema> Catalog::GetSchema(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::CreateAnnotationTable(const std::string& on_table,
+                                      const std::string& ann_name,
+                                      bool is_provenance) {
+  if (!tables_.count(on_table)) {
+    return Status::NotFound("no table " + on_table);
+  }
+  std::string key = AnnKey(on_table, ann_name);
+  if (annotation_tables_.count(key)) {
+    return Status::AlreadyExists("annotation table " + key + " already exists");
+  }
+  annotation_tables_[key] = {ann_name, on_table, is_provenance};
+  return Status::Ok();
+}
+
+Status Catalog::DropAnnotationTable(const std::string& on_table,
+                                    const std::string& ann_name) {
+  auto it = annotation_tables_.find(AnnKey(on_table, ann_name));
+  if (it == annotation_tables_.end()) {
+    return Status::NotFound("no annotation table " + ann_name + " on " +
+                            on_table);
+  }
+  annotation_tables_.erase(it);
+  return Status::Ok();
+}
+
+bool Catalog::HasAnnotationTable(const std::string& on_table,
+                                 const std::string& ann_name) const {
+  return annotation_tables_.count(AnnKey(on_table, ann_name)) > 0;
+}
+
+Result<AnnotationTableInfo> Catalog::GetAnnotationTable(
+    const std::string& on_table, const std::string& ann_name) const {
+  auto it = annotation_tables_.find(AnnKey(on_table, ann_name));
+  if (it == annotation_tables_.end()) {
+    return Status::NotFound("no annotation table " + ann_name + " on " +
+                            on_table);
+  }
+  return it->second;
+}
+
+std::vector<AnnotationTableInfo> Catalog::ListAnnotationTables(
+    const std::string& on_table) const {
+  std::vector<AnnotationTableInfo> out;
+  for (const auto& [key, info] : annotation_tables_) {
+    if (info.on_table == on_table) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace bdbms

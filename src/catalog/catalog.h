@@ -1,0 +1,68 @@
+#ifndef BDBMS_CATALOG_CATALOG_H_
+#define BDBMS_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace bdbms {
+
+// Metadata about one annotation table attached to a user relation
+// (paper Figure 4: CREATE ANNOTATION TABLE <ann> ON <table>). Annotation
+// tables categorize annotations — e.g. one for provenance, one for user
+// comments (Section 3.1).
+struct AnnotationTableInfo {
+  std::string name;        // annotation table name (unique per user table)
+  std::string on_table;    // the user relation it annotates
+  bool is_provenance = false;  // provenance tables get system-only writers
+};
+
+// System catalog: user tables and their annotation tables. Dependency
+// rules live in DependencyManager, ACL/approval state in
+// AuthorizationManager; the catalog is the name authority all of them
+// validate against.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- user tables -------------------------------------------------------
+  Status CreateTable(const TableSchema& schema);
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  Result<TableSchema> GetSchema(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+  // --- annotation tables -------------------------------------------------
+  // Registers `ann_name` over `on_table`. Annotation table names are scoped
+  // per user table (the A-SQL surface addresses them as table.ann_name).
+  Status CreateAnnotationTable(const std::string& on_table,
+                               const std::string& ann_name,
+                               bool is_provenance = false);
+  Status DropAnnotationTable(const std::string& on_table,
+                             const std::string& ann_name);
+  bool HasAnnotationTable(const std::string& on_table,
+                          const std::string& ann_name) const;
+  Result<AnnotationTableInfo> GetAnnotationTable(
+      const std::string& on_table, const std::string& ann_name) const;
+  // All annotation tables attached to `on_table`.
+  std::vector<AnnotationTableInfo> ListAnnotationTables(
+      const std::string& on_table) const;
+
+ private:
+  static std::string AnnKey(const std::string& on_table,
+                            const std::string& ann_name) {
+    return on_table + "." + ann_name;
+  }
+
+  std::map<std::string, TableSchema> tables_;
+  std::map<std::string, AnnotationTableInfo> annotation_tables_;  // key: tbl.ann
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_CATALOG_CATALOG_H_

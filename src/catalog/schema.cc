@@ -1,0 +1,46 @@
+#include "catalog/schema.h"
+
+namespace bdbms {
+
+Status TableSchema::AddColumn(std::string column_name, DataType type) {
+  if (columns_.size() >= kMaxColumns) {
+    return Status::InvalidArgument("table " + name_ + ": at most " +
+                                   std::to_string(kMaxColumns) + " columns");
+  }
+  if (FindColumn(column_name).has_value()) {
+    return Status::AlreadyExists("duplicate column " + column_name);
+  }
+  columns_.push_back({std::move(column_name), type});
+  return Status::Ok();
+}
+
+std::optional<size_t> TableSchema::FindColumn(
+    std::string_view column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> TableSchema::ColumnIndex(std::string_view column_name) const {
+  std::optional<size_t> idx = FindColumn(column_name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column " + std::string(column_name) +
+                            " in table " + name_);
+  }
+  return *idx;
+}
+
+Result<Row> TableSchema::ValidateRow(Row row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "table " + name_ + " expects " + std::to_string(columns_.size()) +
+        " values, got " + std::to_string(row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    BDBMS_ASSIGN_OR_RETURN(row[i], row[i].CoerceTo(columns_[i].type));
+  }
+  return row;
+}
+
+}  // namespace bdbms

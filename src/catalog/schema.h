@@ -1,0 +1,69 @@
+#ifndef BDBMS_CATALOG_SCHEMA_H_
+#define BDBMS_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace bdbms {
+
+// A column: name + declared type. Types are enforced (with the small
+// coercion set of Value::CoerceTo) on every insert/update.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kText;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+// Column sets are represented as 64-bit masks so annotation regions,
+// approval configs and dependency rules can name arbitrary column subsets
+// cheaply; hence the per-table column limit.
+inline constexpr size_t kMaxColumns = 64;
+using ColumnMask = uint64_t;
+
+inline ColumnMask ColumnBit(size_t idx) { return ColumnMask{1} << idx; }
+inline ColumnMask AllColumnsMask(size_t n) {
+  return n >= kMaxColumns ? ~ColumnMask{0} : (ColumnMask{1} << n) - 1;
+}
+
+// Relation schema: ordered, uniquely named columns.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Appends a column; fails on duplicate name or column-count overflow.
+  Status AddColumn(std::string column_name, DataType type);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Case-sensitive lookup by column name.
+  std::optional<size_t> FindColumn(std::string_view column_name) const;
+  Result<size_t> ColumnIndex(std::string_view column_name) const;
+
+  // Checks arity and coerces each value to its declared column type.
+  Result<Row> ValidateRow(Row row) const;
+
+  bool operator==(const TableSchema&) const = default;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_CATALOG_SCHEMA_H_

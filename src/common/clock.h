@@ -1,0 +1,33 @@
+#ifndef BDBMS_COMMON_CLOCK_H_
+#define BDBMS_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace bdbms {
+
+// Monotonic logical clock assigning strictly increasing timestamps to
+// annotations, provenance records and approval-log entries. Deterministic,
+// so time-windowed ARCHIVE/RESTORE ANNOTATION behaviour is testable.
+class LogicalClock {
+ public:
+  explicit LogicalClock(uint64_t start = 1) : next_(start) {}
+
+  // Returns the current tick and advances.
+  uint64_t Tick() { return next_++; }
+
+  // The timestamp the next Tick() will return.
+  uint64_t Peek() const { return next_; }
+
+  // Fast-forwards so the next tick is at least `ts + 1`. Used when
+  // reloading persisted state.
+  void AdvanceTo(uint64_t ts) {
+    if (ts >= next_) next_ = ts + 1;
+  }
+
+ private:
+  uint64_t next_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_COMMON_CLOCK_H_

@@ -1,0 +1,61 @@
+#ifndef BDBMS_COMMON_RANDOM_H_
+#define BDBMS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bdbms {
+
+// Deterministic xorshift128+ PRNG for workload generation. Benchmarks and
+// property tests seed it explicitly so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5DEECE66Dull) {
+    s0_ = seed ^ 0x9E3779B97F4A7C15ull;
+    s1_ = (seed << 21) | 0x2545F4914F6CDD1Dull;
+    // Warm up to decorrelate small seeds.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Random string of length `len` drawn from `alphabet`.
+  std::string NextString(size_t len, std::string_view alphabet) {
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(alphabet[Uniform(alphabet.size())]);
+    }
+    return out;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_COMMON_RANDOM_H_

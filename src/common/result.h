@@ -1,0 +1,75 @@
+#ifndef BDBMS_COMMON_RESULT_H_
+#define BDBMS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace bdbms {
+
+// Result<T> carries either a value of T or a non-OK Status.
+// Mirrors absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites (`return value;` / `return Status::NotFound(...);`) readable.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) status_ = Status::Internal("Result constructed with OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace bdbms
+
+#define BDBMS_CONCAT_IMPL(a, b) a##b
+#define BDBMS_CONCAT(a, b) BDBMS_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define BDBMS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto BDBMS_CONCAT(_bdbms_res_, __LINE__) = (rexpr);             \
+  if (!BDBMS_CONCAT(_bdbms_res_, __LINE__).ok())                  \
+    return BDBMS_CONCAT(_bdbms_res_, __LINE__).status();          \
+  lhs = std::move(BDBMS_CONCAT(_bdbms_res_, __LINE__)).value()
+
+#endif  // BDBMS_COMMON_RESULT_H_

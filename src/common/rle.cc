@@ -1,0 +1,166 @@
+#include "common/rle.h"
+
+#include <cctype>
+
+namespace bdbms {
+
+std::vector<RleRun> Rle::Encode(std::string_view raw) {
+  std::vector<RleRun> runs;
+  for (size_t i = 0; i < raw.size();) {
+    size_t j = i + 1;
+    while (j < raw.size() && raw[j] == raw[i]) ++j;
+    runs.push_back({raw[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return runs;
+}
+
+std::string Rle::Decode(const std::vector<RleRun>& runs) {
+  std::string out;
+  uint64_t total = UncompressedLength(runs);
+  out.reserve(total);
+  for (const RleRun& r : runs) out.append(r.length, r.ch);
+  return out;
+}
+
+std::string Rle::ToText(const std::vector<RleRun>& runs) {
+  std::string out;
+  for (const RleRun& r : runs) {
+    out.push_back(r.ch);
+    out += std::to_string(r.length);
+  }
+  return out;
+}
+
+Result<std::vector<RleRun>> Rle::FromText(std::string_view text) {
+  std::vector<RleRun> runs;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::Corruption("RLE text: run character cannot be a digit");
+    }
+    ++i;
+    if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return Status::Corruption("RLE text: missing run length");
+    }
+    uint64_t len = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      len = len * 10 + static_cast<uint64_t>(text[i] - '0');
+      if (len > UINT32_MAX) {
+        return Status::Corruption("RLE text: run length overflow");
+      }
+      ++i;
+    }
+    if (len == 0) return Status::Corruption("RLE text: zero run length");
+    runs.push_back({c, static_cast<uint32_t>(len)});
+  }
+  return runs;
+}
+
+std::string Rle::CompressToText(std::string_view raw) {
+  return ToText(Encode(raw));
+}
+
+Result<std::string> Rle::DecompressText(std::string_view text) {
+  BDBMS_ASSIGN_OR_RETURN(std::vector<RleRun> runs, FromText(text));
+  return Decode(runs);
+}
+
+uint64_t Rle::UncompressedLength(const std::vector<RleRun>& runs) {
+  uint64_t total = 0;
+  for (const RleRun& r : runs) total += r.length;
+  return total;
+}
+
+std::vector<uint32_t> BitRle::Encode(const std::vector<bool>& bits) {
+  std::vector<uint32_t> runs;
+  bool current = false;  // runs alternate starting with zeros
+  uint32_t count = 0;
+  for (bool b : bits) {
+    if (b == current) {
+      ++count;
+    } else {
+      runs.push_back(count);
+      current = b;
+      count = 1;
+    }
+  }
+  runs.push_back(count);
+  return runs;
+}
+
+std::vector<bool> BitRle::Decode(const std::vector<uint32_t>& runs) {
+  std::vector<bool> bits;
+  bool current = false;
+  for (uint32_t len : runs) {
+    bits.insert(bits.end(), len, current);
+    current = !current;
+  }
+  return bits;
+}
+
+namespace {
+
+void PutVarint(std::string* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view data, size_t* offset, uint32_t* v) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (*offset < data.size() && shift <= 28) {
+    uint8_t byte = static_cast<uint8_t>(data[*offset]);
+    ++*offset;
+    result |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t BitRle::SerializedSize(const std::vector<uint32_t>& runs) {
+  uint64_t bytes = 0;
+  for (uint32_t v : runs) {
+    bytes += 1;
+    while (v >= 0x80) {
+      ++bytes;
+      v >>= 7;
+    }
+  }
+  return bytes;
+}
+
+void BitRle::Serialize(const std::vector<uint32_t>& runs, std::string* out) {
+  PutVarint(out, static_cast<uint32_t>(runs.size()));
+  for (uint32_t v : runs) PutVarint(out, v);
+}
+
+Result<std::vector<uint32_t>> BitRle::Deserialize(std::string_view data) {
+  size_t offset = 0;
+  uint32_t n;
+  if (!GetVarint(data, &offset, &n)) {
+    return Status::Corruption("bit-RLE: truncated run count");
+  }
+  std::vector<uint32_t> runs;
+  runs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t v;
+    if (!GetVarint(data, &offset, &v)) {
+      return Status::Corruption("bit-RLE: truncated run");
+    }
+    runs.push_back(v);
+  }
+  return runs;
+}
+
+}  // namespace bdbms

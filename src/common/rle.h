@@ -1,0 +1,81 @@
+#ifndef BDBMS_COMMON_RLE_H_
+#define BDBMS_COMMON_RLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bdbms {
+
+// One run of a run-length encoding: `length` consecutive copies of `ch`.
+struct RleRun {
+  char ch;
+  uint32_t length;
+
+  bool operator==(const RleRun&) const = default;
+};
+
+// Run-Length Encoding of character sequences (Golomb 1966), the compression
+// scheme the SBC-tree operates over (paper Section 7.2, Figure 12).
+//
+// Two representations are provided:
+//  * the run vector (ch, length) used by in-memory algorithms, and
+//  * the textual form "L3E7H22..." used for storage and display, matching
+//    the paper's Figure 12.
+class Rle {
+ public:
+  // Encodes `raw` into its run vector. Empty input yields an empty vector.
+  static std::vector<RleRun> Encode(std::string_view raw);
+
+  // Expands a run vector back into the raw sequence.
+  static std::string Decode(const std::vector<RleRun>& runs);
+
+  // Renders runs in the paper's textual format, e.g. "L3E7H22".
+  // Run lengths of 1 are still printed ("L1") so the format is
+  // self-delimiting for alphabets that include digits-free symbols.
+  static std::string ToText(const std::vector<RleRun>& runs);
+
+  // Parses the textual format back into runs. Fails on malformed input
+  // (missing count, zero count, embedded digits as run characters).
+  static Result<std::vector<RleRun>> FromText(std::string_view text);
+
+  // Convenience: raw -> textual compressed form.
+  static std::string CompressToText(std::string_view raw);
+
+  // Convenience: textual compressed form -> raw.
+  static Result<std::string> DecompressText(std::string_view text);
+
+  // Total uncompressed length of a run vector.
+  static uint64_t UncompressedLength(const std::vector<RleRun>& runs);
+
+  // Size in bytes of the binary serialization of `runs` (1 byte char +
+  // 4 byte length each) — the storage cost model used by benchmarks.
+  static uint64_t BinarySize(const std::vector<RleRun>& runs) {
+    return runs.size() * 5u;
+  }
+};
+
+// RLE over bitmaps: encodes a vector<bool>-like bit sequence as alternating
+// zero/one run lengths. Used for the outdated-cell bitmaps of the local
+// dependency tracker (paper Section 5, Figure 10).
+class BitRle {
+ public:
+  // Alternating run lengths starting with the count of leading zeros
+  // (possibly 0), i.e. {z0, o1, z2, o3, ...}.
+  static std::vector<uint32_t> Encode(const std::vector<bool>& bits);
+  static std::vector<bool> Decode(const std::vector<uint32_t>& runs);
+
+  // Bytes needed by the varint serialization of `runs`; benchmark cost model.
+  static uint64_t SerializedSize(const std::vector<uint32_t>& runs);
+
+  // Varint (de)serialization used when persisting bitmaps.
+  static void Serialize(const std::vector<uint32_t>& runs, std::string* out);
+  static Result<std::vector<uint32_t>> Deserialize(std::string_view data);
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_COMMON_RLE_H_

@@ -1,0 +1,68 @@
+#include "core/database.h"
+
+#include "sql/parser.h"
+
+namespace bdbms {
+
+Database::Database()
+    : annotations_(&clock_),
+      provenance_(&annotations_),
+      dependencies_(&catalog_, &procedures_),
+      approvals_(&catalog_, &access_, &clock_) {}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + name);
+  }
+  return it->second.get();
+}
+
+DependencyManager::TableResolver Database::Resolver() {
+  return [this](const std::string& name) { return GetTable(name); };
+}
+
+const std::vector<DeletionLogEntry>& Database::DeletionLog(
+    const std::string& table) {
+  return deletion_log_[table];
+}
+
+Result<DependencyManager::PropagationReport> Database::NotifyCellUpdated(
+    const std::string& table, RowId row, size_t col) {
+  return dependencies_.OnCellUpdated(table, row, col, Resolver());
+}
+
+ExecContext Database::MakeContext() {
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.annotations = &annotations_;
+  ctx.provenance = &provenance_;
+  ctx.dependencies = &dependencies_;
+  ctx.approvals = &approvals_;
+  ctx.access = &access_;
+  ctx.clock = &clock_;
+  ctx.tables = [this](const std::string& name) { return GetTable(name); };
+  ctx.create_table = [this](const TableSchema& schema) -> Status {
+    BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<Table> t,
+                           Table::CreateInMemory(schema));
+    tables_[schema.name()] = std::move(t);
+    return Status::Ok();
+  };
+  ctx.drop_table = [this](const std::string& name) -> Status {
+    if (tables_.erase(name) == 0) {
+      return Status::NotFound("no table storage for " + name);
+    }
+    return Status::Ok();
+  };
+  ctx.deletion_log = &deletion_log_;
+  return ctx;
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql,
+                                      const std::string& user) {
+  BDBMS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  Executor executor(MakeContext(), user);
+  return executor.Execute(stmt);
+}
+
+}  // namespace bdbms

@@ -1,0 +1,92 @@
+#ifndef BDBMS_CORE_DATABASE_H_
+#define BDBMS_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "annot/annotation_manager.h"
+#include "auth/access_control.h"
+#include "auth/approval.h"
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "dep/dependency_manager.h"
+#include "dep/procedure.h"
+#include "exec/executor.h"
+#include "exec/query_result.h"
+#include "prov/provenance.h"
+#include "table/table.h"
+
+namespace bdbms {
+
+// The bdbms engine facade — the public API of the library.
+//
+//   bdbms::Database db;
+//   db.Execute("CREATE TABLE Gene (GID TEXT, GName TEXT, GSequence SEQUENCE)");
+//   db.Execute("CREATE ANNOTATION TABLE GAnnotation ON Gene");
+//   db.Execute("ADD ANNOTATION TO Gene.GAnnotation "
+//              "VALUE '<Annotation>curated</Annotation>' "
+//              "ON (SELECT G.GSequence FROM Gene G)");
+//   auto r = db.Execute("SELECT GID FROM Gene ANNOTATION(GAnnotation)");
+//
+// One Database instance wires together the annotation manager, provenance
+// manager, dependency manager and authorization manager of the paper's
+// architecture (Figure: Section 2) over the paged storage engine.
+// Single-threaded, like the CIDR'07 prototype.
+class Database {
+ public:
+  Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Parses and executes one A-SQL statement as `user`. "admin" is the
+  // built-in superuser.
+  Result<QueryResult> Execute(std::string_view sql,
+                              const std::string& user = "admin");
+
+  // --- programmatic access to the managers (examples, tests, benches) ----
+  Catalog& catalog() { return catalog_; }
+  AnnotationManager& annotations() { return annotations_; }
+  ProvenanceManager& provenance() { return provenance_; }
+  ProcedureRegistry& procedures() { return procedures_; }
+  DependencyManager& dependencies() { return dependencies_; }
+  AccessControl& access() { return access_; }
+  ApprovalManager& approvals() { return approvals_; }
+  LogicalClock& clock() { return clock_; }
+
+  // Storage object of a user table.
+  Result<Table*> GetTable(const std::string& name);
+
+  // A resolver bound to this database (for manager APIs that need one).
+  DependencyManager::TableResolver Resolver();
+
+  // Rows removed via ADD ANNOTATION ... ON (DELETE ...), with the
+  // annotation explaining why (paper §3.2).
+  const std::vector<DeletionLogEntry>& DeletionLog(const std::string& table);
+
+  // Runs the dependency engine's reaction to an externally performed cell
+  // update (used by code driving Table objects directly).
+  Result<DependencyManager::PropagationReport> NotifyCellUpdated(
+      const std::string& table, RowId row, size_t col);
+
+ private:
+  ExecContext MakeContext();
+
+  LogicalClock clock_;
+  Catalog catalog_;
+  AnnotationManager annotations_;
+  ProvenanceManager provenance_;
+  ProcedureRegistry procedures_;
+  DependencyManager dependencies_;
+  AccessControl access_;
+  ApprovalManager approvals_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::vector<DeletionLogEntry>> deletion_log_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_CORE_DATABASE_H_

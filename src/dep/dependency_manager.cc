@@ -1,0 +1,485 @@
+#include "dep/dependency_manager.h"
+
+#include <algorithm>
+
+namespace bdbms {
+
+namespace {
+
+// Reachability in the column graph via BFS.
+bool Reaches(const std::multimap<ColumnRef, ColumnRef>& edges,
+             const ColumnRef& from, const ColumnRef& to) {
+  std::set<ColumnRef> seen{from};
+  std::deque<ColumnRef> q{from};
+  while (!q.empty()) {
+    ColumnRef cur = q.front();
+    q.pop_front();
+    if (cur == to) return true;
+    auto [lo, hi] = edges.equal_range(cur);
+    for (auto it = lo; it != hi; ++it) {
+      if (seen.insert(it->second).second) q.push_back(it->second);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status DependencyManager::AddRule(DependencyRule rule) {
+  if (rule.sources.empty()) {
+    return Status::InvalidArgument("dependency rule needs at least one source");
+  }
+  const std::string& src_table = rule.sources[0].table;
+  for (const ColumnRef& s : rule.sources) {
+    if (s.table != src_table) {
+      return Status::NotSupported(
+          "all sources of a rule must come from one table");
+    }
+  }
+  // Validate tables and columns against the catalog.
+  BDBMS_ASSIGN_OR_RETURN(TableSchema src_schema,
+                         catalog_->GetSchema(src_table));
+  for (const ColumnRef& s : rule.sources) {
+    BDBMS_RETURN_IF_ERROR(src_schema.ColumnIndex(s.column).status());
+  }
+  BDBMS_ASSIGN_OR_RETURN(TableSchema dst_schema,
+                         catalog_->GetSchema(rule.target.table));
+  BDBMS_RETURN_IF_ERROR(dst_schema.ColumnIndex(rule.target.column).status());
+
+  // Procedure must be known.
+  BDBMS_RETURN_IF_ERROR(procedures_->Get(rule.procedure).status());
+
+  // Join spec: required exactly when the rule crosses tables.
+  bool cross_table = src_table != rule.target.table;
+  if (cross_table && !rule.join.has_value()) {
+    return Status::InvalidArgument(
+        "cross-table rule requires a key join (source_key = target_key)");
+  }
+  if (rule.join.has_value()) {
+    BDBMS_RETURN_IF_ERROR(
+        src_schema.ColumnIndex(rule.join->source_key_column).status());
+    BDBMS_RETURN_IF_ERROR(
+        dst_schema.ColumnIndex(rule.join->target_key_column).status());
+  }
+
+  // A column must not depend on itself, directly or transitively.
+  for (const ColumnRef& s : rule.sources) {
+    if (s == rule.target) {
+      return Status::InvalidArgument("rule target equals its source " +
+                                     s.ToString());
+    }
+  }
+  if (WouldCreateCycle(rule)) {
+    return Status::FailedPrecondition(
+        "rule would create a dependency cycle through " +
+        rule.target.ToString());
+  }
+
+  if (rule.name.empty()) {
+    rule.name = "rule_" + std::to_string(next_rule_id_++);
+  }
+  if (rules_.count(rule.name)) {
+    return Status::AlreadyExists("rule " + rule.name + " already exists");
+  }
+  rules_[rule.name] = std::move(rule);
+  return Status::Ok();
+}
+
+Status DependencyManager::RemoveRule(const std::string& name) {
+  if (rules_.erase(name) == 0) {
+    return Status::NotFound("no rule " + name);
+  }
+  return Status::Ok();
+}
+
+Result<const DependencyRule*> DependencyManager::GetRule(
+    const std::string& name) const {
+  auto it = rules_.find(name);
+  if (it == rules_.end()) return Status::NotFound("no rule " + name);
+  return &it->second;
+}
+
+std::multimap<ColumnRef, ColumnRef> DependencyManager::BuildEdges(
+    const DependencyRule* extra) const {
+  std::multimap<ColumnRef, ColumnRef> edges;
+  auto add = [&edges](const DependencyRule& r) {
+    for (const ColumnRef& s : r.sources) {
+      edges.insert({s, r.target});
+    }
+  };
+  for (const auto& [name, r] : rules_) add(r);
+  if (extra != nullptr) add(*extra);
+  return edges;
+}
+
+bool DependencyManager::WouldCreateCycle(const DependencyRule& rule) const {
+  auto edges = BuildEdges(&rule);
+  // A cycle exists iff the target can reach one of the sources.
+  for (const ColumnRef& s : rule.sources) {
+    if (Reaches(edges, rule.target, s)) return true;
+  }
+  return false;
+}
+
+std::vector<ColumnRef> DependencyManager::ColumnClosure(
+    const ColumnRef& start) const {
+  auto edges = BuildEdges();
+  std::set<ColumnRef> seen;
+  std::deque<ColumnRef> q{start};
+  while (!q.empty()) {
+    ColumnRef cur = q.front();
+    q.pop_front();
+    auto [lo, hi] = edges.equal_range(cur);
+    for (auto it = lo; it != hi; ++it) {
+      if (seen.insert(it->second).second) q.push_back(it->second);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<ColumnRef> DependencyManager::ProcedureClosure(
+    const std::string& procedure) const {
+  std::set<ColumnRef> seen;
+  for (const auto& [name, r] : rules_) {
+    if (r.procedure != procedure) continue;
+    if (seen.insert(r.target).second) {
+      for (const ColumnRef& c : ColumnClosure(r.target)) seen.insert(c);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<ChainRule> DependencyManager::DeriveChainRules(
+    size_t max_chain_len) const {
+  // Edge-level view: (source column, target column, procedure).
+  struct Edge {
+    ColumnRef from;
+    ColumnRef to;
+    std::string procedure;
+    bool executable;
+    bool invertible;
+  };
+  std::vector<Edge> edge_list;
+  for (const auto& [name, r] : rules_) {
+    auto proc = procedures_->Get(r.procedure);
+    bool exec = proc.ok() && (*proc)->executable;
+    bool inv = proc.ok() && (*proc)->invertible;
+    for (const ColumnRef& s : r.sources) {
+      edge_list.push_back({s, r.target, r.procedure, exec, inv});
+    }
+  }
+
+  std::vector<ChainRule> chains;
+  // DFS from every node; paths of length >= 2 become derived rules. The
+  // graph is acyclic (enforced by AddRule) so plain DFS terminates.
+  std::function<void(const ColumnRef&, ChainRule&)> dfs =
+      [&](const ColumnRef& node, ChainRule& path) {
+        if (path.procedures.size() >= max_chain_len) return;
+        for (const Edge& e : edge_list) {
+          if (!(e.from == node)) continue;
+          ChainRule extended = path;
+          extended.target = e.to;
+          extended.procedures.push_back(e.procedure);
+          extended.executable = path.executable && e.executable;
+          extended.invertible = path.invertible && e.invertible;
+          if (extended.procedures.size() >= 2) chains.push_back(extended);
+          dfs(e.to, extended);
+        }
+      };
+  std::set<ColumnRef> starts;
+  for (const Edge& e : edge_list) starts.insert(e.from);
+  for (const ColumnRef& s : starts) {
+    ChainRule seed;
+    seed.source = s;
+    seed.target = s;
+    seed.executable = true;
+    seed.invertible = true;
+    dfs(s, seed);
+  }
+  return chains;
+}
+
+Result<std::vector<RowId>> DependencyManager::AffectedTargetRows(
+    const DependencyRule& rule, RowId source_row,
+    const TableResolver& tables) {
+  const std::string& src_table = rule.sources[0].table;
+  if (!rule.join.has_value()) {
+    return std::vector<RowId>{source_row};  // same table, same row
+  }
+  BDBMS_ASSIGN_OR_RETURN(Table * src, tables(src_table));
+  BDBMS_ASSIGN_OR_RETURN(Table * dst, tables(rule.target.table));
+  BDBMS_ASSIGN_OR_RETURN(size_t src_key,
+                         src->schema().ColumnIndex(rule.join->source_key_column));
+  BDBMS_ASSIGN_OR_RETURN(
+      size_t dst_key, dst->schema().ColumnIndex(rule.join->target_key_column));
+  auto src_row_data = src->Get(source_row);
+  if (!src_row_data.ok()) {
+    if (src_row_data.status().IsNotFound()) return std::vector<RowId>{};
+    return src_row_data.status();
+  }
+  const Value& key = (*src_row_data)[src_key];
+  std::vector<RowId> affected;
+  BDBMS_RETURN_IF_ERROR(dst->Scan([&](RowId rid, const Row& row) {
+    if (row[dst_key] == key) affected.push_back(rid);
+    return Status::Ok();
+  }));
+  return affected;
+}
+
+Result<std::vector<Value>> DependencyManager::GatherInputs(
+    const DependencyRule& rule, RowId target_row,
+    const TableResolver& tables) {
+  const std::string& src_table = rule.sources[0].table;
+  BDBMS_ASSIGN_OR_RETURN(Table * dst, tables(rule.target.table));
+  if (!rule.join.has_value()) {
+    // Sources live in the target row's own table.
+    BDBMS_ASSIGN_OR_RETURN(Row row, dst->Get(target_row));
+    std::vector<Value> inputs;
+    for (const ColumnRef& s : rule.sources) {
+      BDBMS_ASSIGN_OR_RETURN(size_t idx, dst->schema().ColumnIndex(s.column));
+      inputs.push_back(row[idx]);
+    }
+    return inputs;
+  }
+  // Cross-table: locate the (first) source row joining to the target row.
+  BDBMS_ASSIGN_OR_RETURN(Table * src, tables(src_table));
+  BDBMS_ASSIGN_OR_RETURN(size_t src_key,
+                         src->schema().ColumnIndex(rule.join->source_key_column));
+  BDBMS_ASSIGN_OR_RETURN(
+      size_t dst_key, dst->schema().ColumnIndex(rule.join->target_key_column));
+  BDBMS_ASSIGN_OR_RETURN(Row target_data, dst->Get(target_row));
+  const Value& key = target_data[dst_key];
+  std::optional<Row> source_row;
+  BDBMS_RETURN_IF_ERROR(src->Scan([&](RowId, const Row& row) {
+    if (!source_row.has_value() && row[src_key] == key) source_row = row;
+    return Status::Ok();
+  }));
+  if (!source_row.has_value()) {
+    return Status::NotFound("no joining source row for target key " +
+                            key.ToString());
+  }
+  std::vector<Value> inputs;
+  for (const ColumnRef& s : rule.sources) {
+    BDBMS_ASSIGN_OR_RETURN(size_t idx, src->schema().ColumnIndex(s.column));
+    inputs.push_back((*source_row)[idx]);
+  }
+  return inputs;
+}
+
+Result<DependencyManager::PropagationReport> DependencyManager::OnCellUpdated(
+    const std::string& table, RowId row, size_t col,
+    const TableResolver& tables) {
+  BDBMS_ASSIGN_OR_RETURN(TableSchema schema, catalog_->GetSchema(table));
+  if (col >= schema.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  PropagationReport report;
+  std::deque<WorkItem> work;
+  work.push_back({{table, schema.column(col).name}, row, true});
+  BDBMS_RETURN_IF_ERROR(Propagate(std::move(work), &report, tables));
+  return report;
+}
+
+Status DependencyManager::Propagate(std::deque<WorkItem> work,
+                                    PropagationReport* report,
+                                    const TableResolver& tables) {
+  // Deduplicate (cell, validity) work items; the rule graph is acyclic so
+  // this terminates, the dedupe just avoids rework on diamonds.
+  std::set<std::tuple<std::string, std::string, RowId, bool>> enqueued;
+  for (const WorkItem& w : work) {
+    enqueued.insert({w.column.table, w.column.column, w.row, w.upstream_valid});
+  }
+  while (!work.empty()) {
+    WorkItem item = std::move(work.front());
+    work.pop_front();
+    for (const auto& [name, rule] : rules_) {
+      bool matches = false;
+      for (const ColumnRef& s : rule.sources) {
+        if (s == item.column) {
+          matches = true;
+          break;
+        }
+      }
+      if (!matches) continue;
+
+      BDBMS_ASSIGN_OR_RETURN(std::vector<RowId> targets,
+                             AffectedTargetRows(rule, item.row, tables));
+      BDBMS_ASSIGN_OR_RETURN(const ProcedureInfo* proc,
+                             procedures_->Get(rule.procedure));
+      BDBMS_ASSIGN_OR_RETURN(Table * dst, tables(rule.target.table));
+      BDBMS_ASSIGN_OR_RETURN(size_t dst_col,
+                             dst->schema().ColumnIndex(rule.target.column));
+
+      for (RowId t_row : targets) {
+        CellRef cell{rule.target.table, t_row, dst_col};
+        bool valid_next;
+        if (item.upstream_valid && proc->executable) {
+          BDBMS_ASSIGN_OR_RETURN(std::vector<Value> inputs,
+                                 GatherInputs(rule, t_row, tables));
+          BDBMS_ASSIGN_OR_RETURN(Value out, proc->fn(inputs));
+          BDBMS_RETURN_IF_ERROR(dst->UpdateCell(t_row, dst_col, out));
+          // The recomputed value is fresh again.
+          BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm,
+                                 BitmapFor(rule.target.table));
+          bm->Clear(t_row, dst_col);
+          report->recomputed.push_back(cell);
+          valid_next = true;
+        } else {
+          BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm,
+                                 BitmapFor(rule.target.table));
+          if (!bm->IsOutdated(t_row, dst_col)) {
+            bm->Mark(t_row, dst_col);
+            report->outdated.push_back(cell);
+          }
+          valid_next = false;
+        }
+        std::tuple<std::string, std::string, RowId, bool> key{
+            rule.target.table, rule.target.column, t_row, valid_next};
+        if (enqueued.insert(key).second) {
+          work.push_back({{rule.target.table, rule.target.column}, t_row,
+                          valid_next});
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<DependencyManager::PropagationReport>
+DependencyManager::OnProcedureChanged(const std::string& procedure,
+                                      const TableResolver& tables) {
+  BDBMS_ASSIGN_OR_RETURN(const ProcedureInfo* proc,
+                         procedures_->Get(procedure));
+  PropagationReport report;
+  std::deque<WorkItem> work;
+  for (const auto& [name, rule] : rules_) {
+    if (rule.procedure != procedure) continue;
+    BDBMS_ASSIGN_OR_RETURN(Table * dst, tables(rule.target.table));
+    BDBMS_ASSIGN_OR_RETURN(size_t dst_col,
+                           dst->schema().ColumnIndex(rule.target.column));
+    std::vector<RowId> all_rows;
+    BDBMS_RETURN_IF_ERROR(dst->Scan([&](RowId rid, const Row&) {
+      all_rows.push_back(rid);
+      return Status::Ok();
+    }));
+    for (RowId t_row : all_rows) {
+      CellRef cell{rule.target.table, t_row, dst_col};
+      if (proc->executable) {
+        BDBMS_ASSIGN_OR_RETURN(std::vector<Value> inputs,
+                               GatherInputs(rule, t_row, tables));
+        BDBMS_ASSIGN_OR_RETURN(Value out, proc->fn(inputs));
+        BDBMS_RETURN_IF_ERROR(dst->UpdateCell(t_row, dst_col, out));
+        BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm,
+                               BitmapFor(rule.target.table));
+        bm->Clear(t_row, dst_col);
+        report.recomputed.push_back(cell);
+        work.push_back({rule.target, t_row, true});
+      } else {
+        BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm,
+                               BitmapFor(rule.target.table));
+        if (!bm->IsOutdated(t_row, dst_col)) {
+          bm->Mark(t_row, dst_col);
+          report.outdated.push_back(cell);
+        }
+        work.push_back({rule.target, t_row, false});
+      }
+    }
+  }
+  BDBMS_RETURN_IF_ERROR(Propagate(std::move(work), &report, tables));
+  return report;
+}
+
+Result<DependencyManager::PropagationReport> DependencyManager::OnRowErased(
+    const std::string& table, RowId row, const Row& old_values,
+    const TableResolver& tables) {
+  PropagationReport report;
+  std::deque<WorkItem> work;
+  for (const auto& [name, rule] : rules_) {
+    if (rule.sources[0].table != table) continue;
+    if (!rule.join.has_value()) continue;  // same-table target died with row
+    BDBMS_ASSIGN_OR_RETURN(Table * src, tables(table));
+    BDBMS_ASSIGN_OR_RETURN(
+        size_t src_key, src->schema().ColumnIndex(rule.join->source_key_column));
+    if (src_key >= old_values.size()) {
+      return Status::Internal("row image does not match schema");
+    }
+    const Value& key = old_values[src_key];
+    BDBMS_ASSIGN_OR_RETURN(Table * dst, tables(rule.target.table));
+    BDBMS_ASSIGN_OR_RETURN(size_t dst_key,
+                           dst->schema().ColumnIndex(rule.join->target_key_column));
+    BDBMS_ASSIGN_OR_RETURN(size_t dst_col,
+                           dst->schema().ColumnIndex(rule.target.column));
+    std::vector<RowId> targets;
+    BDBMS_RETURN_IF_ERROR(dst->Scan([&](RowId rid, const Row& r) {
+      if (r[dst_key] == key) targets.push_back(rid);
+      return Status::Ok();
+    }));
+    for (RowId t_row : targets) {
+      BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm, BitmapFor(rule.target.table));
+      if (!bm->IsOutdated(t_row, dst_col)) {
+        bm->Mark(t_row, dst_col);
+        report.outdated.push_back({rule.target.table, t_row, dst_col});
+      }
+      work.push_back({rule.target, t_row, /*upstream_valid=*/false});
+    }
+  }
+  (void)row;
+  BDBMS_RETURN_IF_ERROR(Propagate(std::move(work), &report, tables));
+  return report;
+}
+
+bool DependencyManager::IsOutdated(const std::string& table, RowId row,
+                                   size_t col) const {
+  const OutdatedBitmap* bm = FindBitmap(table);
+  return bm != nullptr && bm->IsOutdated(row, col);
+}
+
+ColumnMask DependencyManager::OutdatedMask(const std::string& table,
+                                           RowId row) const {
+  const OutdatedBitmap* bm = FindBitmap(table);
+  return bm == nullptr ? 0 : bm->RowMask(row);
+}
+
+uint64_t DependencyManager::OutdatedCount(const std::string& table) const {
+  const OutdatedBitmap* bm = FindBitmap(table);
+  return bm == nullptr ? 0 : bm->CountOutdated();
+}
+
+Result<OutdatedBitmap*> DependencyManager::BitmapFor(
+    const std::string& table) {
+  auto it = bitmaps_.find(table);
+  if (it != bitmaps_.end()) return &it->second;
+  BDBMS_ASSIGN_OR_RETURN(TableSchema schema, catalog_->GetSchema(table));
+  auto [inserted, ok] =
+      bitmaps_.emplace(table, OutdatedBitmap(schema.num_columns()));
+  return &inserted->second;
+}
+
+const OutdatedBitmap* DependencyManager::FindBitmap(
+    const std::string& table) const {
+  auto it = bitmaps_.find(table);
+  return it == bitmaps_.end() ? nullptr : &it->second;
+}
+
+Status DependencyManager::Revalidate(const std::string& table, RowId row,
+                                     size_t col) {
+  BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm, BitmapFor(table));
+  if (!bm->IsOutdated(row, col)) {
+    return Status::FailedPrecondition("cell is not marked outdated");
+  }
+  bm->Clear(row, col);
+  return Status::Ok();
+}
+
+Result<DependencyManager::PropagationReport>
+DependencyManager::RevalidateWithValue(const std::string& table, RowId row,
+                                       size_t col, Value value,
+                                       const TableResolver& tables) {
+  BDBMS_ASSIGN_OR_RETURN(Table * t, tables(table));
+  BDBMS_RETURN_IF_ERROR(t->UpdateCell(row, col, std::move(value)));
+  BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm, BitmapFor(table));
+  bm->Clear(row, col);
+  return OnCellUpdated(table, row, col, tables);
+}
+
+}  // namespace bdbms

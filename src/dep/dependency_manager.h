@@ -1,0 +1,167 @@
+#ifndef BDBMS_DEP_DEPENDENCY_MANAGER_H_
+#define BDBMS_DEP_DEPENDENCY_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "dep/outdated_bitmap.h"
+#include "dep/procedure.h"
+#include "dep/rule.h"
+#include "table/table.h"
+
+namespace bdbms {
+
+// A cell in some user table.
+struct CellRef {
+  std::string table;
+  RowId row = 0;
+  size_t col = 0;
+
+  bool operator==(const CellRef&) const = default;
+  bool operator<(const CellRef& o) const {
+    if (table != o.table) return table < o.table;
+    if (row != o.row) return row < o.row;
+    return col < o.col;
+  }
+  std::string ToString() const {
+    return table + "[" + std::to_string(row) + "]." + std::to_string(col);
+  }
+};
+
+// bdbms's local dependency tracker (paper §5). Holds the schema-level
+// Procedural Dependency rules, reasons over them (closures, cycles, chain
+// derivation), and at runtime reacts to cell modifications:
+//  * dependencies whose procedure is executable are re-evaluated in place
+//    (Rule 3: Evalue is recomputed when Gene1/Gene2 change);
+//  * non-executable dependencies mark their targets Outdated in the
+//    per-table bitmap of Figure 10 (Rule 2: PFunction after PSequence);
+//  * effects cascade transitively, and anything downstream of an outdated
+//    cell is itself outdated regardless of executability.
+class DependencyManager {
+ public:
+  // Gives the propagation engine access to user tables without coupling
+  // this class to the Database facade.
+  using TableResolver =
+      std::function<Result<Table*>(const std::string& table)>;
+
+  struct PropagationReport {
+    std::vector<CellRef> recomputed;  // auto-updated by executable procedures
+    std::vector<CellRef> outdated;    // newly marked in bitmaps
+
+    size_t total() const { return recomputed.size() + outdated.size(); }
+  };
+
+  DependencyManager(Catalog* catalog, ProcedureRegistry* procedures)
+      : catalog_(catalog), procedures_(procedures) {}
+
+  DependencyManager(const DependencyManager&) = delete;
+  DependencyManager& operator=(const DependencyManager&) = delete;
+
+  // --- rule management ---------------------------------------------------
+  // Validates tables/columns/procedure/join and rejects rules that would
+  // create a cycle in the column dependency graph (paper: "detect
+  // conflicts and cycles among dependency rules").
+  Status AddRule(DependencyRule rule);
+  Status RemoveRule(const std::string& name);
+  const std::map<std::string, DependencyRule>& rules() const { return rules_; }
+  Result<const DependencyRule*> GetRule(const std::string& name) const;
+
+  // --- reasoning (paper §5 "Modeling dependencies") -----------------------
+  // All columns transitively dependent on `start` (excluding start itself).
+  std::vector<ColumnRef> ColumnClosure(const ColumnRef& start) const;
+
+  // Closure of a procedure: every column whose value transitively depends
+  // on `procedure`.
+  std::vector<ColumnRef> ProcedureClosure(const std::string& procedure) const;
+
+  // Derives composed rules for every dependency path of length >= 2 (the
+  // paper's Rule 4 = Rule 1 then Rule 2). Chains are executable/invertible
+  // only if every link is.
+  std::vector<ChainRule> DeriveChainRules(size_t max_chain_len = 8) const;
+
+  // True if adding `rule` would close a cycle.
+  bool WouldCreateCycle(const DependencyRule& rule) const;
+
+  // --- runtime propagation ------------------------------------------------
+  // Called after table[row].col changed; recomputes / marks everything
+  // transitively affected.
+  Result<PropagationReport> OnCellUpdated(const std::string& table, RowId row,
+                                          size_t col,
+                                          const TableResolver& tables);
+
+  // Called when a procedure implementation changed (e.g. BLAST upgraded):
+  // re-evaluates or invalidates the procedure's entire closure.
+  Result<PropagationReport> OnProcedureChanged(const std::string& procedure,
+                                               const TableResolver& tables);
+
+  // Called when a row disappeared (DELETE, or rollback of a disapproved
+  // INSERT). `old_values` is the erased row's pre-image, used to locate
+  // joined dependents; their derivations lost an input, so they are marked
+  // outdated (never recomputed) and the invalidation cascades.
+  Result<PropagationReport> OnRowErased(const std::string& table, RowId row,
+                                        const Row& old_values,
+                                        const TableResolver& tables);
+
+  // --- outdated state (paper §5 "Tracking outdated data") -----------------
+  bool IsOutdated(const std::string& table, RowId row, size_t col) const;
+  ColumnMask OutdatedMask(const std::string& table, RowId row) const;
+  uint64_t OutdatedCount(const std::string& table) const;
+
+  // The bitmap for `table`, created on first use (column count from the
+  // catalog). Null result only if the table is unknown.
+  Result<OutdatedBitmap*> BitmapFor(const std::string& table);
+  const OutdatedBitmap* FindBitmap(const std::string& table) const;
+
+  // "Validating outdated data": the user confirmed the value is still
+  // correct — clear the bit without modifying the cell.
+  Status Revalidate(const std::string& table, RowId row, size_t col);
+
+  // The user supplied a corrected value: update the cell, clear its bit and
+  // propagate the change onward.
+  Result<PropagationReport> RevalidateWithValue(const std::string& table,
+                                                RowId row, size_t col,
+                                                Value value,
+                                                const TableResolver& tables);
+
+ private:
+  struct WorkItem {
+    ColumnRef column;
+    RowId row;
+    bool upstream_valid;  // false once an outdated cell is on the path
+  };
+
+  // Runs the worklist until empty, filling `report`.
+  Status Propagate(std::deque<WorkItem> work, PropagationReport* report,
+                   const TableResolver& tables);
+
+  // Rows of the rule's target table affected by a change of `source_row`
+  // in the rule's source table.
+  Result<std::vector<RowId>> AffectedTargetRows(const DependencyRule& rule,
+                                                RowId source_row,
+                                                const TableResolver& tables);
+
+  // Gathers current source values for recomputing `target_row`.
+  Result<std::vector<Value>> GatherInputs(const DependencyRule& rule,
+                                          RowId target_row,
+                                          const TableResolver& tables);
+
+  // Directed column-graph edges from all rules (+ optionally one extra).
+  std::multimap<ColumnRef, ColumnRef> BuildEdges(
+      const DependencyRule* extra = nullptr) const;
+
+  Catalog* catalog_;
+  ProcedureRegistry* procedures_;
+  std::map<std::string, DependencyRule> rules_;
+  std::map<std::string, OutdatedBitmap> bitmaps_;
+  uint64_t next_rule_id_ = 1;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_DEP_DEPENDENCY_MANAGER_H_

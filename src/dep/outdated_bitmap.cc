@@ -1,0 +1,67 @@
+#include "dep/outdated_bitmap.h"
+
+#include "common/rle.h"
+
+namespace bdbms {
+
+void OutdatedBitmap::Mark(RowId row, size_t col) {
+  marks_[row] |= ColumnBit(col);
+}
+
+void OutdatedBitmap::Clear(RowId row, size_t col) {
+  auto it = marks_.find(row);
+  if (it == marks_.end()) return;
+  it->second &= ~ColumnBit(col);
+  if (it->second == 0) marks_.erase(it);
+}
+
+bool OutdatedBitmap::IsOutdated(RowId row, size_t col) const {
+  auto it = marks_.find(row);
+  return it != marks_.end() && (it->second & ColumnBit(col)) != 0;
+}
+
+ColumnMask OutdatedBitmap::RowMask(RowId row) const {
+  auto it = marks_.find(row);
+  return it == marks_.end() ? 0 : it->second;
+}
+
+uint64_t OutdatedBitmap::CountOutdated() const {
+  uint64_t n = 0;
+  for (const auto& [row, mask] : marks_) {
+    n += static_cast<uint64_t>(__builtin_popcountll(mask));
+  }
+  return n;
+}
+
+std::vector<bool> OutdatedBitmap::ToBits(RowId row_extent) const {
+  std::vector<bool> bits(row_extent * num_columns_, false);
+  for (const auto& [row, mask] : marks_) {
+    if (row >= row_extent) continue;
+    for (size_t col = 0; col < num_columns_; ++col) {
+      if (mask & ColumnBit(col)) bits[row * num_columns_ + col] = true;
+    }
+  }
+  return bits;
+}
+
+std::string OutdatedBitmap::SerializeRle(RowId row_extent) const {
+  std::string out;
+  BitRle::Serialize(BitRle::Encode(ToBits(row_extent)), &out);
+  return out;
+}
+
+Result<OutdatedBitmap> OutdatedBitmap::DeserializeRle(std::string_view data,
+                                                      size_t num_columns) {
+  if (num_columns == 0) {
+    return Status::InvalidArgument("bitmap needs at least one column");
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::vector<uint32_t> runs, BitRle::Deserialize(data));
+  std::vector<bool> bits = BitRle::Decode(runs);
+  OutdatedBitmap bm(num_columns);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bm.Mark(i / num_columns, i % num_columns);
+  }
+  return bm;
+}
+
+}  // namespace bdbms

@@ -1,0 +1,63 @@
+#ifndef BDBMS_DEP_OUTDATED_BITMAP_H_
+#define BDBMS_DEP_OUTDATED_BITMAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace bdbms {
+
+// The per-table outdated bitmap of paper Figure 10: one bit per cell,
+// set when the cell's value may be invalid because something it was
+// derived from changed and the derivation could not be re-executed.
+//
+// In memory the bitmap is kept sparse (row -> column mask). For
+// persistence — and for the storage comparison of experiment E3 — it
+// serializes to the run-length encoding the paper proposes
+// ("data compression techniques such as Run-Length-Encoding can be used
+// to effectively compress the bitmaps").
+class OutdatedBitmap {
+ public:
+  explicit OutdatedBitmap(size_t num_columns) : num_columns_(num_columns) {}
+
+  void Mark(RowId row, size_t col);
+  void Clear(RowId row, size_t col);
+  bool IsOutdated(RowId row, size_t col) const;
+
+  // Column mask of outdated cells in `row` (0 when none).
+  ColumnMask RowMask(RowId row) const;
+
+  // All (row, mask) entries with at least one outdated cell.
+  const std::map<RowId, ColumnMask>& entries() const { return marks_; }
+
+  uint64_t CountOutdated() const;
+  void ClearAll() { marks_.clear(); }
+
+  size_t num_columns() const { return num_columns_; }
+
+  // Row-major flattening of the bitmap over rows [0, row_extent).
+  std::vector<bool> ToBits(RowId row_extent) const;
+
+  // Raw bitmap bytes for `row_extent` rows: ceil(rows * cols / 8).
+  uint64_t RawSizeBytes(RowId row_extent) const {
+    return (row_extent * num_columns_ + 7) / 8;
+  }
+
+  // RLE-compressed serialization (paper's proposal) and its inverse.
+  std::string SerializeRle(RowId row_extent) const;
+  static Result<OutdatedBitmap> DeserializeRle(std::string_view data,
+                                               size_t num_columns);
+
+ private:
+  size_t num_columns_;
+  std::map<RowId, ColumnMask> marks_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_DEP_OUTDATED_BITMAP_H_

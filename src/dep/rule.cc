@@ -1,0 +1,19 @@
+#include "dep/rule.h"
+
+namespace bdbms {
+
+std::string ChainRule::ToString() const {
+  std::string out = source.ToString() + " -> " + target.ToString() + " via [";
+  for (size_t i = 0; i < procedures.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += procedures[i];
+  }
+  out += "] (";
+  out += executable ? "executable" : "non-executable";
+  out += ", ";
+  out += invertible ? "invertible" : "non-invertible";
+  out += ")";
+  return out;
+}
+
+}  // namespace bdbms

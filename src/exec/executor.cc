@@ -1,0 +1,1398 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace bdbms {
+
+namespace {
+
+// SQL LIKE with % (any run) and _ (any one char).
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '%') {
+    for (size_t skip = 0; skip <= text.size(); ++skip) {
+      if (LikeMatch(text.substr(skip), pattern.substr(1))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (pattern[0] == '_' || pattern[0] == text[0]) {
+    return LikeMatch(text.substr(1), pattern.substr(1));
+  }
+  return false;
+}
+
+using ColumnFn =
+    std::function<Result<Value>(const std::string&, const std::string&)>;
+using AnnFieldFn = std::function<Result<Value>(AnnField)>;
+using AggFn_ = std::function<Result<Value>(const Expr&)>;
+
+// One generic recursive evaluator; contexts differ only in how column
+// references, annotation attributes and aggregates resolve.
+Result<Value> EvalGeneric(const Expr& e, const ColumnFn& col_fn,
+                          const AnnFieldFn& ann_fn, const AggFn_& agg_fn);
+
+Result<bool> TruthyValue(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_numeric()) return v.as_double() != 0.0;
+  return Status::InvalidArgument("condition did not evaluate to a boolean");
+}
+
+Result<Value> EvalBinary(const Expr& e, const ColumnFn& col_fn,
+                         const AnnFieldFn& ann_fn, const AggFn_& agg_fn) {
+  // AND/OR short-circuit.
+  if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+    BDBMS_ASSIGN_OR_RETURN(Value lhs, EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
+    BDBMS_ASSIGN_OR_RETURN(bool lb, TruthyValue(lhs));
+    if (e.bin_op == BinOp::kAnd && !lb) return Value::Int(0);
+    if (e.bin_op == BinOp::kOr && lb) return Value::Int(1);
+    BDBMS_ASSIGN_OR_RETURN(Value rhs, EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
+    BDBMS_ASSIGN_OR_RETURN(bool rb, TruthyValue(rhs));
+    return Value::Int(rb ? 1 : 0);
+  }
+
+  BDBMS_ASSIGN_OR_RETURN(Value lhs, EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
+  BDBMS_ASSIGN_OR_RETURN(Value rhs, EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
+
+  switch (e.bin_op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      // Comparisons with NULL are false (two-valued logic; IS NULL exists).
+      if (lhs.is_null() || rhs.is_null()) return Value::Int(0);
+      int c = lhs.Compare(rhs);
+      bool r = false;
+      switch (e.bin_op) {
+        case BinOp::kEq: r = c == 0; break;
+        case BinOp::kNe: r = c != 0; break;
+        case BinOp::kLt: r = c < 0; break;
+        case BinOp::kLe: r = c <= 0; break;
+        case BinOp::kGt: r = c > 0; break;
+        default: r = c >= 0; break;
+      }
+      return Value::Int(r ? 1 : 0);
+    }
+    case BinOp::kLike: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Int(0);
+      if (!lhs.is_string() || !rhs.is_string()) {
+        return Status::InvalidArgument("LIKE requires string operands");
+      }
+      return Value::Int(LikeMatch(lhs.as_string(), rhs.as_string()) ? 1 : 0);
+    }
+    case BinOp::kAdd:
+      if (lhs.is_string() && rhs.is_string()) {
+        return Value::Text(lhs.as_string() + rhs.as_string());
+      }
+      [[fallthrough]];
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      if (!lhs.is_numeric() || !rhs.is_numeric()) {
+        return Status::InvalidArgument("arithmetic requires numeric operands");
+      }
+      bool both_int =
+          lhs.type() == DataType::kInt && rhs.type() == DataType::kInt;
+      if (e.bin_op == BinOp::kDiv) {
+        double d = rhs.as_double();
+        if (d == 0.0) return Status::InvalidArgument("division by zero");
+        if (both_int && lhs.as_int() % rhs.as_int() == 0) {
+          return Value::Int(lhs.as_int() / rhs.as_int());
+        }
+        return Value::Double(lhs.as_double() / d);
+      }
+      if (both_int) {
+        int64_t a = lhs.as_int(), b = rhs.as_int();
+        switch (e.bin_op) {
+          case BinOp::kAdd: return Value::Int(a + b);
+          case BinOp::kSub: return Value::Int(a - b);
+          default: return Value::Int(a * b);
+        }
+      }
+      double a = lhs.as_double(), b = rhs.as_double();
+      switch (e.bin_op) {
+        case BinOp::kAdd: return Value::Double(a + b);
+        case BinOp::kSub: return Value::Double(a - b);
+        default: return Value::Double(a * b);
+      }
+    }
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+}
+
+Result<Value> EvalGeneric(const Expr& e, const ColumnFn& col_fn,
+                          const AnnFieldFn& ann_fn, const AggFn_& agg_fn) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef:
+      return col_fn(e.qualifier, e.column);
+    case ExprKind::kAnnField:
+      return ann_fn(e.ann_field);
+    case ExprKind::kAggregate:
+      return agg_fn(e);
+    case ExprKind::kUnary: {
+      if (e.un_op == UnOp::kIsNull || e.un_op == UnOp::kIsNotNull) {
+        BDBMS_ASSIGN_OR_RETURN(Value v,
+                               EvalGeneric(*e.child, col_fn, ann_fn, agg_fn));
+        bool is_null = v.is_null();
+        return Value::Int((e.un_op == UnOp::kIsNull) == is_null ? 1 : 0);
+      }
+      BDBMS_ASSIGN_OR_RETURN(Value v,
+                             EvalGeneric(*e.child, col_fn, ann_fn, agg_fn));
+      if (e.un_op == UnOp::kNot) {
+        BDBMS_ASSIGN_OR_RETURN(bool b, TruthyValue(v));
+        return Value::Int(b ? 0 : 1);
+      }
+      // Negation.
+      if (v.is_null()) return Value::Null();
+      if (v.type() == DataType::kInt) return Value::Int(-v.as_int());
+      if (v.type() == DataType::kDouble) return Value::Double(-v.as_double());
+      return Status::InvalidArgument("unary minus requires a number");
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, col_fn, ann_fn, agg_fn);
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> NoColumns(const std::string&, const std::string& name) {
+  return Status::InvalidArgument("column " + name +
+                                 " not allowed in this context");
+}
+Result<Value> NoAnnFields(AnnField) {
+  return Status::InvalidArgument(
+      "annotation attributes (VALUE/CATEGORY/AUTHOR) are only allowed in "
+      "AWHERE/AHAVING/FILTER");
+}
+Result<Value> NoAggregates(const Expr&) {
+  return Status::InvalidArgument("aggregate not allowed in this context");
+}
+
+// Merges `extra` into `into`, skipping duplicates.
+void MergeAnnotations(std::vector<ResultAnnotation>* into,
+                      const std::vector<ResultAnnotation>& extra) {
+  for (const ResultAnnotation& a : extra) {
+    bool dup = false;
+    for (const ResultAnnotation& b : *into) {
+      if (b.SameAs(a)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) into->push_back(a);
+  }
+}
+
+std::string RowKey(const Row& values) {
+  std::string key;
+  for (const Value& v : values) v.EncodeTo(&key);
+  return key;
+}
+
+Result<Privilege> ParsePrivilege(const std::string& name) {
+  if (name == "SELECT") return Privilege::kSelect;
+  if (name == "INSERT") return Privilege::kInsert;
+  if (name == "UPDATE") return Privilege::kUpdate;
+  if (name == "DELETE") return Privilege::kDelete;
+  return Status::InvalidArgument("unknown privilege " + name);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Executor::Execute(const Statement& stmt) {
+  return std::visit(
+      [this](const auto& node) -> Result<QueryResult> {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) {
+          return ExecSelect(node);
+        } else if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          return ExecCreateTable(node);
+        } else if constexpr (std::is_same_v<T, DropTableStmt>) {
+          return ExecDropTable(node);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return ExecInsert(node);
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return ExecUpdate(node);
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return ExecDelete(node);
+        } else if constexpr (std::is_same_v<T, CreateAnnTableStmt>) {
+          return ExecCreateAnnTable(node);
+        } else if constexpr (std::is_same_v<T, DropAnnTableStmt>) {
+          return ExecDropAnnTable(node);
+        } else if constexpr (std::is_same_v<T, AddAnnotationStmt>) {
+          return ExecAddAnnotation(node);
+        } else if constexpr (std::is_same_v<T, ArchiveAnnotationStmt>) {
+          return ExecArchiveRestore(node);
+        } else if constexpr (std::is_same_v<T, GrantStmt>) {
+          return ExecGrant(node);
+        } else if constexpr (std::is_same_v<T, CreateUserStmt>) {
+          return ExecCreateUser(node);
+        } else if constexpr (std::is_same_v<T, AddUserToGroupStmt>) {
+          return ExecAddUserToGroup(node);
+        } else if constexpr (std::is_same_v<T, StartApprovalStmt>) {
+          return ExecStartApproval(node);
+        } else if constexpr (std::is_same_v<T, StopApprovalStmt>) {
+          return ExecStopApproval(node);
+        } else if constexpr (std::is_same_v<T, ApproveStmt>) {
+          return ExecApprove(node);
+        } else if constexpr (std::is_same_v<T, ShowPendingStmt>) {
+          return ExecShowPending(node);
+        } else if constexpr (std::is_same_v<T, CreateDependencyStmt>) {
+          return ExecCreateDependency(node);
+        } else {
+          return ExecDropDependency(node);
+        }
+      },
+      stmt.node);
+}
+
+// ---------------------------------------------------------------------------
+// Expression contexts
+// ---------------------------------------------------------------------------
+
+Result<size_t> Executor::BindColumn(const Relation& rel,
+                                    const std::string& qualifier,
+                                    const std::string& name) const {
+  size_t found = rel.columns.size();
+  for (size_t i = 0; i < rel.columns.size(); ++i) {
+    const BoundColumn& c = rel.columns[i];
+    if (c.name != name) continue;
+    if (!qualifier.empty() && c.qualifier != qualifier) continue;
+    if (found != rel.columns.size()) {
+      return Status::InvalidArgument("ambiguous column " + name);
+    }
+    found = i;
+  }
+  if (found == rel.columns.size()) {
+    return Status::NotFound("no column " +
+                            (qualifier.empty() ? name : qualifier + "." + name));
+  }
+  return found;
+}
+
+Result<Value> Executor::EvalExpr(const Expr& e, const Relation& rel,
+                                 const AnnTuple& tuple) {
+  return EvalGeneric(
+      e,
+      [&](const std::string& qual, const std::string& name) -> Result<Value> {
+        BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(rel, qual, name));
+        return tuple.values[idx];
+      },
+      NoAnnFields, NoAggregates);
+}
+
+Result<Value> Executor::EvalAnnExpr(const Expr& e,
+                                    const ResultAnnotation& ann) {
+  return EvalGeneric(e, NoColumns,
+                     [&](AnnField f) -> Result<Value> {
+                       switch (f) {
+                         case AnnField::kValue:
+                           return Value::Text(ann.body);
+                         case AnnField::kCategory:
+                           return Value::Text(ann.category);
+                         case AnnField::kAuthor:
+                           return Value::Text(ann.author);
+                       }
+                       return Status::Internal("bad annotation field");
+                     },
+                     NoAggregates);
+}
+
+Result<bool> Executor::TupleAnnMatch(const Expr& cond, const AnnTuple& tuple) {
+  for (const auto& per_col : tuple.anns) {
+    for (const ResultAnnotation& a : per_col) {
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalAnnExpr(cond, a));
+      BDBMS_ASSIGN_OR_RETURN(bool b, TruthyValue(v));
+      if (b) return true;
+    }
+  }
+  return false;
+}
+
+Result<Value> Executor::EvalAggregate(const Expr& e, const Relation& rel,
+                                      const std::vector<const AnnTuple*>& group) {
+  if (e.agg_fn == AggFn::kCountStar) {
+    return Value::Int(static_cast<int64_t>(group.size()));
+  }
+  int64_t count = 0;
+  double sum = 0;
+  bool all_int = true;
+  std::optional<Value> min, max;
+  for (const AnnTuple* t : group) {
+    BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.child, rel, *t));
+    if (v.is_null()) continue;
+    ++count;
+    if (v.is_numeric()) {
+      sum += v.as_double();
+      if (v.type() != DataType::kInt) all_int = false;
+    } else if (e.agg_fn == AggFn::kSum || e.agg_fn == AggFn::kAvg) {
+      return Status::InvalidArgument("SUM/AVG require numeric values");
+    }
+    if (!min.has_value() || v.Compare(*min) < 0) min = v;
+    if (!max.has_value() || v.Compare(*max) > 0) max = v;
+  }
+  switch (e.agg_fn) {
+    case AggFn::kCount:
+      return Value::Int(count);
+    case AggFn::kSum:
+      if (count == 0) return Value::Null();
+      return all_int ? Value::Int(static_cast<int64_t>(sum))
+                     : Value::Double(sum);
+    case AggFn::kAvg:
+      if (count == 0) return Value::Null();
+      return Value::Double(sum / static_cast<double>(count));
+    case AggFn::kMin:
+      return min.has_value() ? *min : Value::Null();
+    case AggFn::kMax:
+      return max.has_value() ? *max : Value::Null();
+    default:
+      return Status::Internal("unhandled aggregate");
+  }
+}
+
+Result<Value> Executor::EvalGroupExpr(const Expr& e, const Relation& rel,
+                                      const std::vector<const AnnTuple*>& group) {
+  return EvalGeneric(
+      e,
+      [&](const std::string& qual, const std::string& name) -> Result<Value> {
+        if (group.empty()) return Value::Null();
+        BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(rel, qual, name));
+        return group[0]->values[idx];
+      },
+      NoAnnFields,
+      [&](const Expr& agg) -> Result<Value> {
+        return EvalAggregate(agg, rel, group);
+      });
+}
+
+Result<bool> Executor::Truthy(const Value& v) { return TruthyValue(v); }
+
+// ---------------------------------------------------------------------------
+// SELECT pipeline
+// ---------------------------------------------------------------------------
+
+Result<Executor::Relation> Executor::ScanTable(const TableRef& ref) {
+  if (!ctx_.catalog->HasTable(ref.table)) {
+    return Status::NotFound("no table " + ref.table);
+  }
+  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, ref.table, Privilege::kSelect));
+  BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(ref.table));
+
+  std::vector<std::string> ann_names = ref.annotation_tables;
+  if (ref.all_annotations) ann_names = ctx_.annotations->ListFor(ref.table);
+  for (const std::string& a : ann_names) {
+    if (!ctx_.catalog->HasAnnotationTable(ref.table, a)) {
+      return Status::NotFound("no annotation table " + a + " on " + ref.table);
+    }
+  }
+
+  Relation rel;
+  rel.source_table = ref.table;
+  std::string qual = ref.alias.empty() ? ref.table : ref.alias;
+  for (const ColumnDef& c : t->schema().columns()) {
+    rel.columns.push_back({c.name, qual});
+  }
+
+  // Cache annotation bodies so one annotation covering many cells is
+  // fetched from storage once per scan.
+  std::map<std::pair<std::string, AnnotationId>, ResultAnnotation> cache;
+  size_t ncols = t->schema().num_columns();
+
+  Status scan_status = t->Scan([&](RowId row_id, const Row& row) -> Status {
+    AnnTuple tuple;
+    tuple.values = row;
+    tuple.anns.resize(ncols);
+    tuple.source_row = row_id;
+    tuple.has_source = true;
+    for (const std::string& ann_name : ann_names) {
+      BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
+                             ctx_.annotations->Get(ref.table, ann_name));
+      for (size_t col = 0; col < ncols; ++col) {
+        for (AnnotationId id : at->IdsForCell(row_id, col)) {
+          auto key = std::make_pair(ann_name, id);
+          auto it = cache.find(key);
+          if (it == cache.end()) {
+            BDBMS_ASSIGN_OR_RETURN(std::string body, at->Body(id));
+            BDBMS_ASSIGN_OR_RETURN(AnnotationMeta meta, at->Meta(id));
+            ResultAnnotation ra{ann_name, id, std::move(body), meta.author,
+                                meta.timestamp};
+            it = cache.emplace(key, std::move(ra)).first;
+          }
+          tuple.anns[col].push_back(it->second);
+        }
+      }
+    }
+    // Outdated cells are reported as synthesized annotations (paper §5).
+    ColumnMask outdated = ctx_.dependencies->OutdatedMask(ref.table, row_id);
+    if (outdated != 0) {
+      for (size_t col = 0; col < ncols; ++col) {
+        if (outdated & ColumnBit(col)) {
+          tuple.anns[col].push_back(
+              {kOutdatedCategory, 0,
+               "<Outdated>value pending re-verification</Outdated>", "system",
+               0});
+        }
+      }
+    }
+    rel.tuples.push_back(std::move(tuple));
+    return Status::Ok();
+  });
+  BDBMS_RETURN_IF_ERROR(scan_status);
+  return rel;
+}
+
+Result<Executor::Relation> Executor::EvalFrom(
+    const std::vector<TableRef>& from) {
+  if (from.empty()) return Status::InvalidArgument("FROM clause is empty");
+  BDBMS_ASSIGN_OR_RETURN(Relation rel, ScanTable(from[0]));
+  for (size_t i = 1; i < from.size(); ++i) {
+    BDBMS_ASSIGN_OR_RETURN(Relation rhs, ScanTable(from[i]));
+    Relation product;
+    product.columns = rel.columns;
+    product.columns.insert(product.columns.end(), rhs.columns.begin(),
+                           rhs.columns.end());
+    for (const AnnTuple& a : rel.tuples) {
+      for (const AnnTuple& b : rhs.tuples) {
+        AnnTuple combined;
+        combined.values = a.values;
+        combined.values.insert(combined.values.end(), b.values.begin(),
+                               b.values.end());
+        combined.anns = a.anns;
+        combined.anns.insert(combined.anns.end(), b.anns.begin(),
+                             b.anns.end());
+        combined.has_source = false;
+        product.tuples.push_back(std::move(combined));
+      }
+    }
+    rel = std::move(product);
+  }
+  return rel;
+}
+
+Result<Executor::Relation> Executor::RunSelect(const SelectStmt& stmt) {
+  BDBMS_ASSIGN_OR_RETURN(Relation rel, EvalFrom(stmt.from));
+
+  // WHERE: value predicate; tuples keep all their annotations.
+  if (stmt.where) {
+    Relation filtered;
+    filtered.columns = rel.columns;
+    filtered.source_table = rel.source_table;
+    for (AnnTuple& t : rel.tuples) {
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, t));
+      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
+      if (keep) filtered.tuples.push_back(std::move(t));
+    }
+    rel = std::move(filtered);
+  }
+
+  // AWHERE: a tuple passes iff one of its annotations satisfies the
+  // condition (tuple keeps all annotations).
+  if (stmt.awhere) {
+    Relation filtered;
+    filtered.columns = rel.columns;
+    filtered.source_table = rel.source_table;
+    for (AnnTuple& t : rel.tuples) {
+      BDBMS_ASSIGN_OR_RETURN(bool keep, TupleAnnMatch(*stmt.awhere, t));
+      if (keep) filtered.tuples.push_back(std::move(t));
+    }
+    rel = std::move(filtered);
+  }
+
+  bool has_aggregates = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->ContainsAggregate()) has_aggregates = true;
+  }
+  if (!stmt.group_by.empty() || has_aggregates) {
+    BDBMS_ASSIGN_OR_RETURN(rel, GroupAndProject(std::move(rel), stmt));
+  } else {
+    BDBMS_ASSIGN_OR_RETURN(rel, Project(std::move(rel), stmt));
+  }
+
+  if (stmt.distinct) Deduplicate(&rel);
+
+  // FILTER: all tuples pass; annotations not satisfying the condition drop.
+  if (stmt.filter) {
+    for (AnnTuple& t : rel.tuples) {
+      for (auto& per_col : t.anns) {
+        std::vector<ResultAnnotation> kept;
+        for (ResultAnnotation& a : per_col) {
+          BDBMS_ASSIGN_OR_RETURN(Value v, EvalAnnExpr(*stmt.filter, a));
+          BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
+          if (keep) kept.push_back(std::move(a));
+        }
+        per_col = std::move(kept);
+      }
+    }
+  }
+
+  auto apply_order =
+      [this](Relation* r,
+             const std::vector<std::pair<std::string, bool>>& order)
+      -> Status {
+    std::vector<size_t> keys;
+    std::vector<bool> desc;
+    for (const auto& [col, is_desc] : order) {
+      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(*r, "", col));
+      keys.push_back(idx);
+      desc.push_back(is_desc);
+    }
+    std::stable_sort(r->tuples.begin(), r->tuples.end(),
+                     [&](const AnnTuple& a, const AnnTuple& b) {
+                       for (size_t k = 0; k < keys.size(); ++k) {
+                         int c = a.values[keys[k]].Compare(b.values[keys[k]]);
+                         if (c != 0) return desc[k] ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    return Status::Ok();
+  };
+  if (!stmt.order_by.empty()) {
+    BDBMS_RETURN_IF_ERROR(apply_order(&rel, stmt.order_by));
+  }
+
+  // Set operations: tuples match on values; annotations of merged tuples
+  // are unioned (paper §3.4).
+  if (stmt.set_op != SetOpKind::kNone) {
+    BDBMS_ASSIGN_OR_RETURN(Relation rhs, RunSelect(*stmt.set_rhs));
+    if (rhs.columns.size() != rel.columns.size()) {
+      return Status::InvalidArgument(
+          "set operation requires same number of columns");
+    }
+    std::map<std::string, std::vector<AnnTuple*>> rhs_index;
+    for (AnnTuple& t : rhs.tuples) {
+      rhs_index[RowKey(t.values)].push_back(&t);
+    }
+    Relation out;
+    out.columns = rel.columns;
+    switch (stmt.set_op) {
+      case SetOpKind::kIntersect: {
+        for (AnnTuple& t : rel.tuples) {
+          auto it = rhs_index.find(RowKey(t.values));
+          if (it == rhs_index.end()) continue;
+          for (AnnTuple* match : it->second) {
+            for (size_t c = 0; c < t.anns.size(); ++c) {
+              MergeAnnotations(&t.anns[c], match->anns[c]);
+            }
+          }
+          t.has_source = false;
+          out.tuples.push_back(std::move(t));
+        }
+        Deduplicate(&out);
+        break;
+      }
+      case SetOpKind::kExcept: {
+        for (AnnTuple& t : rel.tuples) {
+          if (rhs_index.count(RowKey(t.values))) continue;
+          out.tuples.push_back(std::move(t));
+        }
+        Deduplicate(&out);
+        break;
+      }
+      case SetOpKind::kUnion: {
+        for (AnnTuple& t : rel.tuples) out.tuples.push_back(std::move(t));
+        for (AnnTuple& t : rhs.tuples) out.tuples.push_back(std::move(t));
+        Deduplicate(&out);
+        break;
+      }
+      case SetOpKind::kNone:
+        break;
+    }
+    rel = std::move(out);
+    // An ORDER BY written after the set operation parses into the
+    // right-hand SELECT; per standard SQL it orders the combined result.
+    if (!stmt.set_rhs->order_by.empty()) {
+      BDBMS_RETURN_IF_ERROR(apply_order(&rel, stmt.set_rhs->order_by));
+    }
+  }
+
+  return rel;
+}
+
+Result<Executor::Relation> Executor::Project(Relation input,
+                                             const SelectStmt& stmt) {
+  if (stmt.star) return input;
+
+  // Expand qualifier.* items into per-column items first.
+  struct OutCol {
+    const SelectItem* item;       // null for expanded * columns
+    size_t direct_index;          // valid when expanded or simple colref
+    bool is_direct;
+    std::string name;
+  };
+  std::vector<OutCol> out_cols;
+  for (const SelectItem& item : stmt.items) {
+    const Expr& e = *item.expr;
+    if (e.kind == ExprKind::kColumnRef && e.column == "*") {
+      for (size_t i = 0; i < input.columns.size(); ++i) {
+        if (input.columns[i].qualifier == e.qualifier) {
+          out_cols.push_back({&item, i, true, input.columns[i].name});
+        }
+      }
+      continue;
+    }
+    if (e.kind == ExprKind::kColumnRef) {
+      BDBMS_ASSIGN_OR_RETURN(size_t idx,
+                             BindColumn(input, e.qualifier, e.column));
+      out_cols.push_back(
+          {&item, idx, true,
+           item.alias.empty() ? input.columns[idx].name : item.alias});
+      continue;
+    }
+    out_cols.push_back(
+        {&item, 0, false, item.alias.empty() ? "expr" : item.alias});
+  }
+
+  // Resolve PROMOTE sources once.
+  std::map<const SelectItem*, std::vector<size_t>> promote_sources;
+  for (const SelectItem& item : stmt.items) {
+    for (const std::string& col : item.promote_columns) {
+      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(input, "", col));
+      promote_sources[&item].push_back(idx);
+    }
+  }
+
+  Relation out;
+  out.source_table = input.source_table;
+  for (const OutCol& oc : out_cols) {
+    out.columns.push_back({oc.name, ""});
+  }
+  for (AnnTuple& t : input.tuples) {
+    AnnTuple projected;
+    projected.source_row = t.source_row;
+    projected.has_source = t.has_source;
+    for (const OutCol& oc : out_cols) {
+      if (oc.is_direct) {
+        projected.values.push_back(t.values[oc.direct_index]);
+        projected.anns.push_back(t.anns[oc.direct_index]);
+      } else {
+        BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*oc.item->expr, input, t));
+        projected.values.push_back(std::move(v));
+        projected.anns.emplace_back();
+      }
+      // PROMOTE: copy annotations of the named source columns onto this
+      // output column (paper §3.4).
+      auto promo = promote_sources.find(oc.item);
+      if (promo != promote_sources.end()) {
+        for (size_t src : promo->second) {
+          MergeAnnotations(&projected.anns.back(), t.anns[src]);
+        }
+      }
+    }
+    out.tuples.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<Executor::Relation> Executor::GroupAndProject(Relation input,
+                                                     const SelectStmt& stmt) {
+  if (stmt.star) {
+    return Status::InvalidArgument("SELECT * cannot be combined with GROUP BY");
+  }
+  // Bind group-by columns.
+  std::vector<size_t> key_cols;
+  for (const std::string& col : stmt.group_by) {
+    BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(input, "", col));
+    key_cols.push_back(idx);
+  }
+
+  // Group tuples preserving first-seen order.
+  std::map<std::string, size_t> group_index;
+  std::vector<std::vector<const AnnTuple*>> groups;
+  for (const AnnTuple& t : input.tuples) {
+    std::string key;
+    for (size_t k : key_cols) t.values[k].EncodeTo(&key);
+    auto [it, inserted] = group_index.emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(&t);
+  }
+  // An aggregate-only query over an empty input still yields one group.
+  if (groups.empty() && stmt.group_by.empty()) groups.emplace_back();
+
+  Relation out;
+  for (const SelectItem& item : stmt.items) {
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == ExprKind::kColumnRef ? item.expr->column
+                                                     : "expr";
+    }
+    out.columns.push_back({name, ""});
+  }
+
+  for (const auto& group : groups) {
+    if (stmt.having) {
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalGroupExpr(*stmt.having, input, group));
+      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
+      if (!keep) continue;
+    }
+    if (stmt.ahaving) {
+      bool any = false;
+      for (const AnnTuple* t : group) {
+        BDBMS_ASSIGN_OR_RETURN(any, TupleAnnMatch(*stmt.ahaving, *t));
+        if (any) break;
+      }
+      if (!any) continue;
+    }
+    AnnTuple out_tuple;
+    for (const SelectItem& item : stmt.items) {
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalGroupExpr(*item.expr, input, group));
+      out_tuple.values.push_back(std::move(v));
+      // Annotations: union across the group of the referenced column's
+      // annotations (group/merge operators union annotations, §3.4).
+      std::vector<ResultAnnotation> anns;
+      const Expr* col_source = nullptr;
+      if (item.expr->kind == ExprKind::kColumnRef) {
+        col_source = item.expr.get();
+      } else if (item.expr->kind == ExprKind::kAggregate && item.expr->child &&
+                 item.expr->child->kind == ExprKind::kColumnRef) {
+        col_source = item.expr->child.get();
+      }
+      if (col_source != nullptr) {
+        auto bound = BindColumn(input, col_source->qualifier,
+                                col_source->column);
+        if (bound.ok()) {
+          for (const AnnTuple* t : group) {
+            MergeAnnotations(&anns, t->anns[*bound]);
+          }
+        }
+      }
+      for (const std::string& col : item.promote_columns) {
+        BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(input, "", col));
+        for (const AnnTuple* t : group) {
+          MergeAnnotations(&anns, t->anns[idx]);
+        }
+      }
+      out_tuple.anns.push_back(std::move(anns));
+    }
+    out.tuples.push_back(std::move(out_tuple));
+  }
+  return out;
+}
+
+void Executor::Deduplicate(Relation* rel) {
+  std::map<std::string, size_t> seen;
+  std::vector<AnnTuple> unique;
+  for (AnnTuple& t : rel->tuples) {
+    std::string key = RowKey(t.values);
+    auto [it, inserted] = seen.emplace(key, unique.size());
+    if (inserted) {
+      unique.push_back(std::move(t));
+    } else {
+      // Duplicate elimination unions annotations (paper §3.4).
+      AnnTuple& kept = unique[it->second];
+      for (size_t c = 0; c < kept.anns.size(); ++c) {
+        MergeAnnotations(&kept.anns[c], t.anns[c]);
+      }
+      kept.has_source = false;
+    }
+  }
+  rel->tuples = std::move(unique);
+}
+
+Result<QueryResult> Executor::ExecSelect(const SelectStmt& stmt) {
+  BDBMS_ASSIGN_OR_RETURN(Relation rel, RunSelect(stmt));
+  QueryResult result;
+  for (const BoundColumn& c : rel.columns) result.columns.push_back(c.name);
+  for (AnnTuple& t : rel.tuples) {
+    result.rows.push_back({std::move(t.values), std::move(t.anns)});
+  }
+  result.affected = result.rows.size();
+  return result;
+}
+
+Result<std::vector<std::pair<RowId, ColumnMask>>> Executor::SelectTargets(
+    const SelectStmt& stmt, std::string* out_table) {
+  if (stmt.from.size() != 1 || stmt.set_op != SetOpKind::kNone ||
+      !stmt.group_by.empty()) {
+    return Status::NotSupported(
+        "annotation commands require a single-table SELECT without grouping "
+        "or set operations");
+  }
+  *out_table = stmt.from[0].table;
+  BDBMS_ASSIGN_OR_RETURN(Relation rel, EvalFrom(stmt.from));
+  if (stmt.where) {
+    Relation filtered;
+    filtered.columns = rel.columns;
+    filtered.source_table = rel.source_table;
+    for (AnnTuple& t : rel.tuples) {
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, t));
+      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
+      if (keep) filtered.tuples.push_back(std::move(t));
+    }
+    rel = std::move(filtered);
+  }
+  if (stmt.awhere) {
+    Relation filtered;
+    filtered.columns = rel.columns;
+    filtered.source_table = rel.source_table;
+    for (AnnTuple& t : rel.tuples) {
+      BDBMS_ASSIGN_OR_RETURN(bool keep, TupleAnnMatch(*stmt.awhere, t));
+      if (keep) filtered.tuples.push_back(std::move(t));
+    }
+    rel = std::move(filtered);
+  }
+
+  // The column mask: projected columns of the source table.
+  ColumnMask mask = 0;
+  if (stmt.star) {
+    mask = AllColumnsMask(rel.columns.size());
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      const Expr& e = *item.expr;
+      if (e.kind != ExprKind::kColumnRef) continue;
+      if (e.column == "*") {
+        mask = AllColumnsMask(rel.columns.size());
+        continue;
+      }
+      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(rel, e.qualifier, e.column));
+      mask |= ColumnBit(idx);
+    }
+  }
+  if (mask == 0) {
+    return Status::InvalidArgument(
+        "the ON query must project at least one column");
+  }
+
+  std::vector<std::pair<RowId, ColumnMask>> targets;
+  for (const AnnTuple& t : rel.tuples) {
+    if (!t.has_source) continue;
+    targets.emplace_back(t.source_row, mask);
+  }
+  return targets;
+}
+
+// ---------------------------------------------------------------------------
+// DDL / DML
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Executor::ExecCreateTable(const CreateTableStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied("only superusers may create tables");
+  }
+  BDBMS_RETURN_IF_ERROR(ctx_.catalog->CreateTable(stmt.schema));
+  Status st = ctx_.create_table(stmt.schema);
+  if (!st.ok()) {
+    (void)ctx_.catalog->DropTable(stmt.schema.name());
+    return st;
+  }
+  QueryResult r;
+  r.message = "table " + stmt.schema.name() + " created";
+  return r;
+}
+
+Result<QueryResult> Executor::ExecDropTable(const DropTableStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied("only superusers may drop tables");
+  }
+  BDBMS_RETURN_IF_ERROR(ctx_.catalog->DropTable(stmt.table));
+  ctx_.annotations->DropAllFor(stmt.table);
+  BDBMS_RETURN_IF_ERROR(ctx_.drop_table(stmt.table));
+  QueryResult r;
+  r.message = "table " + stmt.table + " dropped";
+  return r;
+}
+
+Status Executor::AfterCellsChanged(const std::string& table, RowId row,
+                                   ColumnMask cols, const std::string& op) {
+  // Local dependency tracking (paper §5).
+  BDBMS_ASSIGN_OR_RETURN(TableSchema schema, ctx_.catalog->GetSchema(table));
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if ((cols & ColumnBit(c)) == 0) continue;
+    BDBMS_RETURN_IF_ERROR(
+        ctx_.dependencies->OnCellUpdated(table, row, c, ctx_.tables).status());
+  }
+  // System-maintained provenance (paper §4).
+  return AutoProvenance(table, {Region{cols, row, row}}, op);
+}
+
+Status Executor::AutoProvenance(const std::string& table,
+                                const std::vector<Region>& regions,
+                                const std::string& op) {
+  for (const AnnotationTableInfo& info :
+       ctx_.catalog->ListAnnotationTables(table)) {
+    if (!info.is_provenance) continue;
+    ProvenanceRecord rec;
+    rec.source = "local";
+    rec.operation = op;
+    rec.user = user_;
+    BDBMS_RETURN_IF_ERROR(
+        ctx_.provenance->Record(table, info.name, regions, rec, "system")
+            .status());
+  }
+  return Status::Ok();
+}
+
+Result<QueryResult> Executor::ExecInsert(const InsertStmt& stmt,
+                                         std::vector<RowId>* inserted) {
+  if (!ctx_.catalog->HasTable(stmt.table)) {
+    return Status::NotFound("no table " + stmt.table);
+  }
+  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, stmt.table, Privilege::kInsert));
+  BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
+  Relation empty;
+  AnnTuple no_tuple;
+  size_t ncols = t->schema().num_columns();
+  ColumnMask all_cols = AllColumnsMask(ncols);
+  uint64_t count = 0;
+  for (const auto& exprs : stmt.rows) {
+    Row row;
+    for (const ExprPtr& e : exprs) {
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, empty, no_tuple));
+      row.push_back(std::move(v));
+    }
+    BDBMS_ASSIGN_OR_RETURN(RowId rid, t->Insert(std::move(row)));
+    if (inserted != nullptr) inserted->push_back(rid);
+    ++count;
+    if (ctx_.approvals->ShouldLog(stmt.table, OpType::kInsert, all_cols)) {
+      BDBMS_ASSIGN_OR_RETURN(Row stored, t->Get(rid));
+      BDBMS_RETURN_IF_ERROR(ctx_.approvals
+                                ->LogOperation(OpType::kInsert, stmt.table,
+                                               rid, user_, {}, stored)
+                                .status());
+    }
+    BDBMS_RETURN_IF_ERROR(AfterCellsChanged(stmt.table, rid, all_cols, "insert"));
+  }
+  QueryResult r;
+  r.affected = count;
+  r.message = std::to_string(count) + " row(s) inserted into " + stmt.table;
+  return r;
+}
+
+Result<QueryResult> Executor::ExecUpdate(
+    const UpdateStmt& stmt,
+    std::vector<std::pair<RowId, ColumnMask>>* touched) {
+  if (!ctx_.catalog->HasTable(stmt.table)) {
+    return Status::NotFound("no table " + stmt.table);
+  }
+  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, stmt.table, Privilege::kUpdate));
+  BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
+  const TableSchema& schema = t->schema();
+
+  // Bind assignment targets.
+  std::vector<std::pair<size_t, const Expr*>> sets;
+  ColumnMask assigned = 0;
+  for (const auto& [col, expr] : stmt.assignments) {
+    BDBMS_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
+    sets.emplace_back(idx, expr.get());
+    assigned |= ColumnBit(idx);
+  }
+
+  Relation rel;
+  for (const ColumnDef& c : schema.columns()) {
+    rel.columns.push_back({c.name, stmt.table});
+  }
+
+  // Materialize matching rows first (mutating while scanning is unsafe).
+  std::vector<std::pair<RowId, Row>> matches;
+  BDBMS_RETURN_IF_ERROR(t->Scan([&](RowId rid, const Row& row) -> Status {
+    if (stmt.where) {
+      AnnTuple tuple;
+      tuple.values = row;
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, tuple));
+      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
+      if (!keep) return Status::Ok();
+    }
+    matches.emplace_back(rid, row);
+    return Status::Ok();
+  }));
+
+  uint64_t count = 0;
+  for (auto& [rid, old_row] : matches) {
+    AnnTuple tuple;
+    tuple.values = old_row;
+    Row new_row = old_row;
+    ColumnMask changed = 0;
+    for (const auto& [idx, expr] : sets) {
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, rel, tuple));
+      BDBMS_ASSIGN_OR_RETURN(Value coerced, v.CoerceTo(schema.column(idx).type));
+      if (!(coerced == old_row[idx])) changed |= ColumnBit(idx);
+      new_row[idx] = std::move(coerced);
+    }
+    BDBMS_RETURN_IF_ERROR(t->Update(rid, new_row));
+    ++count;
+    if (touched != nullptr) touched->emplace_back(rid, changed);
+    if (ctx_.approvals->ShouldLog(stmt.table, OpType::kUpdate, assigned)) {
+      BDBMS_RETURN_IF_ERROR(ctx_.approvals
+                                ->LogOperation(OpType::kUpdate, stmt.table,
+                                               rid, user_, old_row, new_row)
+                                .status());
+    }
+    if (changed != 0) {
+      BDBMS_RETURN_IF_ERROR(
+          AfterCellsChanged(stmt.table, rid, changed, "update"));
+    }
+  }
+  QueryResult r;
+  r.affected = count;
+  r.message = std::to_string(count) + " row(s) updated in " + stmt.table;
+  return r;
+}
+
+Result<QueryResult> Executor::ExecDelete(const DeleteStmt& stmt,
+                                         const std::string& annotation_body) {
+  if (!ctx_.catalog->HasTable(stmt.table)) {
+    return Status::NotFound("no table " + stmt.table);
+  }
+  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, stmt.table, Privilege::kDelete));
+  BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
+
+  Relation rel;
+  for (const ColumnDef& c : t->schema().columns()) {
+    rel.columns.push_back({c.name, stmt.table});
+  }
+  std::vector<std::pair<RowId, Row>> matches;
+  BDBMS_RETURN_IF_ERROR(t->Scan([&](RowId rid, const Row& row) -> Status {
+    if (stmt.where) {
+      AnnTuple tuple;
+      tuple.values = row;
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, tuple));
+      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
+      if (!keep) return Status::Ok();
+    }
+    matches.emplace_back(rid, row);
+    return Status::Ok();
+  }));
+
+  uint64_t count = 0;
+  for (auto& [rid, old_row] : matches) {
+    if (ctx_.approvals->ShouldLog(stmt.table, OpType::kDelete, 0)) {
+      BDBMS_RETURN_IF_ERROR(ctx_.approvals
+                                ->LogOperation(OpType::kDelete, stmt.table,
+                                               rid, user_, old_row, {})
+                                .status());
+    }
+    if (!annotation_body.empty() && ctx_.deletion_log != nullptr) {
+      (*ctx_.deletion_log)[stmt.table].push_back(
+          {rid, old_row, annotation_body, user_, ctx_.clock->Tick()});
+    }
+    BDBMS_RETURN_IF_ERROR(t->Delete(rid));
+    BDBMS_RETURN_IF_ERROR(
+        ctx_.dependencies->OnRowErased(stmt.table, rid, old_row, ctx_.tables)
+            .status());
+    ++count;
+  }
+  QueryResult r;
+  r.affected = count;
+  r.message = std::to_string(count) + " row(s) deleted from " + stmt.table;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Annotation commands
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Executor::ExecCreateAnnTable(
+    const CreateAnnTableStmt& stmt) {
+  BDBMS_RETURN_IF_ERROR(ctx_.catalog->CreateAnnotationTable(
+      stmt.table, stmt.ann_table, stmt.provenance));
+  Status st = ctx_.annotations->CreateAnnotationTable(stmt.table, stmt.ann_table);
+  if (!st.ok()) {
+    (void)ctx_.catalog->DropAnnotationTable(stmt.table, stmt.ann_table);
+    return st;
+  }
+  QueryResult r;
+  r.message = "annotation table " + stmt.ann_table + " created on " +
+              stmt.table + (stmt.provenance ? " (provenance)" : "");
+  return r;
+}
+
+Result<QueryResult> Executor::ExecDropAnnTable(const DropAnnTableStmt& stmt) {
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.catalog->DropAnnotationTable(stmt.table, stmt.ann_table));
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.annotations->DropAnnotationTable(stmt.table, stmt.ann_table));
+  QueryResult r;
+  r.message = "annotation table " + stmt.ann_table + " dropped from " +
+              stmt.table;
+  return r;
+}
+
+Result<QueryResult> Executor::ExecAddAnnotation(const AddAnnotationStmt& stmt) {
+  // Validate targets.
+  for (const auto& [table, ann] : stmt.targets) {
+    BDBMS_ASSIGN_OR_RETURN(AnnotationTableInfo info,
+                           ctx_.catalog->GetAnnotationTable(table, ann));
+    if (info.is_provenance) {
+      if (!ctx_.provenance->IsSystemAgent(user_)) {
+        return Status::PermissionDenied(
+            "only system agents may write provenance annotations");
+      }
+      BDBMS_RETURN_IF_ERROR(
+          ProvenanceManager::RecordSchema().ValidateText(stmt.value));
+    }
+  }
+
+  // Determine the regions from the ON statement.
+  std::string on_table;
+  std::vector<Region> regions;
+  uint64_t side_effect_rows = 0;
+  if (const auto* sel = std::get_if<SelectStmt>(&stmt.on->node)) {
+    BDBMS_ASSIGN_OR_RETURN(auto targets, SelectTargets(*sel, &on_table));
+    regions = ComputeRegions(targets);
+  } else if (const auto* ins = std::get_if<InsertStmt>(&stmt.on->node)) {
+    on_table = ins->table;
+    std::vector<RowId> inserted;
+    BDBMS_ASSIGN_OR_RETURN(QueryResult qr, ExecInsert(*ins, &inserted));
+    side_effect_rows = qr.affected;
+    BDBMS_ASSIGN_OR_RETURN(TableSchema schema, ctx_.catalog->GetSchema(on_table));
+    std::vector<std::pair<RowId, ColumnMask>> targets;
+    for (RowId rid : inserted) {
+      targets.emplace_back(rid, AllColumnsMask(schema.num_columns()));
+    }
+    regions = ComputeRegions(targets);
+  } else if (const auto* upd = std::get_if<UpdateStmt>(&stmt.on->node)) {
+    on_table = upd->table;
+    std::vector<std::pair<RowId, ColumnMask>> touched;
+    BDBMS_ASSIGN_OR_RETURN(QueryResult qr, ExecUpdate(*upd, &touched));
+    side_effect_rows = qr.affected;
+    // Annotate the assigned cells (even if values happened to be equal the
+    // user's intent covers them): use assigned columns per row.
+    std::vector<std::pair<RowId, ColumnMask>> targets;
+    BDBMS_ASSIGN_OR_RETURN(TableSchema schema, ctx_.catalog->GetSchema(on_table));
+    ColumnMask assigned = 0;
+    for (const auto& [col, expr] : upd->assignments) {
+      BDBMS_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
+      assigned |= ColumnBit(idx);
+    }
+    for (const auto& [rid, changed] : touched) {
+      targets.emplace_back(rid, assigned);
+    }
+    regions = ComputeRegions(targets);
+  } else if (const auto* del = std::get_if<DeleteStmt>(&stmt.on->node)) {
+    // Deleted tuples go to the deletion log together with the annotation
+    // (paper §3.2); there are no live cells left to attach regions to.
+    on_table = del->table;
+    BDBMS_ASSIGN_OR_RETURN(QueryResult qr, ExecDelete(*del, stmt.value));
+    QueryResult r;
+    r.affected = qr.affected;
+    r.message = std::to_string(qr.affected) +
+                " row(s) deleted and logged with annotation";
+    return r;
+  } else {
+    return Status::NotSupported(
+        "ADD ANNOTATION supports SELECT, INSERT, UPDATE or DELETE in ON");
+  }
+
+  for (const auto& [table, ann] : stmt.targets) {
+    if (table != on_table) {
+      return Status::InvalidArgument(
+          "annotation table " + ann + " belongs to " + table +
+          " but the ON statement addresses " + on_table);
+    }
+  }
+  if (regions.empty()) {
+    QueryResult r;
+    r.message = "no rows matched; annotation not added";
+    return r;
+  }
+  for (const auto& [table, ann] : stmt.targets) {
+    BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
+                           ctx_.annotations->Get(table, ann));
+    BDBMS_RETURN_IF_ERROR(at->Add(stmt.value, regions, user_).status());
+  }
+  QueryResult r;
+  r.affected = side_effect_rows;
+  r.message = "annotation added over " + std::to_string(regions.size()) +
+              " region(s) to " + std::to_string(stmt.targets.size()) +
+              " annotation table(s)";
+  return r;
+}
+
+Result<QueryResult> Executor::ExecArchiveRestore(
+    const ArchiveAnnotationStmt& stmt) {
+  std::string on_table;
+  BDBMS_ASSIGN_OR_RETURN(auto targets, SelectTargets(*stmt.on, &on_table));
+  std::vector<Region> regions = ComputeRegions(targets);
+  uint64_t t1 = stmt.time_begin.value_or(0);
+  uint64_t t2 = stmt.time_end.value_or(UINT64_MAX);
+  uint64_t affected = 0;
+  for (const auto& [table, ann] : stmt.targets) {
+    if (table != on_table) {
+      return Status::InvalidArgument(
+          "annotation table " + ann + " belongs to " + table +
+          " but the ON statement addresses " + on_table);
+    }
+    BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
+                           ctx_.annotations->Get(table, ann));
+    if (stmt.restore) {
+      BDBMS_ASSIGN_OR_RETURN(size_t n, at->RestoreMatching(regions, t1, t2));
+      affected += n;
+    } else {
+      BDBMS_ASSIGN_OR_RETURN(size_t n, at->ArchiveMatching(regions, t1, t2));
+      affected += n;
+    }
+  }
+  QueryResult r;
+  r.affected = affected;
+  r.message = std::to_string(affected) + " annotation(s) " +
+              (stmt.restore ? "restored" : "archived");
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Authorization commands
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Executor::ExecGrant(const GrantStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied("only superusers may grant/revoke");
+  }
+  if (!ctx_.catalog->HasTable(stmt.table)) {
+    return Status::NotFound("no table " + stmt.table);
+  }
+  BDBMS_ASSIGN_OR_RETURN(Privilege priv, ParsePrivilege(stmt.privilege));
+  QueryResult r;
+  if (stmt.revoke) {
+    BDBMS_RETURN_IF_ERROR(ctx_.access->Revoke(stmt.principal, stmt.table, priv));
+    r.message = "revoked " + stmt.privilege + " on " + stmt.table + " from " +
+                stmt.principal;
+  } else {
+    BDBMS_RETURN_IF_ERROR(ctx_.access->Grant(stmt.principal, stmt.table, priv));
+    r.message = "granted " + stmt.privilege + " on " + stmt.table + " to " +
+                stmt.principal;
+  }
+  return r;
+}
+
+Result<QueryResult> Executor::ExecCreateUser(const CreateUserStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied("only superusers may manage principals");
+  }
+  QueryResult r;
+  if (stmt.is_group) {
+    BDBMS_RETURN_IF_ERROR(ctx_.access->CreateGroup(stmt.name));
+    r.message = "group " + stmt.name + " created";
+  } else {
+    BDBMS_RETURN_IF_ERROR(ctx_.access->CreateUser(stmt.name));
+    r.message = "user " + stmt.name + " created";
+  }
+  return r;
+}
+
+Result<QueryResult> Executor::ExecAddUserToGroup(
+    const AddUserToGroupStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied("only superusers may manage principals");
+  }
+  BDBMS_RETURN_IF_ERROR(ctx_.access->AddToGroup(stmt.user, stmt.group));
+  QueryResult r;
+  r.message = "user " + stmt.user + " added to group " + stmt.group;
+  return r;
+}
+
+Result<QueryResult> Executor::ExecStartApproval(const StartApprovalStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied(
+        "only superusers may configure content approval");
+  }
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.approvals->StartContentApproval(stmt.table, stmt.columns, stmt.approver));
+  QueryResult r;
+  r.message = "content approval started on " + stmt.table + " (approved by " +
+              stmt.approver + ")";
+  return r;
+}
+
+Result<QueryResult> Executor::ExecStopApproval(const StopApprovalStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied(
+        "only superusers may configure content approval");
+  }
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.approvals->StopContentApproval(stmt.table, stmt.columns));
+  QueryResult r;
+  r.message = "content approval stopped on " + stmt.table;
+  return r;
+}
+
+Result<QueryResult> Executor::ExecApprove(const ApproveStmt& stmt) {
+  QueryResult r;
+  if (!stmt.disapprove) {
+    BDBMS_RETURN_IF_ERROR(ctx_.approvals->Approve(stmt.op_id, user_));
+    r.message = "operation " + std::to_string(stmt.op_id) + " approved";
+    return r;
+  }
+  BDBMS_ASSIGN_OR_RETURN(LoggedOperation op,
+                         ctx_.approvals->Disapprove(stmt.op_id, user_, ctx_.tables));
+  // The rollback changed data; run dependency invalidation (paper §6:
+  // "Executing the inverse statement may affect other elements ... It is
+  // the functionality of the Local Dependency Tracking feature to track
+  // and invalidate these elements").
+  BDBMS_ASSIGN_OR_RETURN(TableSchema schema, ctx_.catalog->GetSchema(op.table));
+  switch (op.type) {
+    case OpType::kInsert:
+      // Row removed again.
+      BDBMS_RETURN_IF_ERROR(
+          ctx_.dependencies->OnRowErased(op.table, op.row, op.new_row, ctx_.tables)
+              .status());
+      break;
+    case OpType::kDelete: {
+      // Row restored: all its cells (re)appeared.
+      ColumnMask all = AllColumnsMask(schema.num_columns());
+      BDBMS_RETURN_IF_ERROR(AfterCellsChanged(op.table, op.row, all, "update"));
+      break;
+    }
+    case OpType::kUpdate: {
+      ColumnMask changed = 0;
+      for (size_t c = 0; c < op.old_row.size() && c < op.new_row.size(); ++c) {
+        if (!(op.old_row[c] == op.new_row[c])) changed |= ColumnBit(c);
+      }
+      if (changed != 0) {
+        BDBMS_RETURN_IF_ERROR(AfterCellsChanged(op.table, op.row, changed, "update"));
+      }
+      break;
+    }
+  }
+  r.message = "operation " + std::to_string(stmt.op_id) +
+              " disapproved; inverse executed: " + op.inverse_sql;
+  return r;
+}
+
+Result<QueryResult> Executor::ExecShowPending(const ShowPendingStmt& stmt) {
+  QueryResult r;
+  r.columns = {"op_id", "type", "table", "row", "issuer", "inverse_sql"};
+  for (const LoggedOperation* op : ctx_.approvals->Pending(stmt.table)) {
+    ResultRow row;
+    row.values = {Value::Int(static_cast<int64_t>(op->op_id)),
+                  Value::Text(std::string(OpTypeName(op->type))),
+                  Value::Text(op->table),
+                  Value::Int(static_cast<int64_t>(op->row)),
+                  Value::Text(op->issuer),
+                  Value::Text(op->inverse_sql)};
+    row.annotations.resize(row.values.size());
+    r.rows.push_back(std::move(row));
+  }
+  r.affected = r.rows.size();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Dependency DDL
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Executor::ExecCreateDependency(
+    const CreateDependencyStmt& stmt) {
+  BDBMS_RETURN_IF_ERROR(ctx_.dependencies->AddRule(stmt.rule));
+  QueryResult r;
+  r.message = "dependency " + stmt.rule.name + " created";
+  return r;
+}
+
+Result<QueryResult> Executor::ExecDropDependency(
+    const DropDependencyStmt& stmt) {
+  BDBMS_RETURN_IF_ERROR(ctx_.dependencies->RemoveRule(stmt.name));
+  QueryResult r;
+  r.message = "dependency " + stmt.name + " dropped";
+  return r;
+}
+
+}  // namespace bdbms

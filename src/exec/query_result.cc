@@ -1,0 +1,32 @@
+#include "exec/query_result.h"
+
+namespace bdbms {
+
+std::string QueryResult::ToString(bool show_annotations) const {
+  std::string out;
+  if (!message.empty()) {
+    out += message;
+    out += "\n";
+  }
+  if (columns.empty()) return out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  for (const ResultRow& row : rows) {
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row.values[i].ToDisplayString();
+      if (show_annotations && i < row.annotations.size()) {
+        for (const ResultAnnotation& a : row.annotations[i]) {
+          out += " [" + a.category + ":" + a.body + "]";
+        }
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bdbms

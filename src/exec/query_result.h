@@ -1,0 +1,63 @@
+#ifndef BDBMS_EXEC_QUERY_RESULT_H_
+#define BDBMS_EXEC_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "annot/annotation.h"
+#include "common/value.h"
+
+namespace bdbms {
+
+// The annotation-table category name used for the synthesized annotations
+// that flag outdated cells in query answers (paper §5: "the database
+// should propagate with those items an annotation specifying that the
+// query answer may not be correct").
+inline constexpr const char* kOutdatedCategory = "_outdated";
+
+// One annotation propagated with a query answer.
+struct ResultAnnotation {
+  std::string category;  // annotation table it came from (or _outdated)
+  AnnotationId id = 0;
+  std::string body;      // XML body
+  std::string author;
+  uint64_t timestamp = 0;
+
+  // Identity for deduplication when tuples merge.
+  bool SameAs(const ResultAnnotation& o) const {
+    return category == o.category && id == o.id && body == o.body;
+  }
+};
+
+// One output tuple: values plus, per output column, the annotations
+// attached to that column of the tuple.
+struct ResultRow {
+  Row values;
+  std::vector<std::vector<ResultAnnotation>> annotations;  // per column
+
+  // Flat view of all annotations on this row.
+  std::vector<const ResultAnnotation*> AllAnnotations() const {
+    std::vector<const ResultAnnotation*> all;
+    for (const auto& per_col : annotations) {
+      for (const auto& a : per_col) all.push_back(&a);
+    }
+    return all;
+  }
+};
+
+// Result of Database::Execute. DDL/DML statements fill message/affected;
+// SELECTs fill columns/rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<ResultRow> rows;
+  uint64_t affected = 0;
+  std::string message;
+
+  // Human-readable rendering (column header, one line per tuple, each
+  // annotation listed as [category:body] after its column's value).
+  std::string ToString(bool show_annotations = true) const;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_EXEC_QUERY_RESULT_H_

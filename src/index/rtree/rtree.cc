@@ -1,0 +1,275 @@
+#include "index/rtree/rtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+#include <queue>
+
+namespace bdbms {
+
+// Page layout:
+//   [0] uint8 node type (30 = leaf, 31 = inner)
+//   [2] uint16 entry count
+//   [8] entries: 4 doubles (rect) + uint64 payload/child = 40 bytes each
+namespace {
+
+constexpr uint8_t kLeafType = 30;
+constexpr uint8_t kInnerType = 31;
+constexpr uint32_t kEntrySize = 40;
+// Fan-out kept moderate so trees have realistic depth at bench scale.
+constexpr size_t kMaxEntries = 50;
+
+}  // namespace
+
+double Rect::MinDist2(double px, double py) const {
+  double dx = px < x1 ? x1 - px : (px > x2 ? px - x2 : 0);
+  double dy = py < y1 ? y1 - py : (py > y2 ? py - y2 : 0);
+  return dx * dx + dy * dy;
+}
+
+RTree::RTree(std::unique_ptr<Pager> pager, size_t pool_pages)
+    : pager_(std::move(pager)),
+      pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)) {}
+
+Result<std::unique_ptr<RTree>> RTree::CreateInMemory(size_t pool_pages) {
+  auto tree =
+      std::unique_ptr<RTree>(new RTree(Pager::OpenInMemory(), pool_pages));
+  BDBMS_ASSIGN_OR_RETURN(PageHandle root, tree->pool_->New());
+  tree->root_ = root.id();
+  root.page()->WriteAt<uint8_t>(0, kLeafType);
+  root.page()->WriteAt<uint16_t>(2, 0);
+  root.MarkDirty();
+  return tree;
+}
+
+Result<RTree::Node> RTree::ReadNode(PageId id) const {
+  BDBMS_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+  const Page& p = *h.page();
+  uint8_t type = p.ReadAt<uint8_t>(0);
+  if (type != kLeafType && type != kInnerType) {
+    return Status::Corruption("not an r-tree node");
+  }
+  Node node;
+  node.leaf = type == kLeafType;
+  uint16_t count = p.ReadAt<uint16_t>(2);
+  uint32_t off = 8;
+  node.entries.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    Entry e;
+    e.rect.x1 = p.ReadAt<double>(off);
+    e.rect.y1 = p.ReadAt<double>(off + 8);
+    e.rect.x2 = p.ReadAt<double>(off + 16);
+    e.rect.y2 = p.ReadAt<double>(off + 24);
+    e.payload = p.ReadAt<uint64_t>(off + 32);
+    off += kEntrySize;
+    node.entries.push_back(e);
+  }
+  return node;
+}
+
+Status RTree::WriteNode(PageId id, const Node& node) {
+  BDBMS_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+  Page* p = h.page();
+  p->Zero();
+  p->WriteAt<uint8_t>(0, node.leaf ? kLeafType : kInnerType);
+  p->WriteAt<uint16_t>(2, static_cast<uint16_t>(node.entries.size()));
+  uint32_t off = 8;
+  for (const Entry& e : node.entries) {
+    p->WriteAt<double>(off, e.rect.x1);
+    p->WriteAt<double>(off + 8, e.rect.y1);
+    p->WriteAt<double>(off + 16, e.rect.x2);
+    p->WriteAt<double>(off + 24, e.rect.y2);
+    p->WriteAt<uint64_t>(off + 32, e.payload);
+    off += kEntrySize;
+  }
+  h.MarkDirty();
+  return Status::Ok();
+}
+
+Rect RTree::BoundingRect(const std::vector<Entry>& entries) {
+  Rect r = entries.front().rect;
+  for (const Entry& e : entries) r = r.Union(e.rect);
+  return r;
+}
+
+void RTree::QuadraticSplit(std::vector<Entry>* all, std::vector<Entry>* left,
+                           std::vector<Entry>* right) {
+  // Pick the pair wasting the most area as seeds.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1;
+  for (size_t i = 0; i < all->size(); ++i) {
+    for (size_t j = i + 1; j < all->size(); ++j) {
+      double waste = (*all)[i].rect.Union((*all)[j].rect).Area() -
+                     (*all)[i].rect.Area() - (*all)[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  left->push_back((*all)[seed_a]);
+  right->push_back((*all)[seed_b]);
+  Rect left_rect = (*all)[seed_a].rect;
+  Rect right_rect = (*all)[seed_b].rect;
+  size_t min_fill = kMaxEntries / 3;
+  std::vector<Entry> rest;
+  for (size_t i = 0; i < all->size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back((*all)[i]);
+  }
+  for (size_t idx = 0; idx < rest.size(); ++idx) {
+    const Entry& e = rest[idx];
+    // Force balance when one side needs every remaining entry to reach
+    // the minimum fill.
+    size_t remaining = rest.size() - idx;
+    if (left->size() + remaining <= min_fill) {
+      left->push_back(e);
+      left_rect = left_rect.Union(e.rect);
+      continue;
+    }
+    if (right->size() + remaining <= min_fill) {
+      right->push_back(e);
+      right_rect = right_rect.Union(e.rect);
+      continue;
+    }
+    double grow_left = left_rect.Union(e.rect).Area() - left_rect.Area();
+    double grow_right = right_rect.Union(e.rect).Area() - right_rect.Area();
+    if (grow_left < grow_right ||
+        (grow_left == grow_right && left->size() <= right->size())) {
+      left->push_back(e);
+      left_rect = left_rect.Union(e.rect);
+    } else {
+      right->push_back(e);
+      right_rect = right_rect.Union(e.rect);
+    }
+  }
+}
+
+Result<std::optional<RTree::SplitResult>> RTree::InsertRec(PageId node_id,
+                                                           const Rect& rect,
+                                                           uint64_t payload,
+                                                           Rect* node_rect) {
+  BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(node_id));
+  if (node.leaf) {
+    node.entries.push_back({rect, payload});
+  } else {
+    // ChooseSubtree: least enlargement, ties by smallest area.
+    size_t best = 0;
+    double best_grow = 1e300, best_area = 1e300;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      double area = node.entries[i].rect.Area();
+      double grow = node.entries[i].rect.Union(rect).Area() - area;
+      if (grow < best_grow || (grow == best_grow && area < best_area)) {
+        best = i;
+        best_grow = grow;
+        best_area = area;
+      }
+    }
+    Rect child_rect = node.entries[best].rect;
+    BDBMS_ASSIGN_OR_RETURN(
+        std::optional<SplitResult> split,
+        InsertRec(static_cast<PageId>(node.entries[best].payload), rect,
+                  payload, &child_rect));
+    node.entries[best].rect = child_rect;
+    if (split.has_value()) {
+      // The child wrote its new sibling already; record both halves here.
+      node.entries[best].rect = split->left_rect;
+      node.entries.push_back({split->right_rect, split->right});
+    }
+  }
+
+  if (node.entries.size() <= kMaxEntries) {
+    BDBMS_RETURN_IF_ERROR(WriteNode(node_id, node));
+    *node_rect = BoundingRect(node.entries);
+    return std::optional<SplitResult>();
+  }
+
+  // Overflow: quadratic split.
+  std::vector<Entry> left_entries, right_entries;
+  QuadraticSplit(&node.entries, &left_entries, &right_entries);
+  Node right;
+  right.leaf = node.leaf;
+  right.entries = std::move(right_entries);
+  node.entries = std::move(left_entries);
+  BDBMS_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+  PageId right_id = rh.id();
+  rh.Release();
+  BDBMS_RETURN_IF_ERROR(WriteNode(right_id, right));
+  BDBMS_RETURN_IF_ERROR(WriteNode(node_id, node));
+  *node_rect = BoundingRect(node.entries);
+  return std::optional<SplitResult>(
+      SplitResult{*node_rect, BoundingRect(right.entries), right_id});
+}
+
+Status RTree::Insert(const Rect& rect, uint64_t payload) {
+  Rect root_rect;
+  BDBMS_ASSIGN_OR_RETURN(std::optional<SplitResult> split,
+                         InsertRec(root_, rect, payload, &root_rect));
+  if (split.has_value()) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.entries.push_back({split->left_rect, root_});
+    new_root.entries.push_back({split->right_rect, split->right});
+    BDBMS_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+    PageId new_root_id = rh.id();
+    rh.Release();
+    BDBMS_RETURN_IF_ERROR(WriteNode(new_root_id, new_root));
+    root_ = new_root_id;
+  }
+  ++size_;
+  return Status::Ok();
+}
+
+Status RTree::SearchWindow(
+    const Rect& window,
+    const std::function<bool(const Rect&, uint64_t)>& fn) const {
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    for (const Entry& e : node.entries) {
+      if (!e.rect.Intersects(window)) continue;
+      if (node.leaf) {
+        if (!fn(e.rect, e.payload)) return Status::Ok();
+      } else {
+        stack.push_back(static_cast<PageId>(e.payload));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::pair<uint64_t, double>>> RTree::SearchKnn(
+    double x, double y, size_t k) const {
+  struct QueueItem {
+    double dist2;
+    bool is_node;
+    PageId node;
+    uint64_t payload;
+    bool operator>(const QueueItem& o) const { return dist2 > o.dist2; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({0.0, true, root_, 0});
+  std::vector<std::pair<uint64_t, double>> out;
+  while (!pq.empty() && out.size() < k) {
+    QueueItem item = pq.top();
+    pq.pop();
+    if (!item.is_node) {
+      out.emplace_back(item.payload, std::sqrt(item.dist2));
+      continue;
+    }
+    BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(item.node));
+    for (const Entry& e : node.entries) {
+      double d2 = e.rect.MinDist2(x, y);
+      if (node.leaf) {
+        pq.push({d2, false, 0, e.payload});
+      } else {
+        pq.push({d2, true, static_cast<PageId>(e.payload), 0});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bdbms

@@ -1,0 +1,101 @@
+#ifndef BDBMS_INDEX_RTREE_RTREE_H_
+#define BDBMS_INDEX_RTREE_RTREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace bdbms {
+
+// Axis-aligned rectangle (degenerate rectangles represent points).
+struct Rect {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  static Rect Point(double x, double y) { return {x, y, x, y}; }
+
+  bool Intersects(const Rect& o) const {
+    return x1 <= o.x2 && o.x1 <= x2 && y1 <= o.y2 && o.y1 <= y2;
+  }
+  bool Contains(const Rect& o) const {
+    return x1 <= o.x1 && o.x2 <= x2 && y1 <= o.y1 && o.y2 <= y2;
+  }
+  double Area() const { return (x2 - x1) * (y2 - y1); }
+  Rect Union(const Rect& o) const {
+    return {std::min(x1, o.x1), std::min(y1, o.y1), std::max(x2, o.x2),
+            std::max(y2, o.y2)};
+  }
+  // Squared distance from point (px, py) to this rectangle (0 inside).
+  double MinDist2(double px, double py) const;
+};
+
+// Disk-based R-tree (Guttman, quadratic split) over 2-D rectangles with
+// uint64 payloads. Baseline access method for the SP-GiST kd-tree /
+// quadtree experiments (paper §7.1) and the stand-in for the SBC-tree's
+// 3-sided range structure (§7.2, as in the authors' own prototype).
+class RTree {
+ public:
+  static Result<std::unique_ptr<RTree>> CreateInMemory(size_t pool_pages = 256);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  Status Insert(const Rect& rect, uint64_t payload);
+
+  // Visits every entry whose rectangle intersects `window`; fn returning
+  // false stops the search.
+  Status SearchWindow(
+      const Rect& window,
+      const std::function<bool(const Rect&, uint64_t)>& fn) const;
+
+  // The k nearest entries to (x, y) by rectangle distance, closest first.
+  Result<std::vector<std::pair<uint64_t, double>>> SearchKnn(double x,
+                                                             double y,
+                                                             size_t k) const;
+
+  uint64_t size() const { return size_; }
+  uint64_t SizeBytes() const { return pager_->SizeBytes(); }
+  const IoStats& io_stats() const { return pager_->stats(); }
+  IoStats& io_stats() { return pager_->stats(); }
+
+ private:
+  explicit RTree(std::unique_ptr<Pager> pager, size_t pool_pages);
+
+  struct Entry {
+    Rect rect;
+    uint64_t payload;  // leaf: user payload, inner: child PageId
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  Result<Node> ReadNode(PageId id) const;
+  Status WriteNode(PageId id, const Node& node);
+
+  struct SplitResult {
+    Rect left_rect, right_rect;
+    PageId right;
+  };
+  Result<std::optional<SplitResult>> InsertRec(PageId node_id,
+                                               const Rect& rect,
+                                               uint64_t payload,
+                                               Rect* node_rect);
+
+  // Guttman's quadratic split of an overfull entry set.
+  static void QuadraticSplit(std::vector<Entry>* all, std::vector<Entry>* left,
+                             std::vector<Entry>* right);
+  static Rect BoundingRect(const std::vector<Entry>& entries);
+
+  std::unique_ptr<Pager> pager_;
+  mutable std::unique_ptr<BufferPool> pool_;
+  PageId root_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_INDEX_RTREE_RTREE_H_

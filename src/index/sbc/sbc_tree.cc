@@ -1,0 +1,296 @@
+#include "index/sbc/sbc_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bdbms {
+
+namespace {
+
+std::string SerializeRuns(const std::vector<RleRun>& runs) {
+  std::string out;
+  out.reserve(runs.size() * 5);
+  for (const RleRun& r : runs) {
+    out.push_back(r.ch);
+    out.append(reinterpret_cast<const char*>(&r.length), 4);
+  }
+  return out;
+}
+
+Result<std::vector<RleRun>> DeserializeRuns(std::string_view data) {
+  if (data.size() % 5 != 0) {
+    return Status::Corruption("bad RLE record size");
+  }
+  std::vector<RleRun> runs;
+  runs.reserve(data.size() / 5);
+  for (size_t i = 0; i < data.size(); i += 5) {
+    RleRun r;
+    r.ch = data[i];
+    std::memcpy(&r.length, data.data() + i + 1, 4);
+    runs.push_back(r);
+  }
+  return runs;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SbcTree>> SbcTree::CreateInMemory(size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> store,
+                         HeapFile::CreateInMemory(pool_pages));
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> tree,
+                         BPlusTree::CreateInMemory(pool_pages));
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> start_tree,
+                         BPlusTree::CreateInMemory(64));
+  return std::unique_ptr<SbcTree>(new SbcTree(
+      std::move(store), std::move(tree), std::move(start_tree)));
+}
+
+std::string SbcTree::ExpandRuns(const std::vector<RleRun>& runs, size_t from,
+                                size_t limit) {
+  std::string out;
+  for (size_t i = from; i < runs.size() && out.size() < limit; ++i) {
+    size_t take = std::min<size_t>(limit - out.size(), runs[i].length);
+    out.append(take, runs[i].ch);
+  }
+  return out;
+}
+
+Result<uint64_t> SbcTree::AddSequence(const std::string& sequence) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("empty sequence");
+  }
+  std::vector<RleRun> runs = Rle::Encode(sequence);
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid, store_->Insert(SerializeRuns(runs)));
+  uint64_t seq_id = next_seq_id_++;
+  seqs_[seq_id] = rid;
+  // One entry per run boundary: key = run char + bounded raw tail.
+  for (size_t j = 0; j < runs.size(); ++j) {
+    std::string key;
+    key.push_back(runs[j].ch);
+    key += ExpandRuns(runs, j + 1, kTailKeyLen);
+    BDBMS_RETURN_IF_ERROR(
+        tree_->Insert(key, PackPayload(seq_id, j, runs[j].length)));
+  }
+  // Whole-sequence key for range search.
+  BDBMS_RETURN_IF_ERROR(
+      start_tree_->Insert(ExpandRuns(runs, 0, StringBTree::kKeyPrefixLen),
+                          seq_id));
+  return seq_id;
+}
+
+Result<std::vector<RleRun>> SbcTree::GetRuns(uint64_t seq_id) const {
+  auto it = seqs_.find(seq_id);
+  if (it == seqs_.end()) {
+    return Status::NotFound("no sequence " + std::to_string(seq_id));
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::string payload, store_->Read(it->second));
+  return DeserializeRuns(payload);
+}
+
+Result<std::string> SbcTree::GetSequence(uint64_t seq_id) const {
+  BDBMS_ASSIGN_OR_RETURN(std::vector<RleRun> runs, GetRuns(seq_id));
+  return Rle::Decode(runs);
+}
+
+bool SbcTree::VerifyAt(const std::vector<RleRun>& seq_runs, size_t run_idx,
+                       const std::vector<RleRun>& q) {
+  size_t k = q.size();
+  if (run_idx + k > seq_runs.size()) return false;
+  // First pattern run: suffix of the anchor run.
+  if (seq_runs[run_idx].ch != q[0].ch || seq_runs[run_idx].length < q[0].length)
+    return false;
+  if (k == 1) return true;
+  // Middle runs: exact.
+  for (size_t i = 1; i + 1 < k; ++i) {
+    if (!(seq_runs[run_idx + i] == q[i])) return false;
+  }
+  // Last run: prefix of the sequence run.
+  const RleRun& last = seq_runs[run_idx + k - 1];
+  return last.ch == q[k - 1].ch && last.length >= q[k - 1].length;
+}
+
+uint64_t SbcTree::MatchOffset(const std::vector<RleRun>& seq_runs,
+                              size_t run_idx,
+                              const std::vector<RleRun>& q) {
+  uint64_t offset = 0;
+  for (size_t i = 0; i < run_idx; ++i) offset += seq_runs[i].length;
+  // Single-run patterns report the first occurrence inside the run;
+  // multi-run occurrences end flush with the anchor run.
+  if (q.size() > 1) offset += seq_runs[run_idx].length - q[0].length;
+  return offset;
+}
+
+Result<std::vector<SequenceMatch>> SbcTree::SearchSubstring(
+    const std::string& pattern) const {
+  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  std::vector<RleRun> q = Rle::Encode(pattern);
+
+  // B-tree probe: anchor char + raw tail after the first pattern run.
+  std::string probe;
+  probe.push_back(q[0].ch);
+  std::string raw_tail = pattern.substr(q[0].length);
+  bool tail_truncated = raw_tail.size() > kTailKeyLen;
+  probe += raw_tail.substr(0, kTailKeyLen);
+
+  std::vector<uint64_t> candidates;
+  if (three_sided_active()) {
+    // 3-sided query through the R-tree: key-rank range x length >= q0.len.
+    auto lo_it = std::lower_bound(rank_keys_.begin(), rank_keys_.end(), probe);
+    std::string probe_hi = probe + "\xff";
+    auto hi_it = std::upper_bound(rank_keys_.begin(), rank_keys_.end(),
+                                  probe_hi);
+    double rank_lo = static_cast<double>(lo_it - rank_keys_.begin());
+    double rank_hi = static_cast<double>(hi_it - rank_keys_.begin());
+    Rect window{rank_lo - 0.5, static_cast<double>(q[0].length), rank_hi + 0.5,
+                1e18};
+    BDBMS_RETURN_IF_ERROR(three_sided_->SearchWindow(
+        window, [&](const Rect&, uint64_t payload) {
+          candidates.push_back(payload);
+          return true;
+        }));
+  } else {
+    BDBMS_RETURN_IF_ERROR(
+        tree_->ScanPrefix(probe, [&](std::string_view, uint64_t payload) {
+          if (LenOf(payload) >= q[0].length) candidates.push_back(payload);
+          return true;
+        }));
+  }
+
+  std::vector<SequenceMatch> out;
+  std::map<uint64_t, std::vector<RleRun>> run_cache;
+  for (uint64_t payload : candidates) {
+    uint64_t seq_id = SeqOf(payload);
+    uint64_t run_idx = RunOf(payload);
+    if (tail_truncated || LenOf(payload) == 0xFFFFF) {
+      auto it = run_cache.find(seq_id);
+      if (it == run_cache.end()) {
+        BDBMS_ASSIGN_OR_RETURN(std::vector<RleRun> runs, GetRuns(seq_id));
+        it = run_cache.emplace(seq_id, std::move(runs)).first;
+      }
+      if (!VerifyAt(it->second, run_idx, q)) continue;
+      out.push_back({seq_id, MatchOffset(it->second, run_idx, q)});
+    } else {
+      // Key + payload alone prove the match; compute the offset from the
+      // run vector (cached, one read per sequence).
+      auto it = run_cache.find(seq_id);
+      if (it == run_cache.end()) {
+        BDBMS_ASSIGN_OR_RETURN(std::vector<RleRun> runs, GetRuns(seq_id));
+        it = run_cache.emplace(seq_id, std::move(runs)).first;
+      }
+      out.push_back({seq_id, MatchOffset(it->second, run_idx, q)});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<uint64_t>> SbcTree::SearchPrefix(
+    const std::string& pattern) const {
+  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  std::vector<RleRun> q = Rle::Encode(pattern);
+  BDBMS_ASSIGN_OR_RETURN(std::vector<SequenceMatch> matches,
+                         SearchSubstring(pattern));
+  std::vector<uint64_t> out;
+  for (const SequenceMatch& m : matches) {
+    if (m.offset != 0) continue;
+    // Multi-run patterns: offset 0 already implies the first run matched
+    // with exactly q[0].length characters before the next run.
+    out.push_back(m.seq_id);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int SbcTree::CompareRunsToRaw(const std::vector<RleRun>& runs,
+                              const std::string& raw) {
+  size_t pos = 0;
+  for (const RleRun& r : runs) {
+    for (uint32_t i = 0; i < r.length; ++i) {
+      if (pos >= raw.size()) return 1;  // raw is a proper prefix
+      if (r.ch != raw[pos]) return r.ch < raw[pos] ? -1 : 1;
+      ++pos;
+    }
+  }
+  return pos == raw.size() ? 0 : -1;
+}
+
+Result<std::vector<uint64_t>> SbcTree::SearchRange(
+    const std::string& lo, const std::string& hi) const {
+  std::vector<uint64_t> candidates;
+  std::string lo_key = lo.substr(0, StringBTree::kKeyPrefixLen);
+  std::string hi_key = hi.substr(0, StringBTree::kKeyPrefixLen);
+  BDBMS_RETURN_IF_ERROR(start_tree_->ScanRange(
+      lo_key, hi_key + "\xff", [&](std::string_view, uint64_t seq_id) {
+        candidates.push_back(seq_id);
+        return true;
+      }));
+  std::vector<uint64_t> out;
+  for (uint64_t seq_id : candidates) {
+    BDBMS_ASSIGN_OR_RETURN(std::vector<RleRun> runs, GetRuns(seq_id));
+    if (CompareRunsToRaw(runs, lo) >= 0 && CompareRunsToRaw(runs, hi) < 0) {
+      out.push_back(seq_id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status SbcTree::BuildThreeSidedIndex() {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<RTree> rtree,
+                         RTree::CreateInMemory());
+  rank_keys_.clear();
+  // One pass over the B-tree in key order: rank = position.
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  BDBMS_RETURN_IF_ERROR(
+      tree_->ScanPrefix("", [&](std::string_view key, uint64_t payload) {
+        entries.emplace_back(std::string(key), payload);
+        return true;
+      }));
+  for (size_t rank = 0; rank < entries.size(); ++rank) {
+    rank_keys_.push_back(entries[rank].first);
+    BDBMS_RETURN_IF_ERROR(rtree->Insert(
+        Rect::Point(static_cast<double>(rank),
+                    static_cast<double>(LenOf(entries[rank].second))),
+        entries[rank].second));
+  }
+  three_sided_ = std::move(rtree);
+  entries_at_build_ = tree_->size();
+  return Status::Ok();
+}
+
+bool SbcTree::three_sided_active() const {
+  return three_sided_ != nullptr && entries_at_build_ == tree_->size();
+}
+
+uint64_t SbcTree::SizeBytes() const {
+  uint64_t total = store_->SizeBytes() + tree_->SizeBytes() +
+                   start_tree_->SizeBytes();
+  if (three_sided_ != nullptr) total += three_sided_->SizeBytes();
+  return total;
+}
+
+IoStats SbcTree::TotalIo() const {
+  IoStats total = store_->io_stats();
+  for (const IoStats* s : {&tree_->io_stats(), &start_tree_->io_stats()}) {
+    total.page_reads += s->page_reads;
+    total.page_writes += s->page_writes;
+    total.pages_allocated += s->pages_allocated;
+  }
+  if (three_sided_ != nullptr) {
+    const IoStats& s = three_sided_->io_stats();
+    total.page_reads += s.page_reads;
+    total.page_writes += s.page_writes;
+    total.pages_allocated += s.pages_allocated;
+  }
+  return total;
+}
+
+void SbcTree::ResetIo() {
+  store_->io_stats().Reset();
+  tree_->io_stats().Reset();
+  start_tree_->io_stats().Reset();
+  if (three_sided_ != nullptr) three_sided_->io_stats().Reset();
+}
+
+}  // namespace bdbms

@@ -1,0 +1,113 @@
+#include "index/sbc/string_btree.h"
+
+#include <algorithm>
+
+namespace bdbms {
+
+Result<std::unique_ptr<StringBTree>> StringBTree::CreateInMemory(
+    size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> store,
+                         HeapFile::CreateInMemory(pool_pages));
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> tree,
+                         BPlusTree::CreateInMemory(pool_pages));
+  return std::unique_ptr<StringBTree>(
+      new StringBTree(std::move(store), std::move(tree)));
+}
+
+Result<uint64_t> StringBTree::AddSequence(const std::string& sequence) {
+  if (sequence.empty()) {
+    return Status::InvalidArgument("empty sequence");
+  }
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid, store_->Insert(sequence));
+  uint64_t seq_id = next_seq_id_++;
+  seqs_[seq_id] = rid;
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    std::string key = sequence.substr(i, kKeyPrefixLen);
+    BDBMS_RETURN_IF_ERROR(tree_->Insert(key, PackPayload(seq_id, i)));
+  }
+  return seq_id;
+}
+
+Result<std::string> StringBTree::GetSequence(uint64_t seq_id) const {
+  auto it = seqs_.find(seq_id);
+  if (it == seqs_.end()) {
+    return Status::NotFound("no sequence " + std::to_string(seq_id));
+  }
+  return store_->Read(it->second);
+}
+
+Result<std::vector<SequenceMatch>> StringBTree::SearchSubstring(
+    const std::string& pattern) const {
+  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  std::vector<SequenceMatch> out;
+  std::string probe = pattern.substr(0, kKeyPrefixLen);
+  std::vector<SequenceMatch> candidates;
+  BDBMS_RETURN_IF_ERROR(
+      tree_->ScanPrefix(probe, [&](std::string_view, uint64_t payload) {
+        candidates.push_back({payload >> 32, payload & 0xFFFFFFFFu});
+        return true;
+      }));
+  if (pattern.size() <= kKeyPrefixLen) {
+    out = std::move(candidates);
+  } else {
+    // Pattern exceeds the truncated key: verify against the stored
+    // sequence (these reads are the I/O cost of long patterns).
+    for (const SequenceMatch& m : candidates) {
+      BDBMS_ASSIGN_OR_RETURN(std::string seq, GetSequence(m.seq_id));
+      if (seq.compare(m.offset, pattern.size(), pattern) == 0) {
+        out.push_back(m);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<uint64_t>> StringBTree::SearchPrefix(
+    const std::string& pattern) const {
+  BDBMS_ASSIGN_OR_RETURN(std::vector<SequenceMatch> matches,
+                         SearchSubstring(pattern));
+  std::vector<uint64_t> out;
+  for (const SequenceMatch& m : matches) {
+    if (m.offset == 0) out.push_back(m.seq_id);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<uint64_t>> StringBTree::SearchRange(
+    const std::string& lo, const std::string& hi) const {
+  std::vector<uint64_t> out;
+  std::string lo_key = lo.substr(0, kKeyPrefixLen);
+  std::string hi_key = hi.substr(0, kKeyPrefixLen);
+  std::vector<SequenceMatch> candidates;
+  BDBMS_RETURN_IF_ERROR(tree_->ScanRange(
+      lo_key, hi_key + "\xff", [&](std::string_view, uint64_t payload) {
+        if ((payload & 0xFFFFFFFFu) == 0) {
+          candidates.push_back({payload >> 32, 0});
+        }
+        return true;
+      }));
+  for (const SequenceMatch& m : candidates) {
+    BDBMS_ASSIGN_OR_RETURN(std::string seq, GetSequence(m.seq_id));
+    if (seq >= lo && seq < hi) out.push_back(m.seq_id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+IoStats StringBTree::TotalIo() const {
+  IoStats total = store_->io_stats();
+  const IoStats& t = tree_->io_stats();
+  total.page_reads += t.page_reads;
+  total.page_writes += t.page_writes;
+  total.pages_allocated += t.pages_allocated;
+  return total;
+}
+
+void StringBTree::ResetIo() {
+  store_->io_stats().Reset();
+  tree_->io_stats().Reset();
+}
+
+}  // namespace bdbms

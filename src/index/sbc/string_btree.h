@@ -1,0 +1,82 @@
+#ifndef BDBMS_INDEX_SBC_STRING_BTREE_H_
+#define BDBMS_INDEX_SBC_STRING_BTREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/btree/bplus_tree.h"
+#include "storage/heap_file.h"
+
+namespace bdbms {
+
+// A substring/prefix match: which sequence, at which character offset.
+struct SequenceMatch {
+  uint64_t seq_id;
+  uint64_t offset;
+
+  bool operator==(const SequenceMatch&) const = default;
+  bool operator<(const SequenceMatch& o) const {
+    return seq_id != o.seq_id ? seq_id < o.seq_id : offset < o.offset;
+  }
+};
+
+// String B-tree over *uncompressed* sequences: the baseline the SBC-tree
+// is compared against (paper §7.2). Every character position of every
+// stored sequence contributes one suffix entry to a disk B+-tree (keys
+// truncated to a bounded prefix; longer patterns fall back to verification
+// against the stored sequence, I/O counted).
+class StringBTree {
+ public:
+  // Suffix keys keep this many characters; patterns longer than this are
+  // verified against the sequence store.
+  static constexpr size_t kKeyPrefixLen = 40;
+
+  static Result<std::unique_ptr<StringBTree>> CreateInMemory(
+      size_t pool_pages = 256);
+
+  StringBTree(const StringBTree&) = delete;
+  StringBTree& operator=(const StringBTree&) = delete;
+
+  // Stores `sequence` and indexes all of its suffixes. Returns its id.
+  Result<uint64_t> AddSequence(const std::string& sequence);
+
+  // All occurrences of `pattern` as a substring of any stored sequence.
+  Result<std::vector<SequenceMatch>> SearchSubstring(
+      const std::string& pattern) const;
+
+  // Sequences having `pattern` as a prefix.
+  Result<std::vector<uint64_t>> SearchPrefix(const std::string& pattern) const;
+
+  // Sequences lexicographically in [lo, hi).
+  Result<std::vector<uint64_t>> SearchRange(const std::string& lo,
+                                            const std::string& hi) const;
+
+  Result<std::string> GetSequence(uint64_t seq_id) const;
+
+  uint64_t sequence_count() const { return seqs_.size(); }
+  uint64_t entry_count() const { return tree_->size(); }
+  uint64_t SizeBytes() const { return store_->SizeBytes() + tree_->SizeBytes(); }
+  // Aggregate logical I/O across the sequence store and the B-tree.
+  IoStats TotalIo() const;
+  void ResetIo();
+
+ private:
+  StringBTree(std::unique_ptr<HeapFile> store, std::unique_ptr<BPlusTree> tree)
+      : store_(std::move(store)), tree_(std::move(tree)) {}
+
+  static uint64_t PackPayload(uint64_t seq_id, uint64_t offset) {
+    return (seq_id << 32) | offset;
+  }
+
+  std::unique_ptr<HeapFile> store_;   // raw sequences
+  std::unique_ptr<BPlusTree> tree_;   // suffix entries
+  std::map<uint64_t, RecordId> seqs_;
+  uint64_t next_seq_id_ = 0;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_INDEX_SBC_STRING_BTREE_H_

@@ -1,0 +1,120 @@
+#include "index/spgist/regex.h"
+
+#include <algorithm>
+
+namespace bdbms {
+
+Result<RegexProgram> RegexProgram::Compile(std::string_view pattern) {
+  RegexProgram prog;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    Atom atom;
+    char c = pattern[i];
+    if (c == '*' || c == '+' || c == '?') {
+      return Status::InvalidArgument("regex: dangling quantifier");
+    }
+    if (c == '.') {
+      atom.kind = Atom::Kind::kAny;
+      ++i;
+    } else if (c == '[') {
+      size_t close = pattern.find(']', i + 1);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("regex: unterminated character class");
+      }
+      atom.kind = Atom::Kind::kClass;
+      atom.char_class = std::string(pattern.substr(i + 1, close - i - 1));
+      if (atom.char_class.empty()) {
+        return Status::InvalidArgument("regex: empty character class");
+      }
+      i = close + 1;
+    } else if (c == '\\') {
+      if (i + 1 >= pattern.size()) {
+        return Status::InvalidArgument("regex: trailing backslash");
+      }
+      atom.kind = Atom::Kind::kLiteral;
+      atom.literal = pattern[i + 1];
+      i += 2;
+    } else {
+      atom.kind = Atom::Kind::kLiteral;
+      atom.literal = c;
+      ++i;
+    }
+    if (i < pattern.size()) {
+      if (pattern[i] == '*') {
+        atom.star = true;
+        atom.optional = true;
+        ++i;
+      } else if (pattern[i] == '+') {
+        atom.star = true;  // at least once, then repeats
+        ++i;
+      } else if (pattern[i] == '?') {
+        atom.optional = true;
+        ++i;
+      }
+    }
+    prog.atoms_.push_back(std::move(atom));
+  }
+  return prog;
+}
+
+void RegexProgram::Close(std::vector<int>* states) const {
+  // Epsilon closure: optional atoms may be skipped.
+  std::vector<bool> seen(atoms_.size() + 1, false);
+  std::vector<int> stack = *states;
+  states->clear();
+  for (int s : stack) {
+    if (!seen[s]) {
+      seen[s] = true;
+      states->push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    if (s < static_cast<int>(atoms_.size()) && atoms_[s].optional &&
+        !seen[s + 1]) {
+      seen[s + 1] = true;
+      states->push_back(s + 1);
+      stack.push_back(s + 1);
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+std::vector<int> RegexProgram::StartStates() const {
+  std::vector<int> states{0};
+  Close(&states);
+  return states;
+}
+
+std::vector<int> RegexProgram::Advance(const std::vector<int>& states,
+                                       char c) const {
+  std::vector<int> next;
+  for (int s : states) {
+    if (s >= static_cast<int>(atoms_.size())) continue;
+    const Atom& atom = atoms_[s];
+    if (!atom.Matches(c)) continue;
+    if (atom.star) next.push_back(s);  // may repeat
+    next.push_back(s + 1);             // consumed once
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  Close(&next);
+  return next;
+}
+
+bool RegexProgram::Accepting(const std::vector<int>& states) const {
+  return std::find(states.begin(), states.end(),
+                   static_cast<int>(atoms_.size())) != states.end();
+}
+
+bool RegexProgram::FullMatch(std::string_view text) const {
+  std::vector<int> states = StartStates();
+  for (char c : text) {
+    states = Advance(states, c);
+    if (states.empty()) return false;
+  }
+  return Accepting(states);
+}
+
+}  // namespace bdbms

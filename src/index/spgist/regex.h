@@ -1,0 +1,65 @@
+#ifndef BDBMS_INDEX_SPGIST_REGEX_H_
+#define BDBMS_INDEX_SPGIST_REGEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bdbms {
+
+// Small NFA-based regular-expression engine used by the SP-GiST trie's
+// regular-expression match search (paper §7.1). Supported syntax:
+//   literal characters,  .  (any char),  [abc] character classes,
+//   X* (zero or more of the preceding atom), X+ and X? sugar.
+// The engine exposes its state sets so the trie can advance the NFA edge
+// by edge while descending and prune subtrees whose state set goes dead.
+class RegexProgram {
+ public:
+  static Result<RegexProgram> Compile(std::string_view pattern);
+
+  // State set at the start of matching (epsilon-closed).
+  std::vector<int> StartStates() const;
+
+  // Advances every state in `states` over character `c` (epsilon-closed).
+  // An empty result means no continuation can ever match.
+  std::vector<int> Advance(const std::vector<int>& states, char c) const;
+
+  // True if any state in the set is accepting (the whole input consumed a
+  // full match).
+  bool Accepting(const std::vector<int>& states) const;
+
+  // Convenience: does the entire `text` match?
+  bool FullMatch(std::string_view text) const;
+
+ private:
+  struct Atom {
+    enum class Kind { kLiteral, kAny, kClass } kind = Kind::kLiteral;
+    char literal = 0;
+    std::string char_class;
+    bool star = false;   // may repeat
+    bool optional = false;  // may be skipped (from * or ?)
+
+    bool Matches(char c) const {
+      switch (kind) {
+        case Kind::kLiteral:
+          return c == literal;
+        case Kind::kAny:
+          return true;
+        case Kind::kClass:
+          return char_class.find(c) != std::string::npos;
+      }
+      return false;
+    }
+  };
+
+  // State i = "first i atoms consumed"; state atoms_.size() accepts.
+  void Close(std::vector<int>* states) const;
+
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_INDEX_SPGIST_REGEX_H_

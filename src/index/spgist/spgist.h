@@ -1,0 +1,316 @@
+#ifndef BDBMS_INDEX_SPGIST_SPGIST_H_
+#define BDBMS_INDEX_SPGIST_SPGIST_H_
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/heap_file.h"
+
+namespace bdbms {
+
+// SP-GiST: an extensible indexing framework for the class of space-
+// partitioning trees (paper §7.1, citing Aref & Ilyas). The framework owns
+// node storage (paged, I/O counted), descent, splits and traversal; an
+// operator class instantiates a concrete index (disk-based trie, kd-tree,
+// PR quadtree, ...) by supplying the partitioning logic — mirroring the
+// PostgreSQL SP-GiST extension API the authors integrated:
+//
+//   struct Op {
+//     using Key;      // leaf datum
+//     using Query;    // search descriptor
+//     struct Config;  // per-index parameters (e.g. world bounds)
+//     struct State;   // traversal state reconstructed along the path
+//     struct Inner {  // inner-node content (labels/planes/quadrants)
+//       size_t NumChildren() const;
+//       uint64_t child(size_t) const;
+//       void set_child(size_t, uint64_t);
+//     };
+//     static State RootState(const Config&);
+//     struct ChooseResult { size_t slot; bool modified; };
+//     static ChooseResult Choose(Inner*, Key*, const State&);   // descent
+//     static State Descend(const Inner&, size_t slot, const State&);
+//     static void PickSplit(const State&,
+//                           std::vector<std::pair<Key, uint64_t>>* entries,
+//                           Inner* inner,
+//                           std::vector<std::vector<std::pair<Key, uint64_t>>>*
+//                               partitions);
+//     static void SearchChildren(const Inner&, const Query&, const State&,
+//                                std::vector<size_t>* out);
+//     static bool LeafConsistent(const Query&, const State&, const Key&);
+//     static bool KeyEquals(const Key&, const Key&);
+//     static void EncodeKey(const Key&, std::string*);
+//     static Result<Key> DecodeKey(std::string_view, size_t*);
+//     static void EncodeInner(const Inner&, std::string*);
+//     static Result<Inner> DecodeInner(std::string_view, size_t*);
+//     static constexpr bool kSupportsKnn;       // + the two hooks below
+//     static double StateBound2(const State&, double x, double y);
+//     static double KeyDist2(const Key&, double x, double y);
+//   };
+inline constexpr uint64_t kSpGistNullNode = UINT64_MAX;
+
+template <typename Op>
+class SpGistIndex {
+ public:
+  using Key = typename Op::Key;
+  using Query = typename Op::Query;
+  using State = typename Op::State;
+  using Config = typename Op::Config;
+  using LeafEntry = std::pair<Key, uint64_t>;
+
+  static Result<std::unique_ptr<SpGistIndex>> Create(Config config,
+                                                     size_t pool_pages = 256) {
+    BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                           HeapFile::CreateInMemory(pool_pages));
+    auto index = std::unique_ptr<SpGistIndex>(
+        new SpGistIndex(std::move(config), std::move(heap)));
+    Node root;
+    root.leaf = true;
+    BDBMS_RETURN_IF_ERROR(index->NewNode(root).status());
+    return index;
+  }
+
+  SpGistIndex(const SpGistIndex&) = delete;
+  SpGistIndex& operator=(const SpGistIndex&) = delete;
+
+  Status Insert(Key key, uint64_t payload) {
+    uint64_t node_id = 0;
+    State state = Op::RootState(config_);
+    for (;;) {
+      BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(node_id));
+      if (node.leaf) {
+        node.entries.emplace_back(key, payload);
+        if (node.entries.size() <= kLeafCapacity || AllKeysEqual(node)) {
+          BDBMS_RETURN_IF_ERROR(WriteNode(node_id, node));
+          ++size_;
+          return Status::Ok();
+        }
+        // Overflow: PickSplit turns this leaf into an inner node with
+        // fresh child leaves.
+        Node inner;
+        inner.leaf = false;
+        std::vector<std::vector<LeafEntry>> partitions;
+        Op::PickSplit(state, &node.entries, &inner.inner, &partitions);
+        if (partitions.size() != inner.inner.NumChildren()) {
+          return Status::Internal("PickSplit partition/child mismatch");
+        }
+        // No-progress guard (e.g. every key in the same quadrant of a
+        // degenerate region): keep the oversized leaf.
+        for (const auto& part : partitions) {
+          if (part.size() == node.entries.size() && partitions.size() > 0 &&
+              node.entries.size() > kLeafCapacity * 4) {
+            BDBMS_RETURN_IF_ERROR(WriteNode(node_id, node));
+            ++size_;
+            return Status::Ok();
+          }
+        }
+        for (size_t i = 0; i < partitions.size(); ++i) {
+          if (partitions[i].empty()) {
+            inner.inner.set_child(i, kSpGistNullNode);
+            continue;
+          }
+          Node child;
+          child.leaf = true;
+          child.entries = std::move(partitions[i]);
+          BDBMS_ASSIGN_OR_RETURN(uint64_t child_id, NewNode(child));
+          inner.inner.set_child(i, child_id);
+        }
+        BDBMS_RETURN_IF_ERROR(WriteNode(node_id, inner));
+        ++size_;
+        return Status::Ok();
+      }
+
+      typename Op::ChooseResult choice = Op::Choose(&node.inner, &key, state);
+      State child_state = Op::Descend(node.inner, choice.slot, state);
+      uint64_t child = node.inner.child(choice.slot);
+      if (child == kSpGistNullNode) {
+        Node leaf;
+        leaf.leaf = true;
+        leaf.entries.emplace_back(std::move(key), payload);
+        BDBMS_ASSIGN_OR_RETURN(uint64_t child_id, NewNode(leaf));
+        node.inner.set_child(choice.slot, child_id);
+        BDBMS_RETURN_IF_ERROR(WriteNode(node_id, node));
+        ++size_;
+        return Status::Ok();
+      }
+      if (choice.modified) {
+        BDBMS_RETURN_IF_ERROR(WriteNode(node_id, node));
+      }
+      node_id = child;
+      state = std::move(child_state);
+    }
+  }
+
+  // Visits every (key, payload) consistent with `query`; fn returning
+  // false stops the search.
+  Status Search(const Query& query,
+                const std::function<bool(const Key&, uint64_t)>& fn) const {
+    std::vector<std::pair<uint64_t, State>> stack;
+    stack.emplace_back(0, Op::RootState(config_));
+    while (!stack.empty()) {
+      auto [node_id, state] = std::move(stack.back());
+      stack.pop_back();
+      BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(node_id));
+      if (node.leaf) {
+        for (const LeafEntry& e : node.entries) {
+          if (Op::LeafConsistent(query, state, e.first)) {
+            if (!fn(e.first, e.second)) return Status::Ok();
+          }
+        }
+        continue;
+      }
+      std::vector<size_t> children;
+      Op::SearchChildren(node.inner, query, state, &children);
+      for (size_t slot : children) {
+        uint64_t child = node.inner.child(slot);
+        if (child == kSpGistNullNode) continue;
+        stack.emplace_back(child, Op::Descend(node.inner, slot, state));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // k-nearest-neighbor search (best-first over partition lower bounds).
+  // Only for operator classes with kSupportsKnn.
+  Result<std::vector<std::pair<uint64_t, double>>> SearchKnn(double x,
+                                                             double y,
+                                                             size_t k) const {
+    static_assert(Op::kSupportsKnn, "operator class has no distance support");
+    struct Item {
+      double dist2;
+      bool is_node;
+      uint64_t node;
+      State state;
+      uint64_t payload;
+      bool operator>(const Item& o) const { return dist2 > o.dist2; }
+    };
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0.0, true, 0, Op::RootState(config_), 0});
+    std::vector<std::pair<uint64_t, double>> out;
+    while (!pq.empty() && out.size() < k) {
+      Item item = pq.top();
+      pq.pop();
+      if (!item.is_node) {
+        out.emplace_back(item.payload, std::sqrt(item.dist2));
+        continue;
+      }
+      BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(item.node));
+      if (node.leaf) {
+        for (const LeafEntry& e : node.entries) {
+          pq.push({Op::KeyDist2(e.first, x, y), false, 0, item.state,
+                   e.second});
+        }
+        continue;
+      }
+      for (size_t slot = 0; slot < node.inner.NumChildren(); ++slot) {
+        uint64_t child = node.inner.child(slot);
+        if (child == kSpGistNullNode) continue;
+        State child_state = Op::Descend(node.inner, slot, item.state);
+        pq.push({Op::StateBound2(child_state, x, y), true, child,
+                 std::move(child_state), 0});
+      }
+    }
+    return out;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t node_count() const { return nodes_.size(); }
+  uint64_t SizeBytes() const { return heap_->SizeBytes(); }
+  const IoStats& io_stats() const { return heap_->io_stats(); }
+  IoStats& io_stats() { return heap_->io_stats(); }
+
+ private:
+  static constexpr size_t kLeafCapacity = 32;
+
+  struct Node {
+    bool leaf = true;
+    std::vector<LeafEntry> entries;  // leaf content
+    typename Op::Inner inner;        // inner content
+  };
+
+  SpGistIndex(Config config, std::unique_ptr<HeapFile> heap)
+      : config_(std::move(config)), heap_(std::move(heap)) {}
+
+  static bool AllKeysEqual(const Node& node) {
+    for (size_t i = 1; i < node.entries.size(); ++i) {
+      if (!Op::KeyEquals(node.entries[i].first, node.entries[0].first)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static std::string EncodeNode(const Node& node) {
+    std::string out;
+    out.push_back(node.leaf ? 0 : 1);
+    if (node.leaf) {
+      uint32_t count = static_cast<uint32_t>(node.entries.size());
+      out.append(reinterpret_cast<const char*>(&count), 4);
+      for (const LeafEntry& e : node.entries) {
+        Op::EncodeKey(e.first, &out);
+        out.append(reinterpret_cast<const char*>(&e.second), 8);
+      }
+    } else {
+      Op::EncodeInner(node.inner, &out);
+    }
+    return out;
+  }
+
+  static Result<Node> DecodeNode(std::string_view data) {
+    if (data.empty()) return Status::Corruption("empty sp-gist node");
+    Node node;
+    node.leaf = data[0] == 0;
+    size_t off = 1;
+    if (node.leaf) {
+      if (off + 4 > data.size()) return Status::Corruption("truncated leaf");
+      uint32_t count;
+      std::memcpy(&count, data.data() + off, 4);
+      off += 4;
+      for (uint32_t i = 0; i < count; ++i) {
+        BDBMS_ASSIGN_OR_RETURN(Key key, Op::DecodeKey(data, &off));
+        if (off + 8 > data.size()) return Status::Corruption("truncated leaf");
+        uint64_t payload;
+        std::memcpy(&payload, data.data() + off, 8);
+        off += 8;
+        node.entries.emplace_back(std::move(key), payload);
+      }
+    } else {
+      BDBMS_ASSIGN_OR_RETURN(node.inner, Op::DecodeInner(data, &off));
+    }
+    return node;
+  }
+
+  Result<uint64_t> NewNode(const Node& node) {
+    BDBMS_ASSIGN_OR_RETURN(RecordId rid, heap_->Insert(EncodeNode(node)));
+    nodes_.push_back(rid);
+    return nodes_.size() - 1;
+  }
+
+  Result<Node> ReadNode(uint64_t node_id) const {
+    if (node_id >= nodes_.size()) {
+      return Status::Corruption("bad sp-gist node id");
+    }
+    BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(nodes_[node_id]));
+    return DecodeNode(payload);
+  }
+
+  Status WriteNode(uint64_t node_id, const Node& node) {
+    BDBMS_RETURN_IF_ERROR(heap_->Delete(nodes_[node_id]));
+    BDBMS_ASSIGN_OR_RETURN(RecordId rid, heap_->Insert(EncodeNode(node)));
+    nodes_[node_id] = rid;
+    return Status::Ok();
+  }
+
+  Config config_;
+  std::unique_ptr<HeapFile> heap_;
+  std::vector<RecordId> nodes_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_INDEX_SPGIST_SPGIST_H_

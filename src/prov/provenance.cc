@@ -1,0 +1,97 @@
+#include "prov/provenance.h"
+
+#include <algorithm>
+
+namespace bdbms {
+
+std::string ProvenanceRecord::ToXml() const {
+  std::string xml = "<Provenance>";
+  xml += "<Source>" + Xml::Escape(source) + "</Source>";
+  xml += "<Operation>" + Xml::Escape(operation) + "</Operation>";
+  if (!program.empty()) {
+    xml += "<Program>" + Xml::Escape(program) + "</Program>";
+  }
+  if (!user.empty()) xml += "<User>" + Xml::Escape(user) + "</User>";
+  xml += "</Provenance>";
+  return xml;
+}
+
+Result<ProvenanceRecord> ProvenanceRecord::FromXml(
+    const std::string& xml_text) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root,
+                         Xml::Parse(xml_text));
+  BDBMS_RETURN_IF_ERROR(ProvenanceManager::RecordSchema().Validate(*root));
+  ProvenanceRecord rec;
+  rec.source = root->FindChild("Source")->text;
+  rec.operation = root->FindChild("Operation")->text;
+  if (const XmlElement* p = root->FindChild("Program")) rec.program = p->text;
+  if (const XmlElement* u = root->FindChild("User")) rec.user = u->text;
+  return rec;
+}
+
+const XmlSchema& ProvenanceManager::RecordSchema() {
+  static const XmlSchema* schema = new XmlSchema(
+      "Provenance", {"Source", "Operation"}, {"Program", "User", "Comment"});
+  return *schema;
+}
+
+Result<AnnotationId> ProvenanceManager::Record(const std::string& table,
+                                               const std::string& ann_name,
+                                               std::vector<Region> regions,
+                                               const ProvenanceRecord& record,
+                                               const std::string& principal) {
+  if (!IsSystemAgent(principal)) {
+    return Status::PermissionDenied(
+        "provenance is system-maintained: user " + principal +
+        " may not insert provenance records");
+  }
+  std::string xml = record.ToXml();
+  BDBMS_RETURN_IF_ERROR(RecordSchema().ValidateText(xml));
+  BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
+                         annotations_->Get(table, ann_name));
+  return at->Add(xml, std::move(regions), principal);
+}
+
+Result<std::optional<ProvenanceRecord>> ProvenanceManager::SourceAt(
+    const std::string& table, const std::string& ann_name, RowId row,
+    size_t col, uint64_t as_of) const {
+  BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
+                         annotations_->Get(table, ann_name));
+  std::optional<ProvenanceRecord> best;
+  uint64_t best_ts = 0;
+  for (AnnotationId id : at->IdsForCell(row, col)) {
+    BDBMS_ASSIGN_OR_RETURN(AnnotationMeta meta, at->Meta(id));
+    if (meta.timestamp > as_of) continue;
+    if (best.has_value() && meta.timestamp <= best_ts) continue;
+    BDBMS_ASSIGN_OR_RETURN(std::string body, at->Body(id));
+    BDBMS_ASSIGN_OR_RETURN(ProvenanceRecord rec,
+                           ProvenanceRecord::FromXml(body));
+    rec.timestamp = meta.timestamp;
+    best = std::move(rec);
+    best_ts = meta.timestamp;
+  }
+  return best;
+}
+
+Result<std::vector<ProvenanceRecord>> ProvenanceManager::History(
+    const std::string& table, const std::string& ann_name, RowId row,
+    size_t col) const {
+  BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
+                         annotations_->Get(table, ann_name));
+  std::vector<ProvenanceRecord> history;
+  for (AnnotationId id : at->IdsForCell(row, col)) {
+    BDBMS_ASSIGN_OR_RETURN(AnnotationMeta meta, at->Meta(id));
+    BDBMS_ASSIGN_OR_RETURN(std::string body, at->Body(id));
+    BDBMS_ASSIGN_OR_RETURN(ProvenanceRecord rec,
+                           ProvenanceRecord::FromXml(body));
+    rec.timestamp = meta.timestamp;
+    history.push_back(std::move(rec));
+  }
+  std::sort(history.begin(), history.end(),
+            [](const ProvenanceRecord& a, const ProvenanceRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return history;
+}
+
+}  // namespace bdbms

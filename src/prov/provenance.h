@@ -1,0 +1,87 @@
+#ifndef BDBMS_PROV_PROVENANCE_H_
+#define BDBMS_PROV_PROVENANCE_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "annot/annotation_manager.h"
+#include "common/result.h"
+#include "common/xml.h"
+
+namespace bdbms {
+
+// A structured provenance record (paper §4, Figure 8): where a piece of
+// data came from, through which operation/program, performed by whom.
+// Serialized as schema-enforced XML inside a provenance-flagged annotation
+// table.
+struct ProvenanceRecord {
+  std::string source;     // e.g. "RegulonDB", "local", "GenoBase"
+  std::string operation;  // insert | copy | update | overwrite
+  std::string program;    // optional: the tool that produced the data
+  std::string user;       // optional: acting user / integration agent
+  uint64_t timestamp = 0; // assigned on Record(), readable on queries
+
+  // Serializes to <Provenance>...</Provenance> XML.
+  std::string ToXml() const;
+  static Result<ProvenanceRecord> FromXml(const std::string& xml_text);
+};
+
+// Provenance manager: treats provenance as a category of annotations
+// (paper: "we treat provenance data as a kind of annotations") with two
+// extra rules from §4:
+//  1. Structure — bodies must validate against the provenance XML schema.
+//  2. Authorization — only registered system agents (integration tools,
+//     the engine itself) may write provenance; end users only read.
+class ProvenanceManager {
+ public:
+  explicit ProvenanceManager(AnnotationManager* annotations)
+      : annotations_(annotations) {
+    system_agents_.insert("system");
+  }
+
+  ProvenanceManager(const ProvenanceManager&) = delete;
+  ProvenanceManager& operator=(const ProvenanceManager&) = delete;
+
+  // The enforced structure of provenance bodies.
+  static const XmlSchema& RecordSchema();
+
+  // Grants `agent` the right to write provenance records.
+  void RegisterSystemAgent(const std::string& agent) {
+    system_agents_.insert(agent);
+  }
+  bool IsSystemAgent(const std::string& agent) const {
+    return system_agents_.count(agent) > 0;
+  }
+
+  // Writes `record` over `regions` into the provenance annotation table
+  // `ann_name` of `table`. Fails with PermissionDenied unless `principal`
+  // is a system agent.
+  Result<AnnotationId> Record(const std::string& table,
+                              const std::string& ann_name,
+                              std::vector<Region> regions,
+                              const ProvenanceRecord& record,
+                              const std::string& principal);
+
+  // Answers Figure 8's question "what is the source of this value at time
+  // T?": the latest provenance record covering cell (row, col) with
+  // timestamp <= as_of. nullopt when the cell has no provenance yet.
+  Result<std::optional<ProvenanceRecord>> SourceAt(const std::string& table,
+                                                   const std::string& ann_name,
+                                                   RowId row, size_t col,
+                                                   uint64_t as_of) const;
+
+  // Full provenance history of a cell, oldest first.
+  Result<std::vector<ProvenanceRecord>> History(const std::string& table,
+                                                const std::string& ann_name,
+                                                RowId row, size_t col) const;
+
+ private:
+  AnnotationManager* annotations_;
+  std::set<std::string> system_agents_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_PROV_PROVENANCE_H_

@@ -1,0 +1,236 @@
+#ifndef BDBMS_SQL_AST_H_
+#define BDBMS_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/value.h"
+#include "dep/rule.h"
+
+namespace bdbms {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,    // 42, 'text', NULL
+  kColumnRef,  // col or tbl.col
+  kBinary,     // comparisons, AND/OR, arithmetic, LIKE
+  kUnary,      // NOT, -, IS NULL, IS NOT NULL
+  kAggregate,  // COUNT/SUM/AVG/MIN/MAX
+  kAnnField,   // VALUE / CATEGORY / AUTHOR inside AWHERE/AHAVING/FILTER
+};
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv,
+  kLike,
+};
+
+enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+enum class AggFn { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+// Annotation attributes addressable in annotation conditions:
+//   VALUE     — the annotation's XML body text
+//   CATEGORY  — the annotation table it came from
+//   AUTHOR    — who added it
+enum class AnnField { kValue, kCategory, kAuthor };
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;                   // kLiteral
+  std::string qualifier;           // kColumnRef: optional table/alias
+  std::string column;              // kColumnRef
+  BinOp bin_op = BinOp::kEq;       // kBinary
+  UnOp un_op = UnOp::kNot;         // kUnary
+  AggFn agg_fn = AggFn::kCount;    // kAggregate
+  AnnField ann_field = AnnField::kValue;  // kAnnField
+
+  ExprPtr left;   // kBinary
+  ExprPtr right;  // kBinary
+  ExprPtr child;  // kUnary / kAggregate argument (null for COUNT(*))
+
+  bool ContainsAggregate() const {
+    if (kind == ExprKind::kAggregate) return true;
+    if (left && left->ContainsAggregate()) return true;
+    if (right && right->ContainsAggregate()) return true;
+    if (child && child->ContainsAggregate()) return true;
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SELECT (A-SQL Figure 7)
+// ---------------------------------------------------------------------------
+
+// One projected item: expression, optional alias, optional PROMOTE list —
+// columns whose annotations are copied onto this output column.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  std::vector<std::string> promote_columns;
+};
+
+// FROM entry: table [alias] [ANNOTATION(a, b, ...)] — the ANNOTATION
+// operator selects which annotation tables participate; ANNOTATION(ALL)
+// propagates every category.
+struct TableRef {
+  std::string table;
+  std::string alias;
+  std::vector<std::string> annotation_tables;
+  bool all_annotations = false;
+};
+
+enum class SetOpKind { kNone, kUnion, kIntersect, kExcept };
+
+struct SelectStmt {
+  bool distinct = false;
+  bool star = false;               // SELECT *
+  std::vector<SelectItem> items;   // empty iff star
+  std::vector<TableRef> from;
+  ExprPtr where;
+  ExprPtr awhere;                  // annotation condition on input tuples
+  std::vector<std::string> group_by;
+  ExprPtr having;
+  ExprPtr ahaving;                 // annotation condition on groups
+  ExprPtr filter;                  // annotation filter (tuples all pass)
+  std::vector<std::pair<std::string, bool>> order_by;  // (column, descending)
+  SetOpKind set_op = SetOpKind::kNone;
+  std::unique_ptr<SelectStmt> set_rhs;
+};
+
+// ---------------------------------------------------------------------------
+// DML / DDL
+// ---------------------------------------------------------------------------
+
+struct CreateTableStmt {
+  TableSchema schema;
+};
+struct DropTableStmt {
+  std::string table;
+};
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+// ---------------------------------------------------------------------------
+// A-SQL annotation commands (Figures 4 and 6)
+// ---------------------------------------------------------------------------
+
+struct Statement;  // forward; AddAnnotationStmt nests a statement
+
+struct CreateAnnTableStmt {
+  std::string table;
+  std::string ann_table;
+  bool provenance = false;  // CREATE ANNOTATION TABLE ... AS PROVENANCE
+};
+struct DropAnnTableStmt {
+  std::string table;
+  std::string ann_table;
+};
+
+// ADD ANNOTATION TO t.a1 [, t.a2 ...] VALUE '<xml>' ON <statement>.
+// The nested statement may be a SELECT (annotate existing data) or an
+// INSERT/UPDATE/DELETE (annotate the data the operation touches).
+struct AddAnnotationStmt {
+  std::vector<std::pair<std::string, std::string>> targets;  // (table, ann)
+  std::string value;  // XML body
+  std::unique_ptr<Statement> on;
+};
+
+// ARCHIVE/RESTORE ANNOTATION FROM t.a1 [, ...] [BETWEEN t1 AND t2]
+// ON (SELECT ...).
+struct ArchiveAnnotationStmt {
+  bool restore = false;
+  std::vector<std::pair<std::string, std::string>> targets;
+  std::optional<uint64_t> time_begin;
+  std::optional<uint64_t> time_end;
+  std::unique_ptr<SelectStmt> on;
+};
+
+// ---------------------------------------------------------------------------
+// Authorization (classic + Figure 11)
+// ---------------------------------------------------------------------------
+
+struct GrantStmt {
+  bool revoke = false;
+  std::string privilege;  // SELECT | INSERT | UPDATE | DELETE
+  std::string table;
+  std::string principal;
+};
+struct CreateUserStmt {
+  std::string name;
+  bool is_group = false;
+};
+struct AddUserToGroupStmt {
+  std::string user;
+  std::string group;
+};
+struct StartApprovalStmt {
+  std::string table;
+  std::vector<std::string> columns;
+  std::string approver;
+};
+struct StopApprovalStmt {
+  std::string table;
+  std::vector<std::string> columns;
+};
+struct ApproveStmt {
+  bool disapprove = false;
+  uint64_t op_id = 0;
+};
+struct ShowPendingStmt {
+  std::string table;  // empty = all tables
+};
+
+// ---------------------------------------------------------------------------
+// Dependency DDL (paper §5)
+// ---------------------------------------------------------------------------
+
+// CREATE DEPENDENCY name FROM T.c1 [, T.c2 ...] TO U.d USING proc
+//   [JOIN ON T.k = U.k]
+struct CreateDependencyStmt {
+  DependencyRule rule;
+};
+struct DropDependencyStmt {
+  std::string name;
+};
+
+// ---------------------------------------------------------------------------
+
+using StatementVariant =
+    std::variant<SelectStmt, CreateTableStmt, DropTableStmt, InsertStmt,
+                 UpdateStmt, DeleteStmt, CreateAnnTableStmt, DropAnnTableStmt,
+                 AddAnnotationStmt, ArchiveAnnotationStmt, GrantStmt,
+                 CreateUserStmt, AddUserToGroupStmt, StartApprovalStmt,
+                 StopApprovalStmt, ApproveStmt, ShowPendingStmt,
+                 CreateDependencyStmt, DropDependencyStmt>;
+
+struct Statement {
+  StatementVariant node;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_SQL_AST_H_

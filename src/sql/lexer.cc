@@ -1,0 +1,131 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace bdbms {
+
+namespace {
+
+// Every word with special meaning somewhere in the A-SQL grammar.
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "SELECT",  "DISTINCT", "FROM",     "WHERE",     "GROUP",     "BY",
+      "HAVING",  "ORDER",    "ASC",      "DESC",      "AND",       "OR",
+      "NOT",     "LIKE",     "AS",       "IS",        "NULL",      "CREATE",
+      "DROP",    "TABLE",    "ANNOTATION", "ADD",     "TO",        "VALUE",
+      "VALUES",  "ON",       "INSERT",   "INTO",      "UPDATE",    "SET",
+      "DELETE",  "INTERSECT", "UNION",   "EXCEPT",    "PROMOTE",   "AWHERE",
+      "AHAVING", "FILTER",   "ARCHIVE",  "RESTORE",   "BETWEEN",   "GRANT",
+      "REVOKE",  "USER",     "GROUP",    "START",     "STOP",      "CONTENT",
+      "APPROVAL", "COLUMNS", "APPROVED", "APPROVE",   "DISAPPROVE",
+      "OPERATION", "PENDING", "SHOW",    "DEPENDENCY", "USING",    "JOIN",
+      "PROVENANCE", "INT",   "INTEGER",  "DOUBLE",    "TEXT",      "SEQUENCE",
+      "ALL",
+  };
+  return *kw;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments.
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_float = false;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+              ((input[i] == '+' || input[i] == '-') && i > start &&
+               (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        if (input[i] == '.' || input[i] == 'e' || input[i] == 'E') {
+          is_float = true;
+        }
+        ++i;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        std::string(input.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\'') {
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at byte " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = input.substr(i, 2);
+    if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+      tokens.push_back(
+          {TokenType::kSymbol, two == "<>" ? "!=" : std::string(two), i});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),.;*+-/=<>";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at byte " +
+                                   std::to_string(i));
+  }
+  tokens.push_back({TokenType::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace bdbms

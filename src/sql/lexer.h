@@ -1,0 +1,41 @@
+#ifndef BDBMS_SQL_LEXER_H_
+#define BDBMS_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bdbms {
+
+enum class TokenType {
+  kIdentifier,   // table/column/procedure names (case preserved)
+  kKeyword,      // recognized keywords, normalized to upper case
+  kString,       // 'quoted', '' escapes a quote
+  kInteger,
+  kFloat,
+  kSymbol,       // ( ) , . ; * + - / = != <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalized: keywords upper-cased, strings unescaped
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+// Splits an A-SQL statement into tokens. Keywords are case-insensitive;
+// anything word-shaped that is not a keyword is an identifier.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_SQL_LEXER_H_

@@ -1,0 +1,879 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+
+#include "sql/lexer.h"
+
+namespace bdbms {
+
+namespace {
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), ::toupper);
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseTopLevel() {
+    BDBMS_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEnd) {
+      return Err("unexpected trailing input '" + Cur().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t n = 1) const {
+    return tokens_[std::min(pos_ + n, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("parse error at byte " +
+                                   std::to_string(Cur().position) + ": " + msg);
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!Cur().IsKeyword(kw)) {
+      return Err("expected " + std::string(kw) + ", got '" + Cur().text + "'");
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ExpectSymbol(std::string_view s) {
+    if (!Cur().IsSymbol(s)) {
+      return Err("expected '" + std::string(s) + "', got '" + Cur().text + "'");
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Cur().type != TokenType::kIdentifier) {
+      return Err("expected identifier, got '" + Cur().text + "'");
+    }
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  Result<uint64_t> ExpectInteger() {
+    if (Cur().type != TokenType::kInteger) {
+      return Err("expected integer, got '" + Cur().text + "'");
+    }
+    uint64_t v = std::stoull(Cur().text);
+    Advance();
+    return v;
+  }
+
+  Result<std::string> ExpectString() {
+    if (Cur().type != TokenType::kString) {
+      return Err("expected string literal, got '" + Cur().text + "'");
+    }
+    std::string s = Cur().text;
+    Advance();
+    return s;
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  Result<Statement> ParseStatementInner() {
+    if (Cur().IsKeyword("SELECT")) {
+      BDBMS_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+      return Statement{std::move(sel)};
+    }
+    if (Cur().IsKeyword("CREATE")) return ParseCreate();
+    if (Cur().IsKeyword("DROP")) return ParseDrop();
+    if (Cur().IsKeyword("INSERT")) {
+      BDBMS_ASSIGN_OR_RETURN(InsertStmt ins, ParseInsert());
+      return Statement{std::move(ins)};
+    }
+    if (Cur().IsKeyword("UPDATE")) {
+      BDBMS_ASSIGN_OR_RETURN(UpdateStmt upd, ParseUpdate());
+      return Statement{std::move(upd)};
+    }
+    if (Cur().IsKeyword("DELETE")) {
+      BDBMS_ASSIGN_OR_RETURN(DeleteStmt del, ParseDelete());
+      return Statement{std::move(del)};
+    }
+    if (Cur().IsKeyword("ADD")) return ParseAdd();
+    if (Cur().IsKeyword("ARCHIVE") || Cur().IsKeyword("RESTORE")) {
+      return ParseArchiveRestore();
+    }
+    if (Cur().IsKeyword("GRANT") || Cur().IsKeyword("REVOKE")) {
+      return ParseGrantRevoke();
+    }
+    if (Cur().IsKeyword("START")) return ParseStartApproval();
+    if (Cur().IsKeyword("STOP")) return ParseStopApproval();
+    if (Cur().IsKeyword("APPROVE") || Cur().IsKeyword("DISAPPROVE")) {
+      return ParseApprove();
+    }
+    if (Cur().IsKeyword("SHOW")) return ParseShowPending();
+    return Err("expected a statement, got '" + Cur().text + "'");
+  }
+
+  Result<Statement> ParseCreate() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    if (Cur().IsKeyword("TABLE")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol("("));
+      TableSchema schema(name);
+      for (;;) {
+        BDBMS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        BDBMS_ASSIGN_OR_RETURN(DataType type, ParseType());
+        BDBMS_RETURN_IF_ERROR(schema.AddColumn(col, type));
+        if (Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return Statement{CreateTableStmt{std::move(schema)}};
+    }
+    if (Cur().IsKeyword("ANNOTATION")) {
+      Advance();
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+      BDBMS_ASSIGN_OR_RETURN(std::string ann, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      BDBMS_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier());
+      bool provenance = false;
+      if (Cur().IsKeyword("AS")) {
+        Advance();
+        BDBMS_RETURN_IF_ERROR(ExpectKeyword("PROVENANCE"));
+        provenance = true;
+      }
+      return Statement{CreateAnnTableStmt{table, ann, provenance}};
+    }
+    if (Cur().IsKeyword("USER")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      return Statement{CreateUserStmt{name, /*is_group=*/false}};
+    }
+    if (Cur().IsKeyword("GROUP")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      return Statement{CreateUserStmt{name, /*is_group=*/true}};
+    }
+    if (Cur().IsKeyword("DEPENDENCY")) return ParseCreateDependency();
+    return Err("expected TABLE, ANNOTATION, USER, GROUP or DEPENDENCY");
+  }
+
+  Result<DataType> ParseType() {
+    if (Cur().IsKeyword("INT") || Cur().IsKeyword("INTEGER")) {
+      Advance();
+      return DataType::kInt;
+    }
+    if (Cur().IsKeyword("DOUBLE")) {
+      Advance();
+      return DataType::kDouble;
+    }
+    if (Cur().IsKeyword("TEXT")) {
+      Advance();
+      return DataType::kText;
+    }
+    if (Cur().IsKeyword("SEQUENCE")) {
+      Advance();
+      return DataType::kSequence;
+    }
+    return Err("expected a type (INT, DOUBLE, TEXT, SEQUENCE)");
+  }
+
+  // CREATE DEPENDENCY name FROM T.c [, T.c]* TO U.d USING proc
+  //   [JOIN ON T.k = U.k]
+  Result<Statement> ParseCreateDependency() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("DEPENDENCY"));
+    DependencyRule rule;
+    BDBMS_ASSIGN_OR_RETURN(rule.name, ExpectIdentifier());
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    for (;;) {
+      BDBMS_ASSIGN_OR_RETURN(ColumnRef ref, ParseQualifiedColumn());
+      rule.sources.push_back(std::move(ref));
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    BDBMS_ASSIGN_OR_RETURN(rule.target, ParseQualifiedColumn());
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("USING"));
+    if (Cur().type == TokenType::kString ||
+        Cur().type == TokenType::kIdentifier) {
+      rule.procedure = Cur().text;
+      Advance();
+    } else {
+      return Err("expected procedure name after USING");
+    }
+    if (Cur().IsKeyword("JOIN")) {
+      Advance();
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      BDBMS_ASSIGN_OR_RETURN(ColumnRef lhs, ParseQualifiedColumn());
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol("="));
+      BDBMS_ASSIGN_OR_RETURN(ColumnRef rhs, ParseQualifiedColumn());
+      // Accept either order; normalize to source = target.
+      KeyJoin join;
+      if (!rule.sources.empty() && lhs.table == rule.sources[0].table) {
+        join.source_key_column = lhs.column;
+        join.target_key_column = rhs.column;
+      } else {
+        join.source_key_column = rhs.column;
+        join.target_key_column = lhs.column;
+      }
+      rule.join = join;
+    }
+    return Statement{CreateDependencyStmt{std::move(rule)}};
+  }
+
+  Result<ColumnRef> ParseQualifiedColumn() {
+    BDBMS_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier());
+    BDBMS_RETURN_IF_ERROR(ExpectSymbol("."));
+    BDBMS_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+    return ColumnRef{table, column};
+  }
+
+  Result<Statement> ParseDrop() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    if (Cur().IsKeyword("TABLE")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      return Statement{DropTableStmt{name}};
+    }
+    if (Cur().IsKeyword("ANNOTATION")) {
+      Advance();
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+      BDBMS_ASSIGN_OR_RETURN(std::string ann, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      BDBMS_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier());
+      return Statement{DropAnnTableStmt{table, ann}};
+    }
+    if (Cur().IsKeyword("DEPENDENCY")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      return Statement{DropDependencyStmt{name}};
+    }
+    return Err("expected TABLE, ANNOTATION or DEPENDENCY after DROP");
+  }
+
+  Result<InsertStmt> ParseInsert() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    for (;;) {
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      for (;;) {
+        BDBMS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return stmt;
+  }
+
+  Result<UpdateStmt> ParseUpdate() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStmt stmt;
+    BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    for (;;) {
+      BDBMS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol("="));
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(e));
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Cur().IsKeyword("WHERE")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<DeleteStmt> ParseDelete() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (Cur().IsKeyword("WHERE")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  // ADD ANNOTATION ... | ADD USER u TO GROUP g
+  Result<Statement> ParseAdd() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ADD"));
+    if (Cur().IsKeyword("USER")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(std::string user, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+      BDBMS_ASSIGN_OR_RETURN(std::string group, ExpectIdentifier());
+      return Statement{AddUserToGroupStmt{user, group}};
+    }
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ANNOTATION"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    AddAnnotationStmt stmt;
+    BDBMS_ASSIGN_OR_RETURN(stmt.targets, ParseAnnTargets());
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("VALUE"));
+    BDBMS_ASSIGN_OR_RETURN(stmt.value, ExpectString());
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    bool parens = Cur().IsSymbol("(");
+    if (parens) Advance();
+    BDBMS_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
+    if (parens) BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.on = std::make_unique<Statement>(std::move(inner));
+    return Statement{std::move(stmt)};
+  }
+
+  Result<std::vector<std::pair<std::string, std::string>>> ParseAnnTargets() {
+    std::vector<std::pair<std::string, std::string>> targets;
+    for (;;) {
+      BDBMS_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol("."));
+      BDBMS_ASSIGN_OR_RETURN(std::string ann, ExpectIdentifier());
+      targets.emplace_back(table, ann);
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return targets;
+  }
+
+  Result<Statement> ParseArchiveRestore() {
+    ArchiveAnnotationStmt stmt;
+    stmt.restore = Cur().IsKeyword("RESTORE");
+    Advance();
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ANNOTATION"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    BDBMS_ASSIGN_OR_RETURN(stmt.targets, ParseAnnTargets());
+    if (Cur().IsKeyword("BETWEEN")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(uint64_t t1, ExpectInteger());
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      BDBMS_ASSIGN_OR_RETURN(uint64_t t2, ExpectInteger());
+      stmt.time_begin = t1;
+      stmt.time_end = t2;
+    }
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    bool parens = Cur().IsSymbol("(");
+    if (parens) Advance();
+    BDBMS_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+    if (parens) BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.on = std::make_unique<SelectStmt>(std::move(sel));
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseGrantRevoke() {
+    GrantStmt stmt;
+    stmt.revoke = Cur().IsKeyword("REVOKE");
+    Advance();
+    if (Cur().IsKeyword("SELECT") || Cur().IsKeyword("INSERT") ||
+        Cur().IsKeyword("UPDATE") || Cur().IsKeyword("DELETE")) {
+      stmt.privilege = Cur().text;
+      Advance();
+    } else {
+      return Err("expected a privilege (SELECT/INSERT/UPDATE/DELETE)");
+    }
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    BDBMS_RETURN_IF_ERROR(
+        ExpectKeyword(stmt.revoke ? "FROM" : "TO"));
+    BDBMS_ASSIGN_OR_RETURN(stmt.principal, ExpectIdentifier());
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseStartApproval() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("START"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("CONTENT"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("APPROVAL"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    StartApprovalStmt stmt;
+    BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (Cur().IsKeyword("COLUMNS")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.columns, ParseColumnList());
+    }
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("APPROVED"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    BDBMS_ASSIGN_OR_RETURN(stmt.approver, ExpectIdentifier());
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseStopApproval() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("STOP"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("CONTENT"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("APPROVAL"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    StopApprovalStmt stmt;
+    BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (Cur().IsKeyword("COLUMNS")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.columns, ParseColumnList());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<std::vector<std::string>> ParseColumnList() {
+    std::vector<std::string> cols;
+    bool parens = Cur().IsSymbol("(");
+    if (parens) Advance();
+    for (;;) {
+      BDBMS_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
+      cols.push_back(std::move(c));
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (parens) BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return cols;
+  }
+
+  Result<Statement> ParseApprove() {
+    ApproveStmt stmt;
+    stmt.disapprove = Cur().IsKeyword("DISAPPROVE");
+    Advance();
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("OPERATION"));
+    BDBMS_ASSIGN_OR_RETURN(stmt.op_id, ExpectInteger());
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseShowPending() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("PENDING"));
+    ShowPendingStmt stmt;
+    if (Cur().IsKeyword("ON")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  // ---- SELECT -------------------------------------------------------------
+
+  Result<SelectStmt> ParseSelect() {
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    if (Cur().IsKeyword("DISTINCT")) {
+      Advance();
+      stmt.distinct = true;
+    }
+    if (Cur().IsSymbol("*")) {
+      Advance();
+      stmt.star = true;
+    } else {
+      for (;;) {
+        SelectItem item;
+        BDBMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Cur().IsKeyword("PROMOTE")) {
+          Advance();
+          BDBMS_RETURN_IF_ERROR(ExpectSymbol("("));
+          for (;;) {
+            BDBMS_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
+            item.promote_columns.push_back(std::move(c));
+            if (Cur().IsSymbol(",")) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+          BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        if (Cur().IsKeyword("AS")) {
+          Advance();
+          BDBMS_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        }
+        stmt.items.push_back(std::move(item));
+        if (Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    BDBMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    for (;;) {
+      BDBMS_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt.from.push_back(std::move(ref));
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Cur().IsKeyword("WHERE")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (Cur().IsKeyword("AWHERE")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.awhere, ParseExpr());
+    }
+    if (Cur().IsKeyword("GROUP")) {
+      Advance();
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        BDBMS_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
+        // Allow qualified group-by columns; the qualifier is dropped.
+        if (Cur().IsSymbol(".")) {
+          Advance();
+          BDBMS_ASSIGN_OR_RETURN(c, ExpectIdentifier());
+        }
+        stmt.group_by.push_back(std::move(c));
+        if (Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Cur().IsKeyword("HAVING")) {
+        Advance();
+        BDBMS_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+      }
+      if (Cur().IsKeyword("AHAVING")) {
+        Advance();
+        BDBMS_ASSIGN_OR_RETURN(stmt.ahaving, ParseExpr());
+      }
+    }
+    if (Cur().IsKeyword("FILTER")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.filter, ParseExpr());
+    }
+    if (Cur().IsKeyword("ORDER")) {
+      Advance();
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        BDBMS_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
+        if (Cur().IsSymbol(".")) {
+          Advance();
+          BDBMS_ASSIGN_OR_RETURN(c, ExpectIdentifier());
+        }
+        bool desc = false;
+        if (Cur().IsKeyword("DESC")) {
+          desc = true;
+          Advance();
+        } else if (Cur().IsKeyword("ASC")) {
+          Advance();
+        }
+        stmt.order_by.emplace_back(std::move(c), desc);
+        if (Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Cur().IsKeyword("UNION") || Cur().IsKeyword("INTERSECT") ||
+        Cur().IsKeyword("EXCEPT")) {
+      if (Cur().IsKeyword("UNION")) stmt.set_op = SetOpKind::kUnion;
+      if (Cur().IsKeyword("INTERSECT")) stmt.set_op = SetOpKind::kIntersect;
+      if (Cur().IsKeyword("EXCEPT")) stmt.set_op = SetOpKind::kExcept;
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(SelectStmt rhs, ParseSelect());
+      stmt.set_rhs = std::make_unique<SelectStmt>(std::move(rhs));
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    BDBMS_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+    if (Cur().type == TokenType::kIdentifier) {
+      ref.alias = Cur().text;
+      Advance();
+    }
+    if (Cur().IsKeyword("ANNOTATION")) {
+      Advance();
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Cur().IsKeyword("ALL")) {
+        Advance();
+        ref.all_annotations = true;
+      } else {
+        for (;;) {
+          BDBMS_ASSIGN_OR_RETURN(std::string a, ExpectIdentifier());
+          ref.annotation_tables.push_back(std::move(a));
+          if (Cur().IsSymbol(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    return ref;
+  }
+
+  // ---- expressions --------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    BDBMS_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Cur().IsKeyword("OR")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->bin_op = BinOp::kOr;
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    BDBMS_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Cur().IsKeyword("AND")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->bin_op = BinOp::kAnd;
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Cur().IsKeyword("NOT")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->un_op = UnOp::kNot;
+      e->child = std::move(child);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    BDBMS_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (Cur().IsKeyword("IS")) {
+      Advance();
+      bool negated = false;
+      if (Cur().IsKeyword("NOT")) {
+        Advance();
+        negated = true;
+      }
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->un_op = negated ? UnOp::kIsNotNull : UnOp::kIsNull;
+      e->child = std::move(left);
+      return e;
+    }
+    BinOp op;
+    if (Cur().IsSymbol("=")) op = BinOp::kEq;
+    else if (Cur().IsSymbol("!=")) op = BinOp::kNe;
+    else if (Cur().IsSymbol("<")) op = BinOp::kLt;
+    else if (Cur().IsSymbol("<=")) op = BinOp::kLe;
+    else if (Cur().IsSymbol(">")) op = BinOp::kGt;
+    else if (Cur().IsSymbol(">=")) op = BinOp::kGe;
+    else if (Cur().IsKeyword("LIKE")) op = BinOp::kLike;
+    else return left;
+    Advance();
+    BDBMS_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->bin_op = op;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    BDBMS_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (Cur().IsSymbol("+") || Cur().IsSymbol("-")) {
+      BinOp op = Cur().IsSymbol("+") ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->bin_op = op;
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    BDBMS_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (Cur().IsSymbol("*") || Cur().IsSymbol("/")) {
+      BinOp op = Cur().IsSymbol("*") ? BinOp::kMul : BinOp::kDiv;
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->bin_op = op;
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Cur().IsSymbol("-")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->un_op = UnOp::kNeg;
+      e->child = std::move(child);
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    // Literals.
+    if (Cur().type == TokenType::kInteger) {
+      e->kind = ExprKind::kLiteral;
+      e->literal = Value::Int(std::stoll(Cur().text));
+      Advance();
+      return e;
+    }
+    if (Cur().type == TokenType::kFloat) {
+      e->kind = ExprKind::kLiteral;
+      e->literal = Value::Double(std::stod(Cur().text));
+      Advance();
+      return e;
+    }
+    if (Cur().type == TokenType::kString) {
+      e->kind = ExprKind::kLiteral;
+      e->literal = Value::Text(Cur().text);
+      Advance();
+      return e;
+    }
+    if (Cur().IsKeyword("NULL")) {
+      e->kind = ExprKind::kLiteral;
+      e->literal = Value::Null();
+      Advance();
+      return e;
+    }
+    if (Cur().IsSymbol("(")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    // The annotation attribute VALUE (a keyword).
+    if (Cur().IsKeyword("VALUE")) {
+      e->kind = ExprKind::kAnnField;
+      e->ann_field = AnnField::kValue;
+      Advance();
+      return e;
+    }
+    if (Cur().type == TokenType::kIdentifier) {
+      std::string name = Cur().text;
+      std::string upper = Upper(name);
+      // Aggregates: NAME ( ... ).
+      if (Peek().IsSymbol("(") &&
+          (upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+           upper == "MIN" || upper == "MAX")) {
+        Advance();  // name
+        Advance();  // (
+        e->kind = ExprKind::kAggregate;
+        if (upper == "COUNT" && Cur().IsSymbol("*")) {
+          e->agg_fn = AggFn::kCountStar;
+          Advance();
+        } else {
+          if (upper == "COUNT") e->agg_fn = AggFn::kCount;
+          if (upper == "SUM") e->agg_fn = AggFn::kSum;
+          if (upper == "AVG") e->agg_fn = AggFn::kAvg;
+          if (upper == "MIN") e->agg_fn = AggFn::kMin;
+          if (upper == "MAX") e->agg_fn = AggFn::kMax;
+          BDBMS_ASSIGN_OR_RETURN(e->child, ParseExpr());
+        }
+        BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return e;
+      }
+      // Annotation attributes CATEGORY and AUTHOR (reserved identifiers in
+      // annotation-condition position; they cannot name user columns).
+      if (upper == "CATEGORY" || upper == "AUTHOR") {
+        e->kind = ExprKind::kAnnField;
+        e->ann_field =
+            upper == "CATEGORY" ? AnnField::kCategory : AnnField::kAuthor;
+        Advance();
+        return e;
+      }
+      // Column reference: name or qualifier.name.
+      Advance();
+      if (Cur().IsSymbol(".")) {
+        Advance();
+        if (Cur().type == TokenType::kIdentifier) {
+          e->kind = ExprKind::kColumnRef;
+          e->qualifier = name;
+          e->column = Cur().text;
+          Advance();
+          return e;
+        }
+        // qualifier.* — used by SELECT G.* ; treat as star on a qualifier.
+        if (Cur().IsSymbol("*")) {
+          Advance();
+          e->kind = ExprKind::kColumnRef;
+          e->qualifier = name;
+          e->column = "*";
+          return e;
+        }
+        return Err("expected column name after '.'");
+      }
+      e->kind = ExprKind::kColumnRef;
+      e->column = name;
+      return e;
+    }
+    return Err("expected an expression, got '" + Cur().text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  BDBMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseTopLevel();
+}
+
+}  // namespace bdbms

@@ -1,0 +1,18 @@
+#ifndef BDBMS_SQL_PARSER_H_
+#define BDBMS_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace bdbms {
+
+// Recursive-descent parser for the A-SQL surface: the SQL subset plus all
+// bdbms extensions (Figures 4, 6, 7, 11 and the dependency DDL).
+// Entry point for one statement (an optional trailing ';' is accepted).
+Result<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_SQL_PARSER_H_

@@ -1,0 +1,123 @@
+#ifndef BDBMS_STORAGE_BUFFER_POOL_H_
+#define BDBMS_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace bdbms {
+
+class BufferPool;
+
+// RAII pin on a buffered page. While alive the frame cannot be evicted.
+// Obtain via BufferPool::Fetch / BufferPool::New; mark dirty after writes.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame, PageId id)
+      : pool_(pool), frame_(frame), id_(id) {}
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept { MoveFrom(std::move(other)); }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  Page* page();
+  const Page* page() const;
+
+  // Flags the frame so the buffer pool writes it back before eviction.
+  void MarkDirty();
+
+  // Explicitly unpins; the handle becomes invalid.
+  void Release();
+
+ private:
+  void MoveFrom(PageHandle&& other) {
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  void Reset() { *this = BufferPoolStats(); }
+};
+
+// Fixed-capacity LRU buffer pool over a Pager. Single-threaded.
+class BufferPool {
+ public:
+  // `capacity` = number of page frames kept in memory.
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins page `id`, reading it from the pager on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  // Allocates a fresh zeroed page and pins it (already marked dirty).
+  Result<PageHandle> New();
+
+  // Writes back all dirty frames.
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  BufferPoolStats& stats() { return stats_; }
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 and resident
+    bool in_lru = false;
+  };
+
+  // Finds a frame to host a new page, evicting an unpinned LRU victim if
+  // the pool is full. Fails if every frame is pinned.
+  Result<size_t> GetFreeFrame();
+
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+
+  Pager* pager_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  std::list<size_t> lru_;          // front = most recent
+  std::vector<size_t> free_list_;  // frames never used yet
+  BufferPoolStats stats_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,52 @@
+#ifndef BDBMS_STORAGE_PAGE_H_
+#define BDBMS_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace bdbms {
+
+// All on-disk structures (heap files, index nodes, overflow chains) are
+// built from fixed-size pages addressed by PageId.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+inline constexpr uint32_t kPageSize = 8192;
+
+// Raw page buffer. Interpretation is up to the owner (slotted heap page,
+// B+-tree node, SP-GiST node, overflow chunk...).
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+
+  void Zero() { data.fill(0); }
+
+  template <typename T>
+  void WriteAt(uint32_t offset, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(data.data() + offset, &v, sizeof(T));
+  }
+
+  template <typename T>
+  T ReadAt(uint32_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    std::memcpy(&v, data.data() + offset, sizeof(T));
+    return v;
+  }
+};
+
+// Address of a record inside a heap file: page + slot.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const RecordId&) const = default;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_STORAGE_PAGE_H_

@@ -1,0 +1,99 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bdbms {
+
+Pager::Pager() = default;
+
+Pager::Pager(int fd, uint32_t page_count) : fd_(fd), page_count_(page_count) {}
+
+Pager::~Pager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  if (st.st_size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption(path + ": size is not a multiple of page size");
+  }
+  return std::unique_ptr<Pager>(
+      new Pager(fd, static_cast<uint32_t>(st.st_size / kPageSize)));
+}
+
+std::unique_ptr<Pager> Pager::OpenInMemory() {
+  return std::unique_ptr<Pager>(new Pager());
+}
+
+Result<PageId> Pager::AllocatePage() {
+  PageId id = page_count_++;
+  ++stats_.pages_allocated;
+  if (fd_ < 0) {
+    auto page = std::make_unique<Page>();
+    page->Zero();
+    mem_pages_.push_back(std::move(page));
+  } else {
+    Page zero;
+    zero.Zero();
+    ssize_t n = ::pwrite(fd_, zero.bytes(), kPageSize,
+                         static_cast<off_t>(id) * kPageSize);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IoError("pwrite (allocate): " +
+                             std::string(std::strerror(errno)));
+    }
+    ++stats_.page_writes;
+  }
+  return id;
+}
+
+Status Pager::ReadPage(PageId id, Page* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("read of unallocated page " + std::to_string(id));
+  }
+  ++stats_.page_reads;
+  if (fd_ < 0) {
+    *out = *mem_pages_[id];
+    return Status::Ok();
+  }
+  ssize_t n = ::pread(fd_, out->bytes(), kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pread page " + std::to_string(id) + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status Pager::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("write of unallocated page " + std::to_string(id));
+  }
+  ++stats_.page_writes;
+  if (fd_ < 0) {
+    *mem_pages_[id] = page;
+    return Status::Ok();
+  }
+  ssize_t n = ::pwrite(fd_, page.bytes(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite page " + std::to_string(id) + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace bdbms

@@ -1,0 +1,141 @@
+#include "table/table.h"
+
+#include <cstring>
+
+namespace bdbms {
+
+Result<std::unique_ptr<Table>> Table::CreateInMemory(TableSchema schema,
+                                                     size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                         HeapFile::CreateInMemory(pool_pages));
+  auto table =
+      std::unique_ptr<Table>(new Table(std::move(schema), std::move(heap)));
+  BDBMS_RETURN_IF_ERROR(table->Bootstrap());
+  return table;
+}
+
+Result<std::unique_ptr<Table>> Table::OpenFile(TableSchema schema,
+                                               const std::string& path,
+                                               size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                         HeapFile::OpenFile(path, pool_pages));
+  auto table =
+      std::unique_ptr<Table>(new Table(std::move(schema), std::move(heap)));
+  BDBMS_RETURN_IF_ERROR(table->Bootstrap());
+  return table;
+}
+
+Status Table::Bootstrap() {
+  return heap_->ForEach([&](RecordId rid, std::string_view payload) {
+    auto decoded = DecodeRecord(payload);
+    BDBMS_RETURN_IF_ERROR(decoded.status());
+    RowId row_id = decoded->first;
+    rows_[row_id] = rid;
+    if (row_id >= next_row_id_) next_row_id_ = row_id + 1;
+    return Status::Ok();
+  });
+}
+
+std::string Table::EncodeRecord(RowId row_id, const Row& row) {
+  std::string out;
+  char buf[8];
+  std::memcpy(buf, &row_id, 8);
+  out.append(buf, 8);
+  for (const Value& v : row) v.EncodeTo(&out);
+  return out;
+}
+
+Result<std::pair<RowId, Row>> Table::DecodeRecord(std::string_view payload) {
+  if (payload.size() < 8) return Status::Corruption("row record too short");
+  RowId row_id;
+  std::memcpy(&row_id, payload.data(), 8);
+  size_t offset = 8;
+  Row row;
+  while (offset < payload.size()) {
+    BDBMS_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(payload, &offset));
+    row.push_back(std::move(v));
+  }
+  return std::make_pair(row_id, std::move(row));
+}
+
+Result<RowId> Table::Insert(Row row) {
+  BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  RowId row_id = next_row_id_++;
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid,
+                         heap_->Insert(EncodeRecord(row_id, validated)));
+  rows_[row_id] = rid;
+  return row_id;
+}
+
+Status Table::InsertWithRowId(RowId row_id, Row row) {
+  if (rows_.count(row_id)) {
+    return Status::AlreadyExists("row " + std::to_string(row_id) +
+                                 " already exists");
+  }
+  BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid,
+                         heap_->Insert(EncodeRecord(row_id, validated)));
+  rows_[row_id] = rid;
+  if (row_id >= next_row_id_) next_row_id_ = row_id + 1;
+  return Status::Ok();
+}
+
+Result<Row> Table::Get(RowId row_id) const {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("table " + schema_.name() + ": no row " +
+                            std::to_string(row_id));
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(it->second));
+  BDBMS_ASSIGN_OR_RETURN(auto decoded, DecodeRecord(payload));
+  if (decoded.first != row_id) {
+    return Status::Corruption("row id mismatch in record");
+  }
+  return std::move(decoded.second);
+}
+
+Status Table::Update(RowId row_id, Row row) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("table " + schema_.name() + ": no row " +
+                            std::to_string(row_id));
+  }
+  BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  BDBMS_RETURN_IF_ERROR(heap_->Delete(it->second));
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid,
+                         heap_->Insert(EncodeRecord(row_id, validated)));
+  it->second = rid;
+  return Status::Ok();
+}
+
+Status Table::UpdateCell(RowId row_id, size_t column, Value value) {
+  if (column >= schema_.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  BDBMS_ASSIGN_OR_RETURN(Row row, Get(row_id));
+  BDBMS_ASSIGN_OR_RETURN(row[column],
+                         value.CoerceTo(schema_.column(column).type));
+  return Update(row_id, std::move(row));
+}
+
+Status Table::Delete(RowId row_id) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("table " + schema_.name() + ": no row " +
+                            std::to_string(row_id));
+  }
+  BDBMS_RETURN_IF_ERROR(heap_->Delete(it->second));
+  rows_.erase(it);
+  return Status::Ok();
+}
+
+Status Table::Scan(const std::function<Status(RowId, const Row&)>& fn) const {
+  for (const auto& [row_id, rid] : rows_) {
+    BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(rid));
+    BDBMS_ASSIGN_OR_RETURN(auto decoded, DecodeRecord(payload));
+    BDBMS_RETURN_IF_ERROR(fn(row_id, decoded.second));
+  }
+  return Status::Ok();
+}
+
+}  // namespace bdbms

@@ -1,0 +1,96 @@
+#ifndef BDBMS_TABLE_TABLE_H_
+#define BDBMS_TABLE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "storage/heap_file.h"
+
+namespace bdbms {
+
+// Logical row identifier: assigned densely in insertion order and never
+// reused. The paper models a relation as a 2-D space (columns × tuples,
+// Figure 5); RowId is the tuple axis, so annotation regions and outdated
+// bitmaps can address rows by interval even across deletions.
+using RowId = uint64_t;
+
+// A user relation: schema-validated rows over a HeapFile. Each record
+// embeds its RowId; the RowId -> RecordId map is rebuilt on open.
+//
+// Updates rewrite the record (delete + insert at the heap level) but keep
+// the RowId, so all metadata keyed by RowId (annotations, provenance,
+// outdated bits, pending approvals) stays attached, which is exactly the
+// behaviour bdbms needs.
+class Table {
+ public:
+  // Fresh in-memory table.
+  static Result<std::unique_ptr<Table>> CreateInMemory(TableSchema schema,
+                                                       size_t pool_pages = 64);
+  // File-backed table; existing rows are recovered by scanning.
+  static Result<std::unique_ptr<Table>> OpenFile(TableSchema schema,
+                                                 const std::string& path,
+                                                 size_t pool_pages = 64);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+
+  // Validates against the schema and appends; returns the new RowId.
+  Result<RowId> Insert(Row row);
+
+  // Re-inserts a row under a specific RowId — the inverse of a DELETE
+  // (used when a disapproved deletion is rolled back, paper §6). Fails if
+  // the RowId is live.
+  Status InsertWithRowId(RowId row_id, Row row);
+
+  // Full row fetch.
+  Result<Row> Get(RowId row_id) const;
+
+  // Replaces the whole row (schema-validated).
+  Status Update(RowId row_id, Row row);
+
+  // Replaces one cell (type-coerced).
+  Status UpdateCell(RowId row_id, size_t column, Value value);
+
+  // Removes the row. Its RowId is never reused.
+  Status Delete(RowId row_id);
+
+  bool Exists(RowId row_id) const { return rows_.count(row_id) > 0; }
+
+  // Visits live rows in RowId order; `fn` returning non-OK stops the scan.
+  Status Scan(const std::function<Status(RowId, const Row&)>& fn) const;
+
+  uint64_t row_count() const { return rows_.size(); }
+
+  // One past the largest RowId ever assigned (the tuple-axis extent).
+  RowId next_row_id() const { return next_row_id_; }
+
+  uint64_t SizeBytes() const { return heap_->SizeBytes(); }
+  const IoStats& io_stats() const { return heap_->io_stats(); }
+  IoStats& io_stats() { return heap_->io_stats(); }
+  Status Flush() { return heap_->Flush(); }
+
+ private:
+  Table(TableSchema schema, std::unique_ptr<HeapFile> heap)
+      : schema_(std::move(schema)), heap_(std::move(heap)) {}
+
+  // Recovers rows_ / next_row_id_ from heap contents.
+  Status Bootstrap();
+
+  static std::string EncodeRecord(RowId row_id, const Row& row);
+  static Result<std::pair<RowId, Row>> DecodeRecord(std::string_view payload);
+
+  TableSchema schema_;
+  std::unique_ptr<HeapFile> heap_;
+  std::map<RowId, RecordId> rows_;
+  RowId next_row_id_ = 0;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_TABLE_TABLE_H_

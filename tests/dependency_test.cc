@@ -1,0 +1,434 @@
+// Unit tests for src/dep: procedures, procedural-dependency rules,
+// reasoning (closures, cycles, chain derivation) and runtime propagation —
+// including the paper's exact Figure 9/10 scenario.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "dep/dependency_manager.h"
+#include "dep/outdated_bitmap.h"
+#include "dep/procedure.h"
+#include "table/table.h"
+
+namespace bdbms {
+namespace {
+
+TEST(ProcedureRegistryTest, RegisterAndLookup) {
+  ProcedureRegistry reg;
+  ProcedureInfo lab;
+  lab.name = "lab_experiment";
+  lab.executable = false;
+  ASSERT_TRUE(reg.Register(lab).ok());
+  EXPECT_TRUE(reg.Has("lab_experiment"));
+  auto got = reg.Get("lab_experiment");
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE((*got)->executable);
+  EXPECT_TRUE(reg.Register(lab).IsAlreadyExists());
+  EXPECT_FALSE(reg.Get("nope").ok());
+}
+
+TEST(ProcedureRegistryTest, ExecutableNeedsFn) {
+  ProcedureRegistry reg;
+  ProcedureInfo p;
+  p.name = "p";
+  p.executable = true;  // but no fn
+  EXPECT_FALSE(reg.Register(p).ok());
+
+  p.executable = false;
+  p.fn = [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(0);
+  };
+  EXPECT_FALSE(reg.Register(p).ok());  // fn without executable
+}
+
+TEST(ProcedureRegistryTest, UpdateImplementationBumpsVersion) {
+  ProcedureRegistry reg;
+  ProcedureInfo p;
+  p.name = "blast";
+  p.executable = true;
+  p.fn = [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Double(1.0);
+  };
+  ASSERT_TRUE(reg.Register(p).ok());
+  EXPECT_EQ((*reg.Get("blast"))->version, 1);
+  ASSERT_TRUE(reg.UpdateImplementation("blast",
+                                       [](const std::vector<Value>&)
+                                           -> Result<Value> {
+                                         return Value::Double(2.0);
+                                       })
+                  .ok());
+  EXPECT_EQ((*reg.Get("blast"))->version, 2);
+}
+
+// Test fixture reproducing the paper's Figure 9 schema:
+//   Gene(GID, GName, GSequence)
+//   Protein(PName, GID, PSequence, PFunction)
+//   GeneMatching(Gene1, Gene2, Evalue)
+// Rules:
+//   1: Gene.GSequence --P(exec)--> Protein.PSequence          [join on GID]
+//   2: Protein.PSequence --lab(non-exec)--> Protein.PFunction
+//   3: GeneMatching.{Gene1,Gene2} --BLAST(exec)--> GeneMatching.Evalue
+class DependencyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema gene("Gene");
+    ASSERT_TRUE(gene.AddColumn("GID", DataType::kText).ok());
+    ASSERT_TRUE(gene.AddColumn("GName", DataType::kText).ok());
+    ASSERT_TRUE(gene.AddColumn("GSequence", DataType::kSequence).ok());
+    TableSchema protein("Protein");
+    ASSERT_TRUE(protein.AddColumn("PName", DataType::kText).ok());
+    ASSERT_TRUE(protein.AddColumn("GID", DataType::kText).ok());
+    ASSERT_TRUE(protein.AddColumn("PSequence", DataType::kSequence).ok());
+    ASSERT_TRUE(protein.AddColumn("PFunction", DataType::kText).ok());
+    TableSchema matching("GeneMatching");
+    ASSERT_TRUE(matching.AddColumn("Gene1", DataType::kSequence).ok());
+    ASSERT_TRUE(matching.AddColumn("Gene2", DataType::kSequence).ok());
+    ASSERT_TRUE(matching.AddColumn("Evalue", DataType::kDouble).ok());
+
+    ASSERT_TRUE(catalog_.CreateTable(gene).ok());
+    ASSERT_TRUE(catalog_.CreateTable(protein).ok());
+    ASSERT_TRUE(catalog_.CreateTable(matching).ok());
+
+    auto gene_t = Table::CreateInMemory(gene);
+    auto protein_t = Table::CreateInMemory(protein);
+    auto matching_t = Table::CreateInMemory(matching);
+    ASSERT_TRUE(gene_t.ok() && protein_t.ok() && matching_t.ok());
+    tables_["Gene"] = std::move(*gene_t);
+    tables_["Protein"] = std::move(*protein_t);
+    tables_["GeneMatching"] = std::move(*matching_t);
+
+    // Prediction tool P: protein sequence derived as "translated" gene seq
+    // (first 6 chars, uppercased 'P' prefix) — a deterministic stand-in.
+    ProcedureInfo p;
+    p.name = "P";
+    p.executable = true;
+    p.fn = [](const std::vector<Value>& in) -> Result<Value> {
+      std::string g = in[0].as_string();
+      return Value::Sequence("P" + g.substr(0, std::min<size_t>(6, g.size())));
+    };
+    ASSERT_TRUE(procs_.Register(p).ok());
+
+    ProcedureInfo lab;
+    lab.name = "lab_experiment";
+    lab.executable = false;
+    ASSERT_TRUE(procs_.Register(lab).ok());
+
+    ProcedureInfo blast;
+    blast.name = "BLAST-2.2.15";
+    blast.executable = true;
+    blast.fn = [](const std::vector<Value>& in) -> Result<Value> {
+      // Toy E-value: inverse of shared-prefix length.
+      const std::string &a = in[0].as_string(), &b = in[1].as_string();
+      size_t k = 0;
+      while (k < a.size() && k < b.size() && a[k] == b[k]) ++k;
+      return Value::Double(1.0 / (1.0 + static_cast<double>(k)));
+    };
+    ASSERT_TRUE(procs_.Register(blast).ok());
+
+    mgr_ = std::make_unique<DependencyManager>(&catalog_, &procs_);
+
+    DependencyRule r1;
+    r1.name = "rule1";
+    r1.sources = {{"Gene", "GSequence"}};
+    r1.target = {"Protein", "PSequence"};
+    r1.procedure = "P";
+    r1.join = KeyJoin{"GID", "GID"};
+    ASSERT_TRUE(mgr_->AddRule(r1).ok());
+
+    DependencyRule r2;
+    r2.name = "rule2";
+    r2.sources = {{"Protein", "PSequence"}};
+    r2.target = {"Protein", "PFunction"};
+    r2.procedure = "lab_experiment";
+    ASSERT_TRUE(mgr_->AddRule(r2).ok());
+
+    DependencyRule r3;
+    r3.name = "rule3";
+    r3.sources = {{"GeneMatching", "Gene1"}, {"GeneMatching", "Gene2"}};
+    r3.target = {"GeneMatching", "Evalue"};
+    r3.procedure = "BLAST-2.2.15";
+    ASSERT_TRUE(mgr_->AddRule(r3).ok());
+
+    resolver_ = [this](const std::string& name) -> Result<Table*> {
+      auto it = tables_.find(name);
+      if (it == tables_.end()) return Status::NotFound("no table " + name);
+      return it->second.get();
+    };
+  }
+
+  Table* table(const std::string& name) { return tables_.at(name).get(); }
+
+  Catalog catalog_;
+  ProcedureRegistry procs_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::unique_ptr<DependencyManager> mgr_;
+  DependencyManager::TableResolver resolver_;
+};
+
+TEST_F(DependencyFixture, RuleValidation) {
+  DependencyRule bad;
+  bad.sources = {{"Gene", "GSequence"}};
+  bad.target = {"Protein", "PSequence"};
+  bad.procedure = "P";
+  // Missing join on a cross-table rule.
+  EXPECT_FALSE(mgr_->AddRule(bad).ok());
+
+  bad.join = KeyJoin{"GID", "GID"};
+  bad.procedure = "unknown_proc";
+  EXPECT_FALSE(mgr_->AddRule(bad).ok());
+
+  bad.procedure = "P";
+  bad.sources = {{"Gene", "NoSuchColumn"}};
+  EXPECT_FALSE(mgr_->AddRule(bad).ok());
+
+  DependencyRule self;
+  self.sources = {{"Gene", "GSequence"}};
+  self.target = {"Gene", "GSequence"};
+  self.procedure = "P";
+  EXPECT_FALSE(mgr_->AddRule(self).ok());
+}
+
+TEST_F(DependencyFixture, CycleRejected) {
+  // PFunction -> GSequence would close the loop
+  // GSequence -> PSequence -> PFunction -> GSequence.
+  DependencyRule back;
+  back.name = "back";
+  back.sources = {{"Protein", "PFunction"}};
+  back.target = {"Gene", "GSequence"};
+  back.procedure = "lab_experiment";
+  back.join = KeyJoin{"GID", "GID"};
+  EXPECT_TRUE(mgr_->WouldCreateCycle(back));
+  EXPECT_TRUE(mgr_->AddRule(back).IsFailedPrecondition());
+}
+
+TEST_F(DependencyFixture, ColumnClosure) {
+  auto closure = mgr_->ColumnClosure({"Gene", "GSequence"});
+  std::set<ColumnRef> got(closure.begin(), closure.end());
+  EXPECT_TRUE(got.count({"Protein", "PSequence"}));
+  EXPECT_TRUE(got.count({"Protein", "PFunction"}));
+  EXPECT_EQ(got.size(), 2u);
+
+  // PFunction is a sink.
+  EXPECT_TRUE(mgr_->ColumnClosure({"Protein", "PFunction"}).empty());
+}
+
+TEST_F(DependencyFixture, ProcedureClosure) {
+  // Closure of P: PSequence (direct) + PFunction (downstream).
+  auto closure = mgr_->ProcedureClosure("P");
+  std::set<ColumnRef> got(closure.begin(), closure.end());
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got.count({"Protein", "PSequence"}));
+  EXPECT_TRUE(got.count({"Protein", "PFunction"}));
+
+  // Closure of BLAST: just Evalue.
+  auto blast = mgr_->ProcedureClosure("BLAST-2.2.15");
+  ASSERT_EQ(blast.size(), 1u);
+  EXPECT_EQ(blast[0], (ColumnRef{"GeneMatching", "Evalue"}));
+}
+
+TEST_F(DependencyFixture, DeriveChainRulesReproducesRule4) {
+  auto chains = mgr_->DeriveChainRules();
+  // Exactly one chain of length 2: GSequence -> PFunction via [P, lab].
+  ASSERT_EQ(chains.size(), 1u);
+  const ChainRule& rule4 = chains[0];
+  EXPECT_EQ(rule4.source, (ColumnRef{"Gene", "GSequence"}));
+  EXPECT_EQ(rule4.target, (ColumnRef{"Protein", "PFunction"}));
+  EXPECT_EQ(rule4.procedures,
+            (std::vector<std::string>{"P", "lab_experiment"}));
+  // Paper: "the chain is non-executable because at least one of the
+  // procedures, namely the lab experiment, is non-executable."
+  EXPECT_FALSE(rule4.executable);
+  EXPECT_FALSE(rule4.invertible);
+}
+
+TEST_F(DependencyFixture, Figure10Scenario) {
+  // Populate the paper's rows: mraW/JW0080, ftsI/JW0082, yabP/JW0055.
+  Table* gene = table("Gene");
+  Table* protein = table("Protein");
+  ASSERT_TRUE(gene->Insert({Value::Text("JW0080"), Value::Text("mraW"),
+                            Value::Sequence("ATGATGGAAAA")})
+                  .ok());
+  ASSERT_TRUE(gene->Insert({Value::Text("JW0082"), Value::Text("ftsI"),
+                            Value::Sequence("ATGAAAGCAGC")})
+                  .ok());
+  ASSERT_TRUE(gene->Insert({Value::Text("JW0055"), Value::Text("yabP"),
+                            Value::Sequence("ATGAAAGTATC")})
+                  .ok());
+  ASSERT_TRUE(protein->Insert({Value::Text("mraW"), Value::Text("JW0080"),
+                               Value::Sequence("MKENYKNM"),
+                               Value::Text("Exhibitor")})
+                  .ok());
+  ASSERT_TRUE(protein->Insert({Value::Text("ftsI"), Value::Text("JW0082"),
+                               Value::Sequence("MTATTKTQ"),
+                               Value::Text("Cell wall formation")})
+                  .ok());
+  ASSERT_TRUE(protein->Insert({Value::Text("yabP"), Value::Text("JW0055"),
+                               Value::Sequence("MKVSVPGM"),
+                               Value::Text("Hypothetical protein")})
+                  .ok());
+
+  // Modify the sequences of JW0080 (row 0) and JW0082 (row 1).
+  ASSERT_TRUE(gene->UpdateCell(0, 2, Value::Sequence("GTGAAACTGGA")).ok());
+  auto rep0 = mgr_->OnCellUpdated("Gene", 0, 2, resolver_);
+  ASSERT_TRUE(rep0.ok());
+  ASSERT_TRUE(gene->UpdateCell(1, 2, Value::Sequence("TTGAAACTGGA")).ok());
+  auto rep1 = mgr_->OnCellUpdated("Gene", 1, 2, resolver_);
+  ASSERT_TRUE(rep1.ok());
+
+  // PSequence (col 2) was auto-recomputed by P -> bits stay 0.
+  EXPECT_FALSE(mgr_->IsOutdated("Protein", 0, 2));
+  EXPECT_FALSE(mgr_->IsOutdated("Protein", 1, 2));
+  // PFunction (col 3) cannot be recomputed -> bits set to 1, exactly as in
+  // Figure 10.
+  EXPECT_TRUE(mgr_->IsOutdated("Protein", 0, 3));
+  EXPECT_TRUE(mgr_->IsOutdated("Protein", 1, 3));
+  // yabP untouched.
+  EXPECT_FALSE(mgr_->IsOutdated("Protein", 2, 3));
+
+  // PSequence values actually changed to P's output.
+  auto p_row = protein->Get(0);
+  ASSERT_TRUE(p_row.ok());
+  EXPECT_EQ((*p_row)[2].as_string(), "PGTGAAA");
+
+  // Each update recomputed one PSequence and invalidated one PFunction.
+  EXPECT_EQ(rep0->recomputed.size(), 1u);
+  EXPECT_EQ(rep0->outdated.size(), 1u);
+}
+
+TEST_F(DependencyFixture, SameTableRecompute) {
+  Table* matching = table("GeneMatching");
+  ASSERT_TRUE(matching
+                  ->Insert({Value::Sequence("ATCCCGGTT"),
+                            Value::Sequence("ATCCTGGTT"), Value::Double(0.0)})
+                  .ok());
+  // Changing Gene1 re-runs BLAST automatically.
+  ASSERT_TRUE(matching->UpdateCell(0, 0, Value::Sequence("ATCCTGGTT")).ok());
+  auto rep = mgr_->OnCellUpdated("GeneMatching", 0, 0, resolver_);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_EQ(rep->recomputed.size(), 1u);
+  EXPECT_TRUE(rep->outdated.empty());
+  auto row = matching->Get(0);
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ((*row)[2].as_double(), 1.0 / 10.0);  // full 9-char match
+  EXPECT_FALSE(mgr_->IsOutdated("GeneMatching", 0, 2));
+}
+
+TEST_F(DependencyFixture, ProcedureChangeReevaluatesClosure) {
+  Table* matching = table("GeneMatching");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(matching
+                    ->Insert({Value::Sequence("AAAA"), Value::Sequence("AAAT"),
+                              Value::Double(-1.0)})
+                    .ok());
+  }
+  // Upgrade BLAST (paper: "If a newer version of BLAST is used ... we need
+  // to re-evaluate the values in the Evalue column").
+  ASSERT_TRUE(procs_
+                  .UpdateImplementation(
+                      "BLAST-2.2.15",
+                      [](const std::vector<Value>&) -> Result<Value> {
+                        return Value::Double(42.0);
+                      })
+                  .ok());
+  auto rep = mgr_->OnProcedureChanged("BLAST-2.2.15", resolver_);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->recomputed.size(), 5u);
+  for (RowId r = 0; r < 5; ++r) {
+    auto row = matching->Get(r);
+    ASSERT_TRUE(row.ok());
+    EXPECT_DOUBLE_EQ((*row)[2].as_double(), 42.0);
+  }
+}
+
+TEST_F(DependencyFixture, NonExecutableProcedureChangeMarksOutdated) {
+  Table* protein = table("Protein");
+  ASSERT_TRUE(protein->Insert({Value::Text("x"), Value::Text("JW1"),
+                               Value::Sequence("M"), Value::Text("f")})
+                  .ok());
+  auto rep = mgr_->OnProcedureChanged("lab_experiment", resolver_);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(rep->recomputed.empty());
+  ASSERT_EQ(rep->outdated.size(), 1u);
+  EXPECT_TRUE(mgr_->IsOutdated("Protein", 0, 3));
+}
+
+TEST_F(DependencyFixture, RevalidationClearsBit) {
+  Table* protein = table("Protein");
+  Table* gene = table("Gene");
+  ASSERT_TRUE(gene->Insert({Value::Text("JW1"), Value::Text("g"),
+                            Value::Sequence("AAA")})
+                  .ok());
+  ASSERT_TRUE(protein->Insert({Value::Text("p"), Value::Text("JW1"),
+                               Value::Sequence("M"), Value::Text("f")})
+                  .ok());
+  ASSERT_TRUE(gene->UpdateCell(0, 2, Value::Sequence("CCC")).ok());
+  ASSERT_TRUE(mgr_->OnCellUpdated("Gene", 0, 2, resolver_).ok());
+  ASSERT_TRUE(mgr_->IsOutdated("Protein", 0, 3));
+
+  // Paper: "a modification to a gene sequence may not affect the
+  // corresponding protein ... revalidated without modifying its value."
+  ASSERT_TRUE(mgr_->Revalidate("Protein", 0, 3).ok());
+  EXPECT_FALSE(mgr_->IsOutdated("Protein", 0, 3));
+  // Revalidating a non-outdated cell fails.
+  EXPECT_TRUE(mgr_->Revalidate("Protein", 0, 3).IsFailedPrecondition());
+}
+
+TEST_F(DependencyFixture, RevalidateWithValueUpdatesAndPropagates) {
+  Table* protein = table("Protein");
+  Table* gene = table("Gene");
+  ASSERT_TRUE(gene->Insert({Value::Text("JW1"), Value::Text("g"),
+                            Value::Sequence("AAA")})
+                  .ok());
+  ASSERT_TRUE(protein->Insert({Value::Text("p"), Value::Text("JW1"),
+                               Value::Sequence("M"), Value::Text("f")})
+                  .ok());
+  ASSERT_TRUE(gene->UpdateCell(0, 2, Value::Sequence("CCC")).ok());
+  ASSERT_TRUE(mgr_->OnCellUpdated("Gene", 0, 2, resolver_).ok());
+  ASSERT_TRUE(mgr_->IsOutdated("Protein", 0, 3));
+
+  auto rep = mgr_->RevalidateWithValue("Protein", 0, 3,
+                                       Value::Text("verified function"),
+                                       resolver_);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_FALSE(mgr_->IsOutdated("Protein", 0, 3));
+  auto row = protein->Get(0);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[3].as_string(), "verified function");
+}
+
+TEST(OutdatedBitmapTest, MarkClearQuery) {
+  OutdatedBitmap bm(4);
+  EXPECT_FALSE(bm.IsOutdated(10, 2));
+  bm.Mark(10, 2);
+  EXPECT_TRUE(bm.IsOutdated(10, 2));
+  EXPECT_EQ(bm.RowMask(10), ColumnBit(2));
+  EXPECT_EQ(bm.CountOutdated(), 1u);
+  bm.Clear(10, 2);
+  EXPECT_FALSE(bm.IsOutdated(10, 2));
+  EXPECT_EQ(bm.CountOutdated(), 0u);
+}
+
+TEST(OutdatedBitmapTest, RleRoundTrip) {
+  OutdatedBitmap bm(4);
+  bm.Mark(0, 1);
+  bm.Mark(0, 2);
+  bm.Mark(999, 3);
+  std::string serialized = bm.SerializeRle(1000);
+  auto back = OutdatedBitmap::DeserializeRle(serialized, 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->IsOutdated(0, 1));
+  EXPECT_TRUE(back->IsOutdated(0, 2));
+  EXPECT_TRUE(back->IsOutdated(999, 3));
+  EXPECT_EQ(back->CountOutdated(), 3u);
+}
+
+TEST(OutdatedBitmapTest, RleCompressesSparseBitmaps) {
+  OutdatedBitmap bm(8);
+  bm.Mark(5000, 3);  // single outdated cell in a 10k-row table
+  uint64_t raw = bm.RawSizeBytes(10000);
+  std::string rle = bm.SerializeRle(10000);
+  EXPECT_EQ(raw, 10000u);       // 10k rows * 8 cols / 8 bits
+  EXPECT_LT(rle.size(), 16u);   // ~3 varints
+}
+
+}  // namespace
+}  // namespace bdbms

@@ -1,0 +1,231 @@
+// Edge-case and failure-path coverage for the A-SQL executor: set
+// operations, aggregates, AHAVING, annotation-command validation, and
+// error propagation.
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace bdbms {
+namespace {
+
+#define EXEC_OK(db, sql)                                          \
+  do {                                                            \
+    auto _r = (db).Execute(sql);                                  \
+    ASSERT_TRUE(_r.ok()) << (sql) << "\n-> "                      \
+                         << _r.status().ToString();               \
+  } while (0)
+
+class EdgeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EXEC_OK(db_, "CREATE TABLE T (k TEXT, v INT)");
+    EXEC_OK(db_, "CREATE TABLE U (k TEXT, v INT)");
+    EXEC_OK(db_, "INSERT INTO T VALUES ('a', 1), ('b', 2), ('c', 3)");
+    EXEC_OK(db_, "INSERT INTO U VALUES ('b', 2), ('c', 3), ('d', 4)");
+  }
+  Database db_;
+};
+
+TEST_F(EdgeFixture, UnionDeduplicates) {
+  auto r = db_.Execute(
+      "SELECT k, v FROM T UNION SELECT k, v FROM U ORDER BY k");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 4u);
+  EXPECT_EQ(r->rows[0].values[0].as_string(), "a");
+  EXPECT_EQ(r->rows[3].values[0].as_string(), "d");
+}
+
+TEST_F(EdgeFixture, ExceptKeepsLeftOnly) {
+  auto r = db_.Execute("SELECT k, v FROM T EXCEPT SELECT k, v FROM U");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].values[0].as_string(), "a");
+}
+
+TEST_F(EdgeFixture, SetOpArityMismatchFails) {
+  auto r = db_.Execute("SELECT k FROM T UNION SELECT k, v FROM U");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EdgeFixture, AggregatesWithoutGroupBy) {
+  auto r = db_.Execute(
+      "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a, MIN(v) AS lo, "
+      "MAX(v) AS hi FROM T");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].values[0].as_int(), 3);
+  EXPECT_EQ(r->rows[0].values[1].as_int(), 6);
+  EXPECT_DOUBLE_EQ(r->rows[0].values[2].as_double(), 2.0);
+  EXPECT_EQ(r->rows[0].values[3].as_int(), 1);
+  EXPECT_EQ(r->rows[0].values[4].as_int(), 3);
+  EXPECT_EQ(r->columns,
+            (std::vector<std::string>{"n", "s", "a", "lo", "hi"}));
+}
+
+TEST_F(EdgeFixture, AggregateOverEmptyInput) {
+  auto r = db_.Execute("SELECT COUNT(*) AS n, SUM(v) AS s FROM T "
+                       "WHERE v > 100");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].values[0].as_int(), 0);
+  EXPECT_TRUE(r->rows[0].values[1].is_null());
+}
+
+TEST_F(EdgeFixture, CountDistinctRowsViaDistinct) {
+  EXEC_OK(db_, "INSERT INTO T VALUES ('a', 1)");  // duplicate of first row
+  auto all = db_.Execute("SELECT k, v FROM T");
+  auto distinct = db_.Execute("SELECT DISTINCT k, v FROM T");
+  ASSERT_TRUE(all.ok() && distinct.ok());
+  EXPECT_EQ(all->rows.size(), 4u);
+  EXPECT_EQ(distinct->rows.size(), 3u);
+}
+
+TEST_F(EdgeFixture, AhavingGatesGroupsByAnnotations) {
+  EXEC_OK(db_, "CREATE ANNOTATION TABLE A ON T");
+  EXEC_OK(db_, "ADD ANNOTATION TO T.A VALUE '<A>flagged</A>' "
+               "ON (SELECT * FROM T WHERE k = 'b')");
+  auto r = db_.Execute(
+      "SELECT k, COUNT(*) AS n FROM T ANNOTATION(A) GROUP BY k "
+      "AHAVING VALUE LIKE '%flagged%'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].values[0].as_string(), "b");
+}
+
+TEST_F(EdgeFixture, AnnotationConditionOutsideAnnContextFails) {
+  auto r = db_.Execute("SELECT k FROM T WHERE VALUE = 'x'");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EdgeFixture, ColumnRefInsideAnnConditionFails) {
+  // AWHERE conditions are evaluated per annotation (existential): with no
+  // annotations the predicate never runs and the result is simply empty...
+  auto empty = db_.Execute("SELECT k FROM T AWHERE k = 'x'");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->rows.empty());
+  // ...but once an annotation is evaluated, a column reference inside the
+  // annotation condition is an error.
+  EXEC_OK(db_, "CREATE ANNOTATION TABLE A ON T");
+  EXEC_OK(db_, "ADD ANNOTATION TO T.A VALUE '<A>x</A>' ON (SELECT * FROM T)");
+  auto r = db_.Execute("SELECT k FROM T ANNOTATION(A) AWHERE k = 'x'");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EdgeFixture, AmbiguousColumnDetected) {
+  auto r = db_.Execute("SELECT k FROM T, U");
+  EXPECT_FALSE(r.ok());
+  auto ok = db_.Execute("SELECT T.k FROM T, U");
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST_F(EdgeFixture, AddAnnotationValidation) {
+  EXEC_OK(db_, "CREATE ANNOTATION TABLE A ON T");
+  // Unknown annotation table.
+  EXPECT_FALSE(db_.Execute("ADD ANNOTATION TO T.Nope VALUE '<A/>' "
+                           "ON (SELECT * FROM T)")
+                   .ok());
+  // ON table must own the annotation table.
+  EXPECT_FALSE(db_.Execute("ADD ANNOTATION TO T.A VALUE '<A/>' "
+                           "ON (SELECT * FROM U)")
+                   .ok());
+  // Invalid XML body.
+  EXPECT_FALSE(db_.Execute("ADD ANNOTATION TO T.A VALUE 'not xml' "
+                           "ON (SELECT * FROM T)")
+                   .ok());
+  // Grouped ON query unsupported.
+  EXPECT_FALSE(db_.Execute("ADD ANNOTATION TO T.A VALUE '<A/>' "
+                           "ON (SELECT k FROM T GROUP BY k)")
+                   .ok());
+  // No rows matched: succeeds with no annotation added.
+  auto r = db_.Execute("ADD ANNOTATION TO T.A VALUE '<A/>' "
+                       "ON (SELECT * FROM T WHERE v > 100)");
+  ASSERT_TRUE(r.ok());
+  auto check = db_.Execute("SELECT k FROM T ANNOTATION(A)");
+  ASSERT_TRUE(check.ok());
+  for (const auto& row : check->rows) {
+    EXPECT_TRUE(row.annotations[0].empty());
+  }
+}
+
+TEST_F(EdgeFixture, MultiTargetAddAnnotation) {
+  EXEC_OK(db_, "CREATE ANNOTATION TABLE A ON T");
+  EXEC_OK(db_, "CREATE ANNOTATION TABLE B ON T");
+  EXEC_OK(db_, "ADD ANNOTATION TO T.A, T.B VALUE '<A>both</A>' "
+               "ON (SELECT * FROM T WHERE k = 'a')");
+  for (const char* ann : {"A", "B"}) {
+    auto r = db_.Execute(std::string("SELECT k FROM T ANNOTATION(") + ann +
+                         ") WHERE k = 'a'");
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->rows[0].annotations[0].size(), 1u);
+  }
+}
+
+TEST_F(EdgeFixture, UpdateEvaluatesRhsAgainstOldRow) {
+  EXEC_OK(db_, "UPDATE T SET v = v + 10 WHERE k = 'a'");
+  auto r = db_.Execute("SELECT v FROM T WHERE k = 'a'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0].values[0].as_int(), 11);
+}
+
+TEST_F(EdgeFixture, DeleteAllWithoutWhere) {
+  auto r = db_.Execute("DELETE FROM T");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 3u);
+  auto count = db_.Execute("SELECT COUNT(*) FROM T");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0].values[0].as_int(), 0);
+}
+
+TEST_F(EdgeFixture, OrderByMultipleKeysAndDirections) {
+  EXEC_OK(db_, "INSERT INTO T VALUES ('a', 9)");
+  auto r = db_.Execute("SELECT k, v FROM T ORDER BY k ASC, v DESC");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 4u);
+  EXPECT_EQ(r->rows[0].values[1].as_int(), 9);  // ('a',9) before ('a',1)
+  EXPECT_EQ(r->rows[1].values[1].as_int(), 1);
+}
+
+TEST_F(EdgeFixture, OutdatedAnnotationsSubjectToFilter) {
+  // An outdated cell's synthesized annotation can be filtered away like
+  // any other (category = "_outdated").
+  auto bm = db_.dependencies().BitmapFor("T");
+  ASSERT_TRUE(bm.ok());
+  (*bm)->Mark(0, 1);
+  auto with = db_.Execute("SELECT v FROM T WHERE k = 'a'");
+  ASSERT_TRUE(with.ok());
+  ASSERT_EQ(with->rows[0].annotations[0].size(), 1u);
+  EXPECT_EQ(with->rows[0].annotations[0][0].category, kOutdatedCategory);
+
+  auto filtered = db_.Execute(
+      "SELECT v FROM T WHERE k = 'a' FILTER NOT CATEGORY = '_outdated'");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_TRUE(filtered->rows[0].annotations[0].empty());
+}
+
+TEST_F(EdgeFixture, InsertArityAndTypeErrors) {
+  EXPECT_FALSE(db_.Execute("INSERT INTO T VALUES ('x')").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO T VALUES (1, 'x')").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO Missing VALUES (1)").ok());
+}
+
+TEST_F(EdgeFixture, ArchiveTimeWindowViaSql) {
+  EXEC_OK(db_, "CREATE ANNOTATION TABLE A ON T");
+  EXEC_OK(db_, "ADD ANNOTATION TO T.A VALUE '<A>old</A>' "
+               "ON (SELECT * FROM T WHERE k = 'a')");
+  uint64_t cutoff = db_.clock().Peek();
+  EXEC_OK(db_, "ADD ANNOTATION TO T.A VALUE '<A>new</A>' "
+               "ON (SELECT * FROM T WHERE k = 'a')");
+  // Archive only annotations created before the cutoff.
+  auto r = db_.Execute("ARCHIVE ANNOTATION FROM T.A BETWEEN 0 AND " +
+                       std::to_string(cutoff - 1) +
+                       " ON (SELECT * FROM T WHERE k = 'a')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 1u);
+  auto check = db_.Execute("SELECT k FROM T ANNOTATION(A) WHERE k = 'a'");
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->rows[0].annotations[0].size(), 1u);
+  EXPECT_EQ(check->rows[0].annotations[0][0].body, "<A>new</A>");
+}
+
+}  // namespace
+}  // namespace bdbms

@@ -1,0 +1,137 @@
+// Unit tests for src/prov: structured provenance records over annotations.
+#include <gtest/gtest.h>
+
+#include "annot/annotation_manager.h"
+#include "common/clock.h"
+#include "prov/provenance.h"
+
+namespace bdbms {
+namespace {
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  ProvenanceTest() : annotations_(&clock_), prov_(&annotations_) {
+    EXPECT_TRUE(annotations_.CreateAnnotationTable("Gene", "GProv").ok());
+    prov_.RegisterSystemAgent("integrator");
+  }
+
+  LogicalClock clock_;
+  AnnotationManager annotations_;
+  ProvenanceManager prov_;
+};
+
+TEST_F(ProvenanceTest, RecordXmlRoundTrip) {
+  ProvenanceRecord rec;
+  rec.source = "RegulonDB";
+  rec.operation = "copy";
+  rec.program = "loader-1.2";
+  rec.user = "integrator";
+  std::string xml = rec.ToXml();
+  auto back = ProvenanceRecord::FromXml(xml);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->source, "RegulonDB");
+  EXPECT_EQ(back->operation, "copy");
+  EXPECT_EQ(back->program, "loader-1.2");
+  EXPECT_EQ(back->user, "integrator");
+}
+
+TEST_F(ProvenanceTest, SchemaRejectsFreeFormXml) {
+  EXPECT_FALSE(ProvenanceRecord::FromXml("<Annotation>hi</Annotation>").ok());
+  EXPECT_FALSE(
+      ProvenanceRecord::FromXml("<Provenance><Source>x</Source></Provenance>")
+          .ok());  // missing Operation
+  EXPECT_FALSE(ProvenanceRecord::FromXml(
+                   "<Provenance><Source>x</Source><Operation>y</Operation>"
+                   "<Evil/></Provenance>")
+                   .ok());  // unknown child
+}
+
+TEST_F(ProvenanceTest, OnlySystemAgentsMayWrite) {
+  ProvenanceRecord rec;
+  rec.source = "S1";
+  rec.operation = "insert";
+  auto denied =
+      prov_.Record("Gene", "GProv", {{ColumnBit(0), 0, 0}}, rec, "random_user");
+  EXPECT_TRUE(denied.status().IsPermissionDenied());
+
+  auto ok =
+      prov_.Record("Gene", "GProv", {{ColumnBit(0), 0, 0}}, rec, "integrator");
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST_F(ProvenanceTest, SourceAtAnswersFigure8Question) {
+  // Figure 8: a table receives data from S1, then a program P1 updates some
+  // values, then S3 overwrites a column. "What is the source of this value
+  // at time T?"
+  ProvenanceRecord from_s1{/*source=*/"S1", /*operation=*/"copy", "", "", 0};
+  ProvenanceRecord by_p1{/*source=*/"P1", /*operation=*/"update",
+                         /*program=*/"P1", "", 0};
+  ProvenanceRecord from_s3{/*source=*/"S3", /*operation=*/"overwrite", "", "",
+                           0};
+
+  auto a1 = prov_.Record("Gene", "GProv", {{ColumnBit(0) | ColumnBit(1), 0, 9}},
+                         from_s1, "integrator");
+  ASSERT_TRUE(a1.ok());
+  uint64_t t_after_s1 = clock_.Peek();
+  auto a2 = prov_.Record("Gene", "GProv", {{ColumnBit(0), 2, 4}}, by_p1,
+                         "integrator");
+  ASSERT_TRUE(a2.ok());
+  auto a3 = prov_.Record("Gene", "GProv", {{ColumnBit(1), 0, 9}}, from_s3,
+                         "integrator");
+  ASSERT_TRUE(a3.ok());
+
+  // Now: cell (3,0) latest source is the program update.
+  auto now = prov_.SourceAt("Gene", "GProv", 3, 0, UINT64_MAX);
+  ASSERT_TRUE(now.ok());
+  ASSERT_TRUE(now->has_value());
+  EXPECT_EQ((*now)->source, "P1");
+
+  // At a time before P1 ran, it was still S1.
+  auto before = prov_.SourceAt("Gene", "GProv", 3, 0, t_after_s1 - 1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->has_value());
+  EXPECT_EQ((*before)->source, "S1");
+
+  // Column 1 was overwritten by S3.
+  auto col1 = prov_.SourceAt("Gene", "GProv", 3, 1, UINT64_MAX);
+  ASSERT_TRUE(col1.ok());
+  ASSERT_TRUE(col1->has_value());
+  EXPECT_EQ((*col1)->source, "S3");
+
+  // A cell with no provenance yet.
+  auto none = prov_.SourceAt("Gene", "GProv", 100, 0, UINT64_MAX);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST_F(ProvenanceTest, HistoryIsChronological) {
+  ProvenanceRecord r1{"S1", "copy", "", "", 0};
+  ProvenanceRecord r2{"P1", "update", "P1", "", 0};
+  ASSERT_TRUE(prov_.Record("Gene", "GProv", {{ColumnBit(0), 0, 0}}, r1,
+                           "integrator")
+                  .ok());
+  ASSERT_TRUE(prov_.Record("Gene", "GProv", {{ColumnBit(0), 0, 0}}, r2,
+                           "integrator")
+                  .ok());
+  auto history = prov_.History("Gene", "GProv", 0, 0);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 2u);
+  EXPECT_EQ((*history)[0].source, "S1");
+  EXPECT_EQ((*history)[1].source, "P1");
+  EXPECT_LT((*history)[0].timestamp, (*history)[1].timestamp);
+}
+
+TEST_F(ProvenanceTest, EscapesXmlSpecialCharacters) {
+  ProvenanceRecord rec{"a<b&c>", "copy", "", "\"quoted\"", 0};
+  ASSERT_TRUE(prov_.Record("Gene", "GProv", {{ColumnBit(0), 0, 0}}, rec,
+                           "integrator")
+                  .ok());
+  auto back = prov_.SourceAt("Gene", "GProv", 0, 0, UINT64_MAX);
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back->has_value());
+  EXPECT_EQ((*back)->source, "a<b&c>");
+  EXPECT_EQ((*back)->user, "\"quoted\"");
+}
+
+}  // namespace
+}  // namespace bdbms

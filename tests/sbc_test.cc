@@ -1,0 +1,246 @@
+// Tests for the String B-tree baseline and the SBC-tree over
+// RLE-compressed sequences (paper §7.2), plus the bio generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bio/alignment.h"
+#include "bio/sequence_generator.h"
+#include "index/sbc/sbc_tree.h"
+#include "index/sbc/string_btree.h"
+
+namespace bdbms {
+namespace {
+
+// Reference: all substring occurrence positions by brute force.
+std::vector<SequenceMatch> BruteSubstring(
+    const std::vector<std::string>& seqs, const std::string& pattern) {
+  std::vector<SequenceMatch> out;
+  for (uint64_t id = 0; id < seqs.size(); ++id) {
+    size_t pos = seqs[id].find(pattern);
+    while (pos != std::string::npos) {
+      out.push_back({id, pos});
+      pos = seqs[id].find(pattern, pos + 1);
+    }
+  }
+  return out;
+}
+
+// The SBC-tree reports one match per anchoring run; collapse brute-force
+// positions the same way for comparison (multiple occurrences of a
+// single-run pattern inside one run collapse to the first).
+std::set<uint64_t> MatchedSeqs(const std::vector<SequenceMatch>& matches) {
+  std::set<uint64_t> out;
+  for (const SequenceMatch& m : matches) out.insert(m.seq_id);
+  return out;
+}
+
+TEST(StringBTreeTest, SubstringAndPrefix) {
+  auto tree = StringBTree::CreateInMemory();
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->AddSequence("HHHLLEEE").ok());   // id 0
+  ASSERT_TRUE((*tree)->AddSequence("LLEEEHHH").ok());   // id 1
+  ASSERT_TRUE((*tree)->AddSequence("EEELLHHH").ok());   // id 2
+
+  auto subs = (*tree)->SearchSubstring("LLEEE");
+  ASSERT_TRUE(subs.ok());
+  EXPECT_EQ(*subs, (std::vector<SequenceMatch>{{0, 3}, {1, 0}}));
+
+  auto prefix = (*tree)->SearchPrefix("LLE");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(*prefix, (std::vector<uint64_t>{1}));
+
+  auto range = (*tree)->SearchRange("E", "I");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(SbcTreeTest, SubstringAcrossRunBoundaries) {
+  auto tree = SbcTree::CreateInMemory();
+  ASSERT_TRUE(tree.ok());
+  // "HHHLLEEE" compresses to H3 L2 E3.
+  ASSERT_TRUE((*tree)->AddSequence("HHHLLEEE").ok());  // id 0
+  ASSERT_TRUE((*tree)->AddSequence("LLEEEHHH").ok());  // id 1
+
+  // Multi-run pattern: "HLLE" = H1 L2 E1; anchor run must end with 1 H.
+  auto subs = (*tree)->SearchSubstring("HLLE");
+  ASSERT_TRUE(subs.ok());
+  ASSERT_EQ(subs->size(), 1u);
+  EXPECT_EQ((*subs)[0], (SequenceMatch{0, 2}));
+
+  // Single-run pattern inside longer runs.
+  auto hh = (*tree)->SearchSubstring("HH");
+  ASSERT_TRUE(hh.ok());
+  EXPECT_EQ(MatchedSeqs(*hh), (std::set<uint64_t>{0, 1}));
+
+  // Pattern longer than any run: no match.
+  auto none = (*tree)->SearchSubstring("HHHH");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(SbcTreeTest, PrefixSemantics) {
+  auto tree = SbcTree::CreateInMemory();
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->AddSequence("HHHLL").ok());  // id 0: H3 L2
+  ASSERT_TRUE((*tree)->AddSequence("HHLLL").ok());  // id 1: H2 L3
+  // "HHL" = H2 L1: prefix of id 1 only (id 0 has 3 leading H).
+  auto p = (*tree)->SearchPrefix("HHL");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, (std::vector<uint64_t>{1}));
+  // "HH" (single-run): prefix of both.
+  auto p2 = (*tree)->SearchPrefix("HH");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(*p2, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(SbcTreeTest, RangeSearchComparesRunsToRaw) {
+  auto tree = SbcTree::CreateInMemory();
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->AddSequence("AAAB").ok());  // id 0
+  ASSERT_TRUE((*tree)->AddSequence("AABA").ok());  // id 1
+  ASSERT_TRUE((*tree)->AddSequence("BBBB").ok());  // id 2
+  auto r = (*tree)->SearchRange("AAB", "B");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<uint64_t>{1}));  // AAAB < AAB <= AABA < B <= BBBB
+}
+
+TEST(SbcTreeTest, StoresFarFewerEntriesThanBaseline) {
+  SequenceGenerator gen(7);
+  auto sbc = SbcTree::CreateInMemory();
+  auto baseline = StringBTree::CreateInMemory();
+  ASSERT_TRUE(sbc.ok() && baseline.ok());
+  for (int i = 0; i < 20; ++i) {
+    std::string seq = gen.SecondaryStructure(400, 8.0);
+    ASSERT_TRUE((*sbc)->AddSequence(seq).ok());
+    ASSERT_TRUE((*baseline)->AddSequence(seq).ok());
+  }
+  // Entry ratio ~ mean run length (8): expect > 4x fewer entries and a
+  // large storage gap.
+  EXPECT_LT((*sbc)->entry_count() * 4, (*baseline)->entry_count());
+  EXPECT_LT((*sbc)->SizeBytes(), (*baseline)->SizeBytes());
+}
+
+class SbcAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SbcAgreementTest, SbcAndBaselineAgreeWithBruteForce) {
+  SequenceGenerator gen(GetParam());
+  auto sbc = SbcTree::CreateInMemory();
+  auto baseline = StringBTree::CreateInMemory();
+  ASSERT_TRUE(sbc.ok() && baseline.ok());
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 12; ++i) {
+    std::string seq = gen.SecondaryStructure(150 + gen.rng().Uniform(150), 5.0);
+    seqs.push_back(seq);
+    ASSERT_TRUE((*sbc)->AddSequence(seq).ok());
+    ASSERT_TRUE((*baseline)->AddSequence(seq).ok());
+  }
+  for (int q = 0; q < 30; ++q) {
+    // Draw patterns from the data so many queries hit.
+    const std::string& src = seqs[gen.rng().Uniform(seqs.size())];
+    size_t start = gen.rng().Uniform(src.size() - 10);
+    std::string pattern = src.substr(start, 2 + gen.rng().Uniform(9));
+
+    auto brute = BruteSubstring(seqs, pattern);
+    auto via_baseline = (*baseline)->SearchSubstring(pattern);
+    auto via_sbc = (*sbc)->SearchSubstring(pattern);
+    ASSERT_TRUE(via_baseline.ok());
+    ASSERT_TRUE(via_sbc.ok());
+    // Baseline reports every character position.
+    EXPECT_EQ(*via_baseline, brute) << "pattern " << pattern;
+    // SBC reports per-run anchors; sequence sets must agree, and every
+    // reported offset must be a real occurrence.
+    EXPECT_EQ(MatchedSeqs(*via_sbc), MatchedSeqs(brute)) << pattern;
+    for (const SequenceMatch& m : *via_sbc) {
+      ASSERT_LT(m.seq_id, seqs.size());
+      EXPECT_EQ(seqs[m.seq_id].compare(m.offset, pattern.size(), pattern), 0)
+          << "false positive at " << m.offset << " for " << pattern;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbcAgreementTest,
+                         ::testing::Values(3u, 13u, 29u));
+
+TEST(SbcTreeTest, ThreeSidedIndexGivesSameAnswers) {
+  SequenceGenerator gen(19);
+  auto sbc = SbcTree::CreateInMemory();
+  ASSERT_TRUE(sbc.ok());
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 10; ++i) {
+    seqs.push_back(gen.SecondaryStructure(300, 6.0));
+    ASSERT_TRUE((*sbc)->AddSequence(seqs.back()).ok());
+  }
+  std::string pattern = seqs[0].substr(40, 7);
+  auto inline_matches = (*sbc)->SearchSubstring(pattern);
+  ASSERT_TRUE(inline_matches.ok());
+  ASSERT_TRUE((*sbc)->BuildThreeSidedIndex().ok());
+  ASSERT_TRUE((*sbc)->three_sided_active());
+  auto rtree_matches = (*sbc)->SearchSubstring(pattern);
+  ASSERT_TRUE(rtree_matches.ok());
+  EXPECT_EQ(*inline_matches, *rtree_matches);
+  // New inserts invalidate the static structure.
+  ASSERT_TRUE((*sbc)->AddSequence("HHHEEE").ok());
+  EXPECT_FALSE((*sbc)->three_sided_active());
+}
+
+TEST(BioTest, GeneratorsAreDeterministicAndShaped) {
+  SequenceGenerator a(5), b(5);
+  EXPECT_EQ(a.Dna(100), b.Dna(100));
+  std::string ss = a.SecondaryStructure(5000, 8.0);
+  for (char c : ss) EXPECT_TRUE(c == 'H' || c == 'E' || c == 'L');
+  // Mean run length should be near 8.
+  auto runs = Rle::Encode(ss);
+  double mean = static_cast<double>(ss.size()) / runs.size();
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 12.0);
+  // DNA barely compresses.
+  std::string dna = a.Dna(5000);
+  auto dna_runs = Rle::Encode(dna);
+  EXPECT_GT(dna_runs.size(), dna.size() / 3);
+  EXPECT_EQ(SequenceGenerator::GeneId(80), "JW0080");
+}
+
+TEST(BioTest, FastaRoundTrip) {
+  std::vector<FastaRecord> records = {
+      {"JW0080", "mraW gene", "ATGATGGAAAA"},
+      {"JW0082", "", "ATGAAAGCAGC"},
+  };
+  std::string text = WriteFasta(records, 5);
+  auto back = ParseFasta(text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].id, "JW0080");
+  EXPECT_EQ((*back)[0].description, "mraW gene");
+  EXPECT_EQ((*back)[0].sequence, "ATGATGGAAAA");
+  EXPECT_EQ((*back)[1].sequence, "ATGAAAGCAGC");
+  EXPECT_FALSE(ParseFasta("ACGT\n>late").ok());
+}
+
+TEST(BioTest, SmithWatermanProperties) {
+  EXPECT_EQ(SmithWatermanScore("ACGT", "ACGT"), 8);  // 4 matches * 2
+  EXPECT_EQ(SmithWatermanScore("AAAA", "TTTT"), 0);  // nothing aligns
+  // Local alignment finds the common core.
+  int score = SmithWatermanScore("TTTACGTTT", "GGGACGGGG");
+  EXPECT_EQ(score, 6);  // ACG
+  // E-value decreases with score.
+  EXPECT_GT(AlignmentEvalue(5, 100, 100), AlignmentEvalue(20, 100, 100));
+}
+
+TEST(BioTest, ProcedureWrappers) {
+  ProcedureInfo blast = MakeBlastProcedure();
+  ASSERT_TRUE(blast.executable);
+  auto ev = blast.fn({Value::Sequence("ACGTACGT"), Value::Sequence("ACGTACGT")});
+  ASSERT_TRUE(ev.ok());
+  EXPECT_GT(ev->as_double(), 0.0);
+  EXPECT_FALSE(blast.fn({Value::Int(1)}).ok());
+
+  ProcedureInfo p = MakePredictionToolProcedure();
+  auto protein = p.fn({Value::Sequence("ATGATGGAAAAA")});
+  ASSERT_TRUE(protein.ok());
+  EXPECT_EQ(protein->as_string(), TranslateGene("ATGATGGAAAAA"));
+  EXPECT_EQ(protein->as_string().size(), 4u);  // 12 bases -> 4 codons
+}
+
+}  // namespace
+}  // namespace bdbms

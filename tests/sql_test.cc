@@ -1,0 +1,314 @@
+// Unit tests for src/sql: lexer and parser.
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace bdbms {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT GID, 42 FROM Gene WHERE x >= 3.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "GID");
+  EXPECT_TRUE((*tokens)[2].IsSymbol(","));
+  EXPECT_EQ((*tokens)[3].type, TokenType::kInteger);
+  EXPECT_TRUE((*tokens)[4].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[8].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[9].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize("'it''s an annotation'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's an annotation");
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- this is a comment\n x FROM t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "x");
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, RejectsStrayCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE Gene (GID TEXT, GName TEXT, GSequence SEQUENCE, "
+      "Len INT, Score DOUBLE)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& node = std::get<CreateTableStmt>(stmt->node);
+  EXPECT_EQ(node.schema.name(), "Gene");
+  ASSERT_EQ(node.schema.num_columns(), 5u);
+  EXPECT_EQ(node.schema.column(2).type, DataType::kSequence);
+  EXPECT_EQ(node.schema.column(3).type, DataType::kInt);
+}
+
+TEST(ParserTest, SelectWithAllAsqlClauses) {
+  auto stmt = ParseStatement(
+      "SELECT DISTINCT GID PROMOTE (GSequence, GName), GName "
+      "FROM DB1_Gene G ANNOTATION(GAnnotation, GProv) "
+      "WHERE GID = 'JW0080' "
+      "AWHERE VALUE LIKE '%RegulonDB%' "
+      "FILTER CATEGORY = 'GAnnotation' "
+      "ORDER BY GID DESC");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(stmt->node);
+  EXPECT_TRUE(sel.distinct);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[0].promote_columns,
+            (std::vector<std::string>{"GSequence", "GName"}));
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].table, "DB1_Gene");
+  EXPECT_EQ(sel.from[0].alias, "G");
+  EXPECT_EQ(sel.from[0].annotation_tables,
+            (std::vector<std::string>{"GAnnotation", "GProv"}));
+  EXPECT_NE(sel.where, nullptr);
+  EXPECT_NE(sel.awhere, nullptr);
+  EXPECT_NE(sel.filter, nullptr);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_TRUE(sel.order_by[0].second);  // DESC
+}
+
+TEST(ParserTest, SelectIntersect) {
+  auto stmt = ParseStatement(
+      "SELECT GID FROM DB1_Gene INTERSECT SELECT GID FROM DB2_Gene");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(stmt->node);
+  EXPECT_EQ(sel.set_op, SetOpKind::kIntersect);
+  ASSERT_NE(sel.set_rhs, nullptr);
+  EXPECT_EQ(sel.set_rhs->from[0].table, "DB2_Gene");
+}
+
+TEST(ParserTest, SelectGroupByHavingAhaving) {
+  auto stmt = ParseStatement(
+      "SELECT GName, COUNT(*) AS n FROM Gene GROUP BY GName "
+      "HAVING COUNT(*) > 1 AHAVING VALUE LIKE '%curated%'");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(stmt->node);
+  EXPECT_EQ(sel.group_by, (std::vector<std::string>{"GName"}));
+  EXPECT_NE(sel.having, nullptr);
+  EXPECT_NE(sel.ahaving, nullptr);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[1].expr->kind, ExprKind::kAggregate);
+  EXPECT_EQ(sel.items[1].expr->agg_fn, AggFn::kCountStar);
+}
+
+TEST(ParserTest, SelectStarAndQualifiedStar) {
+  auto stmt = ParseStatement("SELECT * FROM Gene");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(stmt->node).star);
+
+  auto stmt2 = ParseStatement("SELECT G.* FROM Gene G");
+  ASSERT_TRUE(stmt2.ok());
+  const auto& sel = std::get<SelectStmt>(stmt2->node);
+  ASSERT_EQ(sel.items.size(), 1u);
+  EXPECT_EQ(sel.items[0].expr->qualifier, "G");
+  EXPECT_EQ(sel.items[0].expr->column, "*");
+}
+
+TEST(ParserTest, AnnotationAllKeyword) {
+  auto stmt = ParseStatement("SELECT * FROM Gene ANNOTATION(ALL)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(stmt->node).from[0].all_annotations);
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt = ParseStatement(
+      "INSERT INTO Gene VALUES ('JW0080', 'mraW', 'ATG'), "
+      "('JW0082', 'ftsI', 'GTG')");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStmt>(stmt->node);
+  EXPECT_EQ(ins.table, "Gene");
+  EXPECT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[0].size(), 3u);
+}
+
+TEST(ParserTest, UpdateAndDelete) {
+  auto stmt = ParseStatement(
+      "UPDATE Gene SET GSequence = 'TTT', GName = 'x' WHERE GID = 'JW0080'");
+  ASSERT_TRUE(stmt.ok());
+  const auto& upd = std::get<UpdateStmt>(stmt->node);
+  EXPECT_EQ(upd.assignments.size(), 2u);
+  EXPECT_NE(upd.where, nullptr);
+
+  auto stmt2 = ParseStatement("DELETE FROM Gene WHERE GID = 'JW0080'");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_NE(std::get<DeleteStmt>(stmt2->node).where, nullptr);
+}
+
+TEST(ParserTest, CreateAnnotationTableFigure4) {
+  auto stmt = ParseStatement("CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene");
+  ASSERT_TRUE(stmt.ok());
+  const auto& c = std::get<CreateAnnTableStmt>(stmt->node);
+  EXPECT_EQ(c.table, "DB2_Gene");
+  EXPECT_EQ(c.ann_table, "GAnnotation");
+  EXPECT_FALSE(c.provenance);
+
+  auto prov = ParseStatement(
+      "CREATE ANNOTATION TABLE GProv ON Gene AS PROVENANCE");
+  ASSERT_TRUE(prov.ok());
+  EXPECT_TRUE(std::get<CreateAnnTableStmt>(prov->node).provenance);
+
+  auto drop = ParseStatement("DROP ANNOTATION TABLE GAnnotation ON DB2_Gene");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(std::get<DropAnnTableStmt>(drop->node).ann_table, "GAnnotation");
+}
+
+TEST(ParserTest, AddAnnotationFigure6) {
+  // The paper's exact B3 command (modulo whitespace).
+  auto stmt = ParseStatement(
+      "ADD ANNOTATION TO DB2_Gene.GAnnotation "
+      "VALUE '<Annotation>obtained from GenoBase</Annotation>' "
+      "ON (SELECT G.GSequence FROM DB2_Gene G)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& add = std::get<AddAnnotationStmt>(stmt->node);
+  ASSERT_EQ(add.targets.size(), 1u);
+  EXPECT_EQ(add.targets[0].first, "DB2_Gene");
+  EXPECT_EQ(add.targets[0].second, "GAnnotation");
+  EXPECT_EQ(add.value, "<Annotation>obtained from GenoBase</Annotation>");
+  EXPECT_TRUE(std::holds_alternative<SelectStmt>(add.on->node));
+}
+
+TEST(ParserTest, AddAnnotationOnInsert) {
+  auto stmt = ParseStatement(
+      "ADD ANNOTATION TO Gene.GAnnotation VALUE '<A>new</A>' "
+      "ON (INSERT INTO Gene VALUES ('J', 'n', 'ATG'))");
+  ASSERT_TRUE(stmt.ok());
+  const auto& add = std::get<AddAnnotationStmt>(stmt->node);
+  EXPECT_TRUE(std::holds_alternative<InsertStmt>(add.on->node));
+}
+
+TEST(ParserTest, ArchiveRestoreFigure6) {
+  auto stmt = ParseStatement(
+      "ARCHIVE ANNOTATION FROM Gene.GAnnotation BETWEEN 5 AND 10 "
+      "ON (SELECT GID FROM Gene)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& arch = std::get<ArchiveAnnotationStmt>(stmt->node);
+  EXPECT_FALSE(arch.restore);
+  EXPECT_EQ(arch.time_begin, 5u);
+  EXPECT_EQ(arch.time_end, 10u);
+
+  auto rest = ParseStatement(
+      "RESTORE ANNOTATION FROM Gene.GAnnotation ON (SELECT GID FROM Gene)");
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(std::get<ArchiveAnnotationStmt>(rest->node).restore);
+}
+
+TEST(ParserTest, ApprovalCommandsFigure11) {
+  auto start = ParseStatement(
+      "START CONTENT APPROVAL ON Gene COLUMNS (GSequence) "
+      "APPROVED BY lab_admin");
+  ASSERT_TRUE(start.ok());
+  const auto& s = std::get<StartApprovalStmt>(start->node);
+  EXPECT_EQ(s.table, "Gene");
+  EXPECT_EQ(s.columns, (std::vector<std::string>{"GSequence"}));
+  EXPECT_EQ(s.approver, "lab_admin");
+
+  auto stop = ParseStatement("STOP CONTENT APPROVAL ON Gene");
+  ASSERT_TRUE(stop.ok());
+  EXPECT_TRUE(std::get<StopApprovalStmt>(stop->node).columns.empty());
+
+  auto approve = ParseStatement("APPROVE OPERATION 7");
+  ASSERT_TRUE(approve.ok());
+  EXPECT_FALSE(std::get<ApproveStmt>(approve->node).disapprove);
+  EXPECT_EQ(std::get<ApproveStmt>(approve->node).op_id, 7u);
+
+  auto disapprove = ParseStatement("DISAPPROVE OPERATION 8");
+  ASSERT_TRUE(disapprove.ok());
+  EXPECT_TRUE(std::get<ApproveStmt>(disapprove->node).disapprove);
+
+  auto show = ParseStatement("SHOW PENDING ON Gene");
+  ASSERT_TRUE(show.ok());
+  EXPECT_EQ(std::get<ShowPendingStmt>(show->node).table, "Gene");
+}
+
+TEST(ParserTest, GrantRevokeAndPrincipals) {
+  auto grant = ParseStatement("GRANT UPDATE ON Gene TO lab_members");
+  ASSERT_TRUE(grant.ok());
+  const auto& g = std::get<GrantStmt>(grant->node);
+  EXPECT_FALSE(g.revoke);
+  EXPECT_EQ(g.privilege, "UPDATE");
+  EXPECT_EQ(g.principal, "lab_members");
+
+  auto revoke = ParseStatement("REVOKE UPDATE ON Gene FROM lab_members");
+  ASSERT_TRUE(revoke.ok());
+  EXPECT_TRUE(std::get<GrantStmt>(revoke->node).revoke);
+
+  ASSERT_TRUE(ParseStatement("CREATE USER alice").ok());
+  auto grp = ParseStatement("CREATE GROUP lab_members");
+  ASSERT_TRUE(grp.ok());
+  EXPECT_TRUE(std::get<CreateUserStmt>(grp->node).is_group);
+  ASSERT_TRUE(ParseStatement("ADD USER alice TO GROUP lab_members").ok());
+}
+
+TEST(ParserTest, CreateDependencyRule1) {
+  auto stmt = ParseStatement(
+      "CREATE DEPENDENCY rule1 FROM Gene.GSequence TO Protein.PSequence "
+      "USING P JOIN ON Gene.GID = Protein.GID");
+  ASSERT_TRUE(stmt.ok());
+  const auto& dep = std::get<CreateDependencyStmt>(stmt->node);
+  EXPECT_EQ(dep.rule.name, "rule1");
+  ASSERT_EQ(dep.rule.sources.size(), 1u);
+  EXPECT_EQ(dep.rule.sources[0], (ColumnRef{"Gene", "GSequence"}));
+  EXPECT_EQ(dep.rule.target, (ColumnRef{"Protein", "PSequence"}));
+  EXPECT_EQ(dep.rule.procedure, "P");
+  ASSERT_TRUE(dep.rule.join.has_value());
+  EXPECT_EQ(dep.rule.join->source_key_column, "GID");
+  EXPECT_EQ(dep.rule.join->target_key_column, "GID");
+}
+
+TEST(ParserTest, CreateDependencyMultiSource) {
+  auto stmt = ParseStatement(
+      "CREATE DEPENDENCY rule3 FROM GeneMatching.Gene1, GeneMatching.Gene2 "
+      "TO GeneMatching.Evalue USING 'BLAST-2.2.15'");
+  ASSERT_TRUE(stmt.ok());
+  const auto& dep = std::get<CreateDependencyStmt>(stmt->node);
+  EXPECT_EQ(dep.rule.sources.size(), 2u);
+  EXPECT_EQ(dep.rule.procedure, "BLAST-2.2.15");
+  EXPECT_FALSE(dep.rule.join.has_value());
+}
+
+TEST(ParserTest, ErrorsAreInvalidArgument) {
+  EXPECT_FALSE(ParseStatement("SELEC x FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT x FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (x BLOB)").ok());
+  EXPECT_FALSE(ParseStatement("SELECT x FROM t extra garbage ,").ok());
+  EXPECT_FALSE(ParseStatement("ADD ANNOTATION TO a VALUE 'x' ON SELECT").ok());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE a + 2 * 3 = 7 AND b = 1");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(stmt->node);
+  // Top node is AND.
+  EXPECT_EQ(sel.where->bin_op, BinOp::kAnd);
+  // Left operand is '=' whose left is a + (2*3).
+  const Expr& eq = *sel.where->left;
+  EXPECT_EQ(eq.bin_op, BinOp::kEq);
+  EXPECT_EQ(eq.left->bin_op, BinOp::kAdd);
+  EXPECT_EQ(eq.left->right->bin_op, BinOp::kMul);
+}
+
+}  // namespace
+}  // namespace bdbms

@@ -1,0 +1,316 @@
+// Unit tests for src/storage: Pager, BufferPool, HeapFile.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace bdbms {
+namespace {
+
+TEST(PagerTest, InMemoryAllocateReadWrite) {
+  auto pager = Pager::OpenInMemory();
+  auto id = pager->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  Page p;
+  p.Zero();
+  p.WriteAt<uint64_t>(16, 0xDEADBEEFull);
+  ASSERT_TRUE(pager->WritePage(*id, p).ok());
+  Page q;
+  ASSERT_TRUE(pager->ReadPage(*id, &q).ok());
+  EXPECT_EQ(q.ReadAt<uint64_t>(16), 0xDEADBEEFull);
+}
+
+TEST(PagerTest, ReadUnallocatedFails) {
+  auto pager = Pager::OpenInMemory();
+  Page p;
+  EXPECT_FALSE(pager->ReadPage(3, &p).ok());
+}
+
+TEST(PagerTest, CountsIo) {
+  auto pager = Pager::OpenInMemory();
+  auto id = pager->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  Page p;
+  p.Zero();
+  ASSERT_TRUE(pager->WritePage(*id, p).ok());
+  ASSERT_TRUE(pager->ReadPage(*id, &p).ok());
+  EXPECT_EQ(pager->stats().pages_allocated, 1u);
+  EXPECT_EQ(pager->stats().page_writes, 1u);
+  EXPECT_EQ(pager->stats().page_reads, 1u);
+}
+
+TEST(PagerTest, FileBackedPersists) {
+  std::string path = testing::TempDir() + "/bdbms_pager_test.db";
+  std::remove(path.c_str());
+  {
+    auto pager = Pager::OpenFile(path);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    Page p;
+    p.Zero();
+    p.WriteAt<uint32_t>(0, 123456u);
+    ASSERT_TRUE((*pager)->WritePage(*id, p).ok());
+  }
+  {
+    auto pager = Pager::OpenFile(path);
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ((*pager)->page_count(), 1u);
+    Page p;
+    ASSERT_TRUE((*pager)->ReadPage(0, &p).ok());
+    EXPECT_EQ(p.ReadAt<uint32_t>(0), 123456u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferPoolTest, HitAfterMiss) {
+  auto pager = Pager::OpenInMemory();
+  BufferPool pool(pager.get(), 4);
+  auto h = pool.New();
+  ASSERT_TRUE(h.ok());
+  PageId id = h->id();
+  h->Release();
+  {
+    auto f1 = pool.Fetch(id);
+    ASSERT_TRUE(f1.ok());
+  }
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLruAndWritesBackDirty) {
+  auto pager = Pager::OpenInMemory();
+  BufferPool pool(pager.get(), 2);
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    ids[i] = h->id();
+    h->page()->WriteAt<uint32_t>(0, 1000u + i);
+    h->MarkDirty();
+  }
+  // Pool of 2 held 3 pages: at least one eviction happened, dirty data must
+  // have reached the pager.
+  EXPECT_GE(pool.stats().evictions, 1u);
+  for (int i = 0; i < 3; ++i) {
+    auto h = pool.Fetch(ids[i]);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->page()->ReadAt<uint32_t>(0), 1000u + i);
+  }
+}
+
+TEST(BufferPoolTest, AllPinnedFails) {
+  auto pager = Pager::OpenInMemory();
+  BufferPool pool(pager.get(), 2);
+  auto h1 = pool.New();
+  auto h2 = pool.New();
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  auto h3 = pool.New();  // page allocated but no frame available
+  EXPECT_FALSE(h3.ok());
+}
+
+TEST(HeapFileTest, InsertReadDelete) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  auto rid = (*hf)->Insert("hello bdbms");
+  ASSERT_TRUE(rid.ok());
+  auto payload = (*hf)->Read(*rid);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "hello bdbms");
+  EXPECT_EQ((*hf)->record_count(), 1u);
+
+  ASSERT_TRUE((*hf)->Delete(*rid).ok());
+  EXPECT_EQ((*hf)->record_count(), 0u);
+  EXPECT_TRUE((*hf)->Read(*rid).status().IsNotFound());
+  EXPECT_TRUE((*hf)->Delete(*rid).IsNotFound());
+}
+
+TEST(HeapFileTest, EmptyPayload) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  auto rid = (*hf)->Insert("");
+  ASSERT_TRUE(rid.ok());
+  auto payload = (*hf)->Read(*rid);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "");
+}
+
+TEST(HeapFileTest, ManySmallRecords) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 2000; ++i) {
+    auto rid = (*hf)->Insert("record-" + std::to_string(i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  EXPECT_EQ((*hf)->record_count(), 2000u);
+  for (int i = 0; i < 2000; ++i) {
+    auto payload = (*hf)->Read(rids[i]);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(*payload, "record-" + std::to_string(i));
+  }
+}
+
+TEST(HeapFileTest, LargeRecordUsesOverflowChain) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  Rng rng(11);
+  std::string big = rng.NextString(3 * kPageSize + 777, "ACGT");
+  auto rid = (*hf)->Insert(big);
+  ASSERT_TRUE(rid.ok());
+  auto payload = (*hf)->Read(*rid);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, big);
+}
+
+TEST(HeapFileTest, OverflowPagesRecycledAfterDelete) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  Rng rng(13);
+  std::string big = rng.NextString(4 * kPageSize, "HEL");
+  auto rid1 = (*hf)->Insert(big);
+  ASSERT_TRUE(rid1.ok());
+  ASSERT_TRUE((*hf)->Delete(*rid1).ok());
+  uint64_t pages_after_delete = (*hf)->SizeBytes() / kPageSize;
+  auto rid2 = (*hf)->Insert(big);
+  ASSERT_TRUE(rid2.ok());
+  // Chain reuses freed pages: no growth.
+  EXPECT_EQ((*hf)->SizeBytes() / kPageSize, pages_after_delete);
+  auto payload = (*hf)->Read(*rid2);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, big);
+}
+
+TEST(HeapFileTest, SlotReuseAfterDelete) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  auto rid1 = (*hf)->Insert("first");
+  ASSERT_TRUE(rid1.ok());
+  ASSERT_TRUE((*hf)->Delete(*rid1).ok());
+  auto rid2 = (*hf)->Insert("second");
+  ASSERT_TRUE(rid2.ok());
+  EXPECT_EQ(rid1->page_id, rid2->page_id);
+  EXPECT_EQ(rid1->slot, rid2->slot);
+}
+
+TEST(HeapFileTest, CompactionReclaimsFragmentation) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  // Fill a page with records, delete every other one, then insert records
+  // that only fit if the fragmented space is compacted.
+  std::vector<RecordId> rids;
+  std::string payload(100, 'x');
+  for (int i = 0; i < 70; ++i) {
+    auto rid = (*hf)->Insert(payload);
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  for (size_t i = 0; i < rids.size(); i += 2) {
+    ASSERT_TRUE((*hf)->Delete(rids[i]).ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    auto rid = (*hf)->Insert(payload);
+    ASSERT_TRUE(rid.ok());
+  }
+  // All survivors still readable.
+  for (size_t i = 1; i < rids.size(); i += 2) {
+    auto p = (*hf)->Read(rids[i]);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(*p, payload);
+  }
+}
+
+TEST(HeapFileTest, ForEachVisitsLiveRecordsOnly) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  auto r1 = (*hf)->Insert("keep-1");
+  auto r2 = (*hf)->Insert("drop");
+  auto r3 = (*hf)->Insert("keep-2");
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  ASSERT_TRUE((*hf)->Delete(*r2).ok());
+  std::vector<std::string> seen;
+  auto st = (*hf)->ForEach([&](RecordId, std::string_view payload) {
+    seen.emplace_back(payload);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"keep-1", "keep-2"}));
+}
+
+TEST(HeapFileTest, FileBackedReopenPreservesRecords) {
+  std::string path = testing::TempDir() + "/bdbms_heap_test.db";
+  std::remove(path.c_str());
+  RecordId rid;
+  {
+    auto hf = HeapFile::OpenFile(path);
+    ASSERT_TRUE(hf.ok());
+    auto r = (*hf)->Insert("persistent record");
+    ASSERT_TRUE(r.ok());
+    rid = *r;
+    ASSERT_TRUE((*hf)->Flush().ok());
+  }
+  {
+    auto hf = HeapFile::OpenFile(path);
+    ASSERT_TRUE(hf.ok());
+    EXPECT_EQ((*hf)->record_count(), 1u);
+    auto payload = (*hf)->Read(rid);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(*payload, "persistent record");
+  }
+  std::remove(path.c_str());
+}
+
+// Property-style sweep: random workload of inserts/deletes/reads mirrors a
+// std::map reference model.
+class HeapFileFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeapFileFuzzTest, MatchesReferenceModel) {
+  auto hf = HeapFile::CreateInMemory();
+  ASSERT_TRUE(hf.ok());
+  Rng rng(GetParam());
+  std::map<std::string, RecordId> model;  // payload -> rid (payloads unique)
+  int next_id = 0;
+  for (int step = 0; step < 1500; ++step) {
+    double dice = rng.UniformDouble();
+    if (dice < 0.55 || model.empty()) {
+      size_t len = rng.Uniform(3000);  // exercises inline + overflow paths
+      std::string payload =
+          std::to_string(next_id++) + ":" + rng.NextString(len, "ACGTHEL");
+      auto rid = (*hf)->Insert(payload);
+      ASSERT_TRUE(rid.ok());
+      model[payload] = *rid;
+    } else if (dice < 0.8) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE((*hf)->Delete(it->second).ok());
+      model.erase(it);
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      auto payload = (*hf)->Read(it->second);
+      ASSERT_TRUE(payload.ok());
+      EXPECT_EQ(*payload, it->first);
+    }
+  }
+  EXPECT_EQ((*hf)->record_count(), model.size());
+  size_t visited = 0;
+  auto st = (*hf)->ForEach([&](RecordId, std::string_view payload) {
+    EXPECT_TRUE(model.count(std::string(payload)));
+    ++visited;
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(visited, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFileFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 42u));
+
+}  // namespace
+}  // namespace bdbms
