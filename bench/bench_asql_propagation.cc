@@ -67,7 +67,8 @@ void BM_AsqlIntersectWithAnnotations(benchmark::State& state) {
     tuples = r.ok() ? r->rows.size() : 0;
     annotations = 0;
     if (r.ok()) {
-      for (const auto& row : r->rows) annotations += row.AllAnnotations().size();
+      for (const auto& row : r->rows)
+        annotations += row.AllAnnotations().size();
     }
   }
   state.counters["result_tuples"] = static_cast<double>(tuples);

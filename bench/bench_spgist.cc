@@ -193,7 +193,8 @@ void BM_KdTreeWindow(benchmark::State& state) {
   KdOps::Config config;
   config.bounds = {0, 0, 1000, 1000};
   auto index = SpGistKdTree::Create(config, kPoolPages);
-  for (size_t i = 0; i < points.size(); ++i) (void)(*index)->Insert(points[i], i);
+  for (size_t i = 0; i < points.size(); ++i)
+    (void)(*index)->Insert(points[i], i);
   (*index)->io_stats().Reset();
   RunWindowQueries(state, index->get());
 }
@@ -204,7 +205,8 @@ void BM_QuadTreeWindow(benchmark::State& state) {
   QuadOps::Config config;
   config.bounds = {0, 0, 1000, 1000};
   auto index = SpGistQuadTree::Create(config, kPoolPages);
-  for (size_t i = 0; i < points.size(); ++i) (void)(*index)->Insert(points[i], i);
+  for (size_t i = 0; i < points.size(); ++i)
+    (void)(*index)->Insert(points[i], i);
   (*index)->io_stats().Reset();
   RunWindowQueries(state, index->get());
 }
@@ -241,7 +243,8 @@ void BM_KdTreeKnn(benchmark::State& state) {
   KdOps::Config config;
   config.bounds = {0, 0, 1000, 1000};
   auto index = SpGistKdTree::Create(config, kPoolPages);
-  for (size_t i = 0; i < points.size(); ++i) (void)(*index)->Insert(points[i], i);
+  for (size_t i = 0; i < points.size(); ++i)
+    (void)(*index)->Insert(points[i], i);
   (*index)->io_stats().Reset();
   Rng rng(78);
   for (auto _ : state) {

@@ -1,0 +1,5 @@
+# Warning configuration shared by every bdbms target.
+add_compile_options(-Wall -Wextra -Wshadow)
+if(BDBMS_WERROR)
+  add_compile_options(-Werror)
+endif()

@@ -1,0 +1,6 @@
+# Opt-in ASan+UBSan instrumentation (BDBMS_SANITIZE=ON), used by the CI
+# sanitizer job so pager/buffer-pool memory bugs surface immediately.
+if(BDBMS_SANITIZE)
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+endif()

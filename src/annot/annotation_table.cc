@@ -117,7 +117,8 @@ Result<std::string> AnnotationTable::Body(AnnotationId id) const {
   BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(it->second));
   // Skip the fixed prefix: id, timestamp, archived, author, regions.
   const AnnotationMeta& meta = metas_.at(id);
-  size_t offset = 8 + 8 + 1 + 8 + meta.author.size() + 8 + 24 * meta.regions.size();
+  size_t offset =
+      8 + 8 + 1 + 8 + meta.author.size() + 8 + 24 * meta.regions.size();
   if (offset > payload.size()) {
     return Status::Corruption("annotation record too short");
   }

@@ -44,9 +44,9 @@ class IntervalIndex {
 
   void RebuildIfNeeded() const;
   void BuildMaxTree(size_t node, size_t lo, size_t hi) const;
-  void QueryRangeNode(size_t node, size_t lo, size_t hi, RowId begin,
-                      RowId end,
-                      const std::function<void(RowId, RowId, uint64_t)>& fn) const;
+  void QueryRangeNode(
+      size_t node, size_t lo, size_t hi, RowId begin, RowId end,
+      const std::function<void(RowId, RowId, uint64_t)>& fn) const;
 
   std::vector<Entry> entries_;
   mutable bool dirty_ = false;

@@ -70,7 +70,7 @@ std::string TranslateGene(std::string_view gene_sequence) {
                 base(gene_sequence[i + 2]);
     protein.push_back(kAmino[codon % 20]);
   }
-  if (protein.empty()) protein = "M";
+  if (protein.empty()) protein.push_back('M');
   return protein;
 }
 

@@ -60,7 +60,8 @@ class Catalog {
   }
 
   std::map<std::string, TableSchema> tables_;
-  std::map<std::string, AnnotationTableInfo> annotation_tables_;  // key: tbl.ann
+  // Keyed by "tbl.ann".
+  std::map<std::string, AnnotationTableInfo> annotation_tables_;
 };
 
 }  // namespace bdbms

@@ -19,7 +19,8 @@ class Result {
   Result(T value) : value_(std::move(value)) {}            // NOLINT
   Result(Status status) : status_(std::move(status)) {     // NOLINT
     assert(!status_.ok() && "Result(Status) requires a non-OK status");
-    if (status_.ok()) status_ = Status::Internal("Result constructed with OK status");
+    if (status_.ok())
+      status_ = Status::Internal("Result constructed with OK status");
   }
 
   Result(const Result&) = default;

@@ -41,11 +41,13 @@ Result<std::vector<RleRun>> Rle::FromText(std::string_view text) {
       return Status::Corruption("RLE text: run character cannot be a digit");
     }
     ++i;
-    if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i]))) {
+    if (i >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[i]))) {
       return Status::Corruption("RLE text: missing run length");
     }
     uint64_t len = 0;
-    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
       len = len * 10 + static_cast<uint64_t>(text[i] - '0');
       if (len > UINT32_MAX) {
         return Status::Corruption("RLE text: run length overflow");

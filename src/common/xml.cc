@@ -17,7 +17,8 @@ class Parser {
     BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement());
     SkipWhitespace();
     if (pos_ != in_.size()) {
-      return Status::InvalidArgument("xml: trailing content after root element");
+      return Status::InvalidArgument(
+          "xml: trailing content after root element");
     }
     return root;
   }
@@ -64,7 +65,9 @@ class Parser {
       else if (ent == "amp") out.push_back('&');
       else if (ent == "quot") out.push_back('"');
       else if (ent == "apos") out.push_back('\'');
-      else return Status::InvalidArgument("xml: unknown entity &" + std::string(ent) + ";");
+      else
+        return Status::InvalidArgument("xml: unknown entity &" +
+                                       std::string(ent) + ";");
       i = semi + 1;
     }
     return out;
@@ -86,17 +89,20 @@ class Parser {
       BDBMS_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
       SkipWhitespace();
       if (AtEnd() || Peek() != '=') {
-        return Status::InvalidArgument("xml: expected '=' after attribute name");
+        return Status::InvalidArgument(
+            "xml: expected '=' after attribute name");
       }
       ++pos_;
       SkipWhitespace();
       if (AtEnd() || Peek() != '"') {
-        return Status::InvalidArgument("xml: expected '\"' for attribute value");
+        return Status::InvalidArgument(
+            "xml: expected '\"' for attribute value");
       }
       ++pos_;
       size_t start = pos_;
       while (pos_ < in_.size() && in_[pos_] != '"') ++pos_;
-      if (AtEnd()) return Status::InvalidArgument("xml: unterminated attribute value");
+      if (AtEnd())
+        return Status::InvalidArgument("xml: unterminated attribute value");
       BDBMS_ASSIGN_OR_RETURN(std::string attr_value,
                              DecodeEntities(in_.substr(start, pos_ - start)));
       ++pos_;  // closing quote
@@ -116,14 +122,17 @@ class Parser {
     // Content: interleaved character data and child elements until </tag>.
     std::string text;
     for (;;) {
-      if (AtEnd()) return Status::InvalidArgument("xml: unterminated element <" + elem->tag + ">");
+      if (AtEnd())
+        return Status::InvalidArgument("xml: unterminated element <" +
+                                       elem->tag + ">");
       if (Peek() == '<') {
         if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '/') {
           pos_ += 2;
           BDBMS_ASSIGN_OR_RETURN(std::string close_name, ParseName());
           if (close_name != elem->tag) {
             return Status::InvalidArgument("xml: mismatched closing tag </" +
-                                           close_name + "> for <" + elem->tag + ">");
+                                           close_name + "> for <" + elem->tag +
+                                           ">");
           }
           SkipWhitespace();
           if (AtEnd() || Peek() != '>') {
@@ -132,7 +141,8 @@ class Parser {
           ++pos_;
           break;
         }
-        BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child, ParseElement());
+        BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                               ParseElement());
         elem->children.push_back(std::move(child));
       } else {
         size_t start = pos_;
@@ -222,9 +232,10 @@ Status XmlSchema::Validate(const XmlElement& root) const {
   }
   if (!allow_unknown_) {
     for (const auto& c : root.children) {
-      bool known =
-          std::find(required_.begin(), required_.end(), c->tag) != required_.end() ||
-          std::find(optional_.begin(), optional_.end(), c->tag) != optional_.end();
+      bool known = std::find(required_.begin(), required_.end(), c->tag) !=
+                       required_.end() ||
+                   std::find(optional_.begin(), optional_.end(), c->tag) !=
+                       optional_.end();
       if (!known) {
         return Status::InvalidArgument("xml schema: unexpected element <" +
                                        c->tag + ">");
@@ -235,7 +246,8 @@ Status XmlSchema::Validate(const XmlElement& root) const {
 }
 
 Status XmlSchema::ValidateText(std::string_view xml_text) const {
-  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, Xml::Parse(xml_text));
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root,
+                         Xml::Parse(xml_text));
   return Validate(*root);
 }
 

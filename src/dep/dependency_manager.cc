@@ -208,8 +208,8 @@ Result<std::vector<RowId>> DependencyManager::AffectedTargetRows(
   }
   BDBMS_ASSIGN_OR_RETURN(Table * src, tables(src_table));
   BDBMS_ASSIGN_OR_RETURN(Table * dst, tables(rule.target.table));
-  BDBMS_ASSIGN_OR_RETURN(size_t src_key,
-                         src->schema().ColumnIndex(rule.join->source_key_column));
+  BDBMS_ASSIGN_OR_RETURN(
+      size_t src_key, src->schema().ColumnIndex(rule.join->source_key_column));
   BDBMS_ASSIGN_OR_RETURN(
       size_t dst_key, dst->schema().ColumnIndex(rule.join->target_key_column));
   auto src_row_data = src->Get(source_row);
@@ -243,8 +243,8 @@ Result<std::vector<Value>> DependencyManager::GatherInputs(
   }
   // Cross-table: locate the (first) source row joining to the target row.
   BDBMS_ASSIGN_OR_RETURN(Table * src, tables(src_table));
-  BDBMS_ASSIGN_OR_RETURN(size_t src_key,
-                         src->schema().ColumnIndex(rule.join->source_key_column));
+  BDBMS_ASSIGN_OR_RETURN(
+      size_t src_key, src->schema().ColumnIndex(rule.join->source_key_column));
   BDBMS_ASSIGN_OR_RETURN(
       size_t dst_key, dst->schema().ColumnIndex(rule.join->target_key_column));
   BDBMS_ASSIGN_OR_RETURN(Row target_data, dst->Get(target_row));
@@ -399,14 +399,16 @@ Result<DependencyManager::PropagationReport> DependencyManager::OnRowErased(
     if (!rule.join.has_value()) continue;  // same-table target died with row
     BDBMS_ASSIGN_OR_RETURN(Table * src, tables(table));
     BDBMS_ASSIGN_OR_RETURN(
-        size_t src_key, src->schema().ColumnIndex(rule.join->source_key_column));
+        size_t src_key,
+        src->schema().ColumnIndex(rule.join->source_key_column));
     if (src_key >= old_values.size()) {
       return Status::Internal("row image does not match schema");
     }
     const Value& key = old_values[src_key];
     BDBMS_ASSIGN_OR_RETURN(Table * dst, tables(rule.target.table));
-    BDBMS_ASSIGN_OR_RETURN(size_t dst_key,
-                           dst->schema().ColumnIndex(rule.join->target_key_column));
+    BDBMS_ASSIGN_OR_RETURN(
+        size_t dst_key,
+        dst->schema().ColumnIndex(rule.join->target_key_column));
     BDBMS_ASSIGN_OR_RETURN(size_t dst_col,
                            dst->schema().ColumnIndex(rule.target.column));
     std::vector<RowId> targets;

@@ -43,17 +43,21 @@ Result<Value> EvalBinary(const Expr& e, const ColumnFn& col_fn,
                          const AnnFieldFn& ann_fn, const AggFn_& agg_fn) {
   // AND/OR short-circuit.
   if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
-    BDBMS_ASSIGN_OR_RETURN(Value lhs, EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
+    BDBMS_ASSIGN_OR_RETURN(Value lhs,
+                           EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
     BDBMS_ASSIGN_OR_RETURN(bool lb, TruthyValue(lhs));
     if (e.bin_op == BinOp::kAnd && !lb) return Value::Int(0);
     if (e.bin_op == BinOp::kOr && lb) return Value::Int(1);
-    BDBMS_ASSIGN_OR_RETURN(Value rhs, EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
+    BDBMS_ASSIGN_OR_RETURN(Value rhs,
+                           EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
     BDBMS_ASSIGN_OR_RETURN(bool rb, TruthyValue(rhs));
     return Value::Int(rb ? 1 : 0);
   }
 
-  BDBMS_ASSIGN_OR_RETURN(Value lhs, EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
-  BDBMS_ASSIGN_OR_RETURN(Value rhs, EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
+  BDBMS_ASSIGN_OR_RETURN(Value lhs,
+                         EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
+  BDBMS_ASSIGN_OR_RETURN(Value rhs,
+                         EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
 
   switch (e.bin_op) {
     case BinOp::kEq:
@@ -274,8 +278,8 @@ Result<size_t> Executor::BindColumn(const Relation& rel,
     found = i;
   }
   if (found == rel.columns.size()) {
-    return Status::NotFound("no column " +
-                            (qualifier.empty() ? name : qualifier + "." + name));
+    return Status::NotFound(
+        "no column " + (qualifier.empty() ? name : qualifier + "." + name));
   }
   return found;
 }
@@ -319,8 +323,9 @@ Result<bool> Executor::TupleAnnMatch(const Expr& cond, const AnnTuple& tuple) {
   return false;
 }
 
-Result<Value> Executor::EvalAggregate(const Expr& e, const Relation& rel,
-                                      const std::vector<const AnnTuple*>& group) {
+Result<Value> Executor::EvalAggregate(
+    const Expr& e, const Relation& rel,
+    const std::vector<const AnnTuple*>& group) {
   if (e.agg_fn == AggFn::kCountStar) {
     return Value::Int(static_cast<int64_t>(group.size()));
   }
@@ -360,8 +365,9 @@ Result<Value> Executor::EvalAggregate(const Expr& e, const Relation& rel,
   }
 }
 
-Result<Value> Executor::EvalGroupExpr(const Expr& e, const Relation& rel,
-                                      const std::vector<const AnnTuple*>& group) {
+Result<Value> Executor::EvalGroupExpr(
+    const Expr& e, const Relation& rel,
+    const std::vector<const AnnTuple*>& group) {
   return EvalGeneric(
       e,
       [&](const std::string& qual, const std::string& name) -> Result<Value> {
@@ -385,7 +391,8 @@ Result<Executor::Relation> Executor::ScanTable(const TableRef& ref) {
   if (!ctx_.catalog->HasTable(ref.table)) {
     return Status::NotFound("no table " + ref.table);
   }
-  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, ref.table, Privilege::kSelect));
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.access->Check(user_, ref.table, Privilege::kSelect));
   BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(ref.table));
 
   std::vector<std::string> ann_names = ref.annotation_tables;
@@ -730,7 +737,8 @@ Result<Executor::Relation> Executor::GroupAndProject(Relation input,
 
   for (const auto& group : groups) {
     if (stmt.having) {
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalGroupExpr(*stmt.having, input, group));
+      BDBMS_ASSIGN_OR_RETURN(Value v,
+                             EvalGroupExpr(*stmt.having, input, group));
       BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
       if (!keep) continue;
     }
@@ -853,7 +861,8 @@ Result<std::vector<std::pair<RowId, ColumnMask>>> Executor::SelectTargets(
         mask = AllColumnsMask(rel.columns.size());
         continue;
       }
-      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(rel, e.qualifier, e.column));
+      BDBMS_ASSIGN_OR_RETURN(size_t idx,
+                             BindColumn(rel, e.qualifier, e.column));
       mask |= ColumnBit(idx);
     }
   }
@@ -936,7 +945,8 @@ Result<QueryResult> Executor::ExecInsert(const InsertStmt& stmt,
   if (!ctx_.catalog->HasTable(stmt.table)) {
     return Status::NotFound("no table " + stmt.table);
   }
-  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, stmt.table, Privilege::kInsert));
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.access->Check(user_, stmt.table, Privilege::kInsert));
   BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
   Relation empty;
   AnnTuple no_tuple;
@@ -959,7 +969,8 @@ Result<QueryResult> Executor::ExecInsert(const InsertStmt& stmt,
                                                rid, user_, {}, stored)
                                 .status());
     }
-    BDBMS_RETURN_IF_ERROR(AfterCellsChanged(stmt.table, rid, all_cols, "insert"));
+    BDBMS_RETURN_IF_ERROR(
+        AfterCellsChanged(stmt.table, rid, all_cols, "insert"));
   }
   QueryResult r;
   r.affected = count;
@@ -973,7 +984,8 @@ Result<QueryResult> Executor::ExecUpdate(
   if (!ctx_.catalog->HasTable(stmt.table)) {
     return Status::NotFound("no table " + stmt.table);
   }
-  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, stmt.table, Privilege::kUpdate));
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.access->Check(user_, stmt.table, Privilege::kUpdate));
   BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
   const TableSchema& schema = t->schema();
 
@@ -1013,7 +1025,8 @@ Result<QueryResult> Executor::ExecUpdate(
     ColumnMask changed = 0;
     for (const auto& [idx, expr] : sets) {
       BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, rel, tuple));
-      BDBMS_ASSIGN_OR_RETURN(Value coerced, v.CoerceTo(schema.column(idx).type));
+      BDBMS_ASSIGN_OR_RETURN(Value coerced,
+                             v.CoerceTo(schema.column(idx).type));
       if (!(coerced == old_row[idx])) changed |= ColumnBit(idx);
       new_row[idx] = std::move(coerced);
     }
@@ -1042,7 +1055,8 @@ Result<QueryResult> Executor::ExecDelete(const DeleteStmt& stmt,
   if (!ctx_.catalog->HasTable(stmt.table)) {
     return Status::NotFound("no table " + stmt.table);
   }
-  BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, stmt.table, Privilege::kDelete));
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.access->Check(user_, stmt.table, Privilege::kDelete));
   BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
 
   Relation rel;
@@ -1094,7 +1108,8 @@ Result<QueryResult> Executor::ExecCreateAnnTable(
     const CreateAnnTableStmt& stmt) {
   BDBMS_RETURN_IF_ERROR(ctx_.catalog->CreateAnnotationTable(
       stmt.table, stmt.ann_table, stmt.provenance));
-  Status st = ctx_.annotations->CreateAnnotationTable(stmt.table, stmt.ann_table);
+  Status st =
+      ctx_.annotations->CreateAnnotationTable(stmt.table, stmt.ann_table);
   if (!st.ok()) {
     (void)ctx_.catalog->DropAnnotationTable(stmt.table, stmt.ann_table);
     return st;
@@ -1143,7 +1158,8 @@ Result<QueryResult> Executor::ExecAddAnnotation(const AddAnnotationStmt& stmt) {
     std::vector<RowId> inserted;
     BDBMS_ASSIGN_OR_RETURN(QueryResult qr, ExecInsert(*ins, &inserted));
     side_effect_rows = qr.affected;
-    BDBMS_ASSIGN_OR_RETURN(TableSchema schema, ctx_.catalog->GetSchema(on_table));
+    BDBMS_ASSIGN_OR_RETURN(TableSchema schema,
+                           ctx_.catalog->GetSchema(on_table));
     std::vector<std::pair<RowId, ColumnMask>> targets;
     for (RowId rid : inserted) {
       targets.emplace_back(rid, AllColumnsMask(schema.num_columns()));
@@ -1157,7 +1173,8 @@ Result<QueryResult> Executor::ExecAddAnnotation(const AddAnnotationStmt& stmt) {
     // Annotate the assigned cells (even if values happened to be equal the
     // user's intent covers them): use assigned columns per row.
     std::vector<std::pair<RowId, ColumnMask>> targets;
-    BDBMS_ASSIGN_OR_RETURN(TableSchema schema, ctx_.catalog->GetSchema(on_table));
+    BDBMS_ASSIGN_OR_RETURN(TableSchema schema,
+                           ctx_.catalog->GetSchema(on_table));
     ColumnMask assigned = 0;
     for (const auto& [col, expr] : upd->assignments) {
       BDBMS_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
@@ -1252,7 +1269,8 @@ Result<QueryResult> Executor::ExecGrant(const GrantStmt& stmt) {
   BDBMS_ASSIGN_OR_RETURN(Privilege priv, ParsePrivilege(stmt.privilege));
   QueryResult r;
   if (stmt.revoke) {
-    BDBMS_RETURN_IF_ERROR(ctx_.access->Revoke(stmt.principal, stmt.table, priv));
+    BDBMS_RETURN_IF_ERROR(
+        ctx_.access->Revoke(stmt.principal, stmt.table, priv));
     r.message = "revoked " + stmt.privilege + " on " + stmt.table + " from " +
                 stmt.principal;
   } else {
@@ -1294,8 +1312,8 @@ Result<QueryResult> Executor::ExecStartApproval(const StartApprovalStmt& stmt) {
     return Status::PermissionDenied(
         "only superusers may configure content approval");
   }
-  BDBMS_RETURN_IF_ERROR(
-      ctx_.approvals->StartContentApproval(stmt.table, stmt.columns, stmt.approver));
+  BDBMS_RETURN_IF_ERROR(ctx_.approvals->StartContentApproval(
+      stmt.table, stmt.columns, stmt.approver));
   QueryResult r;
   r.message = "content approval started on " + stmt.table + " (approved by " +
               stmt.approver + ")";
@@ -1321,8 +1339,9 @@ Result<QueryResult> Executor::ExecApprove(const ApproveStmt& stmt) {
     r.message = "operation " + std::to_string(stmt.op_id) + " approved";
     return r;
   }
-  BDBMS_ASSIGN_OR_RETURN(LoggedOperation op,
-                         ctx_.approvals->Disapprove(stmt.op_id, user_, ctx_.tables));
+  BDBMS_ASSIGN_OR_RETURN(
+      LoggedOperation op,
+      ctx_.approvals->Disapprove(stmt.op_id, user_, ctx_.tables));
   // The rollback changed data; run dependency invalidation (paper §6:
   // "Executing the inverse statement may affect other elements ... It is
   // the functionality of the Local Dependency Tracking feature to track
@@ -1332,7 +1351,8 @@ Result<QueryResult> Executor::ExecApprove(const ApproveStmt& stmt) {
     case OpType::kInsert:
       // Row removed again.
       BDBMS_RETURN_IF_ERROR(
-          ctx_.dependencies->OnRowErased(op.table, op.row, op.new_row, ctx_.tables)
+          ctx_.dependencies
+              ->OnRowErased(op.table, op.row, op.new_row, ctx_.tables)
               .status());
       break;
     case OpType::kDelete: {
@@ -1347,7 +1367,8 @@ Result<QueryResult> Executor::ExecApprove(const ApproveStmt& stmt) {
         if (!(op.old_row[c] == op.new_row[c])) changed |= ColumnBit(c);
       }
       if (changed != 0) {
-        BDBMS_RETURN_IF_ERROR(AfterCellsChanged(op.table, op.row, changed, "update"));
+        BDBMS_RETURN_IF_ERROR(
+            AfterCellsChanged(op.table, op.row, changed, "update"));
       }
       break;
     }

@@ -58,7 +58,9 @@ class StringBTree {
 
   uint64_t sequence_count() const { return seqs_.size(); }
   uint64_t entry_count() const { return tree_->size(); }
-  uint64_t SizeBytes() const { return store_->SizeBytes() + tree_->SizeBytes(); }
+  uint64_t SizeBytes() const {
+    return store_->SizeBytes() + tree_->SizeBytes();
+  }
   // Aggregate logical I/O across the sequence store and the B-tree.
   IoStats TotalIo() const;
   void ResetIo();

@@ -98,7 +98,8 @@ class BufferPool {
     PageId id = kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
-    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 and resident
+    // Valid iff pin_count == 0 and resident.
+    std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
 

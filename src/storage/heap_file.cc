@@ -113,7 +113,8 @@ Result<std::unique_ptr<HeapFile>> HeapFile::CreateInMemory(size_t pool_pages) {
 Result<std::unique_ptr<HeapFile>> HeapFile::OpenFile(const std::string& path,
                                                      size_t pool_pages) {
   BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::OpenFile(path));
-  auto hf = std::unique_ptr<HeapFile>(new HeapFile(std::move(pager), pool_pages));
+  auto hf =
+      std::unique_ptr<HeapFile>(new HeapFile(std::move(pager), pool_pages));
   BDBMS_RETURN_IF_ERROR(hf->Bootstrap());
   return hf;
 }
@@ -174,7 +175,8 @@ Result<PageId> HeapFile::WriteOverflowChain(std::string_view payload) {
       p->WriteAt<uint8_t>(0, kOverflowPage);
       p->WriteAt<uint32_t>(4, kInvalidPageId);
       p->WriteAt<uint32_t>(8, chunk);
-      std::memcpy(p->bytes() + kOverflowHeaderSize, payload.data() + pos, chunk);
+      std::memcpy(p->bytes() + kOverflowHeaderSize, payload.data() + pos,
+                  chunk);
       h.MarkDirty();
     }
     if (prev != kInvalidPageId) {

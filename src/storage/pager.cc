@@ -80,7 +80,8 @@ Status Pager::ReadPage(PageId id, Page* out) {
 
 Status Pager::WritePage(PageId id, const Page& page) {
   if (id >= page_count_) {
-    return Status::OutOfRange("write of unallocated page " + std::to_string(id));
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
   }
   ++stats_.page_writes;
   if (fd_ < 0) {

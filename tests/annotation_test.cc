@@ -182,7 +182,8 @@ TEST_F(AnnotationTableTest, ArchiveRespectsTimeWindow) {
   ASSERT_TRUE(id2.ok());
 
   // Archive only annotations created before `cutoff`.
-  auto archived = table_->ArchiveMatching({{ColumnBit(0), 0, 0}}, 0, cutoff - 1);
+  auto archived =
+      table_->ArchiveMatching({{ColumnBit(0), 0, 0}}, 0, cutoff - 1);
   ASSERT_TRUE(archived.ok());
   EXPECT_EQ(*archived, 1u);
   auto live = table_->IdsForCell(0, 0);

@@ -363,7 +363,8 @@ TEST(DatabaseTest, DistinctUnionsAnnotations) {
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
   auto bodies = BodiesAt(*r, 0, 0);
-  EXPECT_EQ(bodies, (std::vector<std::string>{"<A>first</A>", "<A>second</A>"}));
+  EXPECT_EQ(bodies,
+            (std::vector<std::string>{"<A>first</A>", "<A>second</A>"}));
 }
 
 TEST(DatabaseTest, AccessControlEndToEnd) {

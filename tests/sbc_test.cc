@@ -230,7 +230,8 @@ TEST(BioTest, SmithWatermanProperties) {
 TEST(BioTest, ProcedureWrappers) {
   ProcedureInfo blast = MakeBlastProcedure();
   ASSERT_TRUE(blast.executable);
-  auto ev = blast.fn({Value::Sequence("ACGTACGT"), Value::Sequence("ACGTACGT")});
+  auto ev =
+      blast.fn({Value::Sequence("ACGTACGT"), Value::Sequence("ACGTACGT")});
   ASSERT_TRUE(ev.ok());
   EXPECT_GT(ev->as_double(), 0.0);
   EXPECT_FALSE(blast.fn({Value::Int(1)}).ok());

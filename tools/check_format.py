@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Style gate for bdbms C++ sources (see .clang-format for the full style).
+
+Checks the mechanically verifiable subset of the project style -- no tabs,
+no trailing whitespace, no CR line endings, a trailing newline, and the
+80-column limit -- so the gate stays tool-version independent. Full
+clang-format enforcement runs as an advisory CI step until the tree is
+normalized against a pinned clang-format release.
+
+Usage: check_format.py [file ...]   (no args: all tracked *.cc / *.h files)
+"""
+
+import subprocess
+import sys
+
+COLUMN_LIMIT = 80
+
+
+def tracked_sources():
+    out = subprocess.run(
+        ["git", "ls-files", "*.cc", "*.h"],
+        capture_output=True, text=True, check=True,
+    )
+    return [f for f in out.stdout.splitlines() if f]
+
+
+def check_file(path):
+    problems = []
+    try:
+        with open(path, "rb") as fp:
+            data = fp.read()
+    except OSError as err:
+        return [(0, f"unreadable: {err.strerror}")]
+    if b"\r" in data:
+        problems.append((0, "CR line ending (use LF)"))
+    if data and not data.endswith(b"\n"):
+        problems.append((0, "missing newline at end of file"))
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as err:
+        problems.append((0, f"not valid UTF-8 ({err.reason} at byte "
+                            f"{err.start})"))
+        text = data.decode("utf-8", errors="replace")
+    for i, line in enumerate(text.splitlines(), start=1):
+        if "\t" in line:
+            problems.append((i, "tab character"))
+        if line != line.rstrip():
+            problems.append((i, "trailing whitespace"))
+        if len(line) > COLUMN_LIMIT:
+            problems.append((i, f"line is {len(line)} columns (limit "
+                                f"{COLUMN_LIMIT})"))
+    return problems
+
+
+def main(argv):
+    files = argv[1:] or tracked_sources()
+    bad = 0
+    for path in files:
+        for lineno, msg in check_file(path):
+            print(f"{path}:{lineno}: {msg}")
+            bad += 1
+    if bad:
+        print(f"\n{bad} style problem(s) found.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
