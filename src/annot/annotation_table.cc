@@ -164,6 +164,18 @@ Result<size_t> AnnotationTable::ArchiveMatching(
   return archived;
 }
 
+std::vector<std::pair<RowId, RowId>> AnnotationTable::LiveRowIntervals()
+    const {
+  std::vector<std::pair<RowId, RowId>> intervals;
+  for (const auto& [id, meta] : metas_) {
+    if (meta.archived) continue;
+    for (const Region& r : meta.regions) {
+      intervals.emplace_back(r.row_begin, r.row_end);
+    }
+  }
+  return intervals;
+}
+
 Result<size_t> AnnotationTable::RestoreMatching(
     const std::vector<Region>& regions, uint64_t t1, uint64_t t2) {
   // IdsForRegions skips archived annotations, so enumerate directly.

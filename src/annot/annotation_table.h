@@ -47,6 +47,12 @@ class AnnotationTable {
   std::vector<AnnotationId> IdsForRegions(
       const std::vector<Region>& regions) const;
 
+  // Inclusive row intervals covered by at least one live annotation
+  // region, unsorted and possibly overlapping. The planner feeds these to
+  // Table::ScanRange/RowIdsInRange to restrict an AWHERE scan to row
+  // ranges that can carry annotations at all.
+  std::vector<std::pair<RowId, RowId>> LiveRowIntervals() const;
+
   // Reads the XML body from storage.
   Result<std::string> Body(AnnotationId id) const;
 

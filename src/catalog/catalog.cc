@@ -32,6 +32,14 @@ Status Catalog::DropTable(const std::string& name) {
       ++ann_it;
     }
   }
+  // Drop dependent indexes.
+  for (auto idx_it = indexes_.begin(); idx_it != indexes_.end();) {
+    if (idx_it->second.on_table == name) {
+      idx_it = indexes_.erase(idx_it);
+    } else {
+      ++idx_it;
+    }
+  }
   return Status::Ok();
 }
 
@@ -98,6 +106,48 @@ std::vector<AnnotationTableInfo> Catalog::ListAnnotationTables(
     const std::string& on_table) const {
   std::vector<AnnotationTableInfo> out;
   for (const auto& [key, info] : annotation_tables_) {
+    if (info.on_table == on_table) out.push_back(info);
+  }
+  return out;
+}
+
+Status Catalog::CreateIndex(const std::string& on_table,
+                            const std::string& index_name,
+                            const std::string& column) {
+  auto table_it = tables_.find(on_table);
+  if (table_it == tables_.end()) {
+    return Status::NotFound("no table " + on_table);
+  }
+  if (!table_it->second.FindColumn(column).has_value()) {
+    return Status::NotFound("no column " + column + " in " + on_table);
+  }
+  std::string key = AnnKey(on_table, index_name);
+  if (indexes_.count(key)) {
+    return Status::AlreadyExists("index " + index_name + " already exists on " +
+                                 on_table);
+  }
+  indexes_[key] = {index_name, on_table, column};
+  return Status::Ok();
+}
+
+Status Catalog::DropIndex(const std::string& on_table,
+                          const std::string& index_name) {
+  auto it = indexes_.find(AnnKey(on_table, index_name));
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index " + index_name + " on " + on_table);
+  }
+  indexes_.erase(it);
+  return Status::Ok();
+}
+
+bool Catalog::HasIndex(const std::string& on_table,
+                       const std::string& index_name) const {
+  return indexes_.count(AnnKey(on_table, index_name)) > 0;
+}
+
+std::vector<IndexInfo> Catalog::ListIndexes(const std::string& on_table) const {
+  std::vector<IndexInfo> out;
+  for (const auto& [key, info] : indexes_) {
     if (info.on_table == on_table) out.push_back(info);
   }
   return out;

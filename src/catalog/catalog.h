@@ -20,6 +20,15 @@ struct AnnotationTableInfo {
   bool is_provenance = false;  // provenance tables get system-only writers
 };
 
+// Metadata about one secondary index (CREATE INDEX <name> ON <table>
+// (<column>)). The storage object lives in Table; the catalog entry is
+// what the planner consults when choosing access paths.
+struct IndexInfo {
+  std::string name;     // index name (unique per user table)
+  std::string on_table;
+  std::string column;
+};
+
 // System catalog: user tables and their annotation tables. Dependency
 // rules live in DependencyManager, ACL/approval state in
 // AuthorizationManager; the catalog is the name authority all of them
@@ -53,6 +62,17 @@ class Catalog {
   std::vector<AnnotationTableInfo> ListAnnotationTables(
       const std::string& on_table) const;
 
+  // --- secondary indexes ---------------------------------------------------
+  // Registers index `index_name` over `on_table`.`column`; validates the
+  // table and column exist and the name is unused on that table.
+  Status CreateIndex(const std::string& on_table,
+                     const std::string& index_name, const std::string& column);
+  Status DropIndex(const std::string& on_table, const std::string& index_name);
+  bool HasIndex(const std::string& on_table,
+                const std::string& index_name) const;
+  // All indexes on `on_table`.
+  std::vector<IndexInfo> ListIndexes(const std::string& on_table) const;
+
  private:
   static std::string AnnKey(const std::string& on_table,
                             const std::string& ann_name) {
@@ -62,6 +82,8 @@ class Catalog {
   std::map<std::string, TableSchema> tables_;
   // Keyed by "tbl.ann".
   std::map<std::string, AnnotationTableInfo> annotation_tables_;
+  // Keyed by "tbl.index".
+  std::map<std::string, IndexInfo> indexes_;
 };
 
 }  // namespace bdbms

@@ -1,203 +1,14 @@
 #include "exec/executor.h"
 
 #include <algorithm>
-#include <set>
+
+#include "plan/expr_eval.h"
+#include "plan/operator.h"
+#include "plan/planner.h"
 
 namespace bdbms {
 
 namespace {
-
-// SQL LIKE with % (any run) and _ (any one char).
-bool LikeMatch(std::string_view text, std::string_view pattern) {
-  if (pattern.empty()) return text.empty();
-  if (pattern[0] == '%') {
-    for (size_t skip = 0; skip <= text.size(); ++skip) {
-      if (LikeMatch(text.substr(skip), pattern.substr(1))) return true;
-    }
-    return false;
-  }
-  if (text.empty()) return false;
-  if (pattern[0] == '_' || pattern[0] == text[0]) {
-    return LikeMatch(text.substr(1), pattern.substr(1));
-  }
-  return false;
-}
-
-using ColumnFn =
-    std::function<Result<Value>(const std::string&, const std::string&)>;
-using AnnFieldFn = std::function<Result<Value>(AnnField)>;
-using AggFn_ = std::function<Result<Value>(const Expr&)>;
-
-// One generic recursive evaluator; contexts differ only in how column
-// references, annotation attributes and aggregates resolve.
-Result<Value> EvalGeneric(const Expr& e, const ColumnFn& col_fn,
-                          const AnnFieldFn& ann_fn, const AggFn_& agg_fn);
-
-Result<bool> TruthyValue(const Value& v) {
-  if (v.is_null()) return false;
-  if (v.is_numeric()) return v.as_double() != 0.0;
-  return Status::InvalidArgument("condition did not evaluate to a boolean");
-}
-
-Result<Value> EvalBinary(const Expr& e, const ColumnFn& col_fn,
-                         const AnnFieldFn& ann_fn, const AggFn_& agg_fn) {
-  // AND/OR short-circuit.
-  if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
-    BDBMS_ASSIGN_OR_RETURN(Value lhs,
-                           EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
-    BDBMS_ASSIGN_OR_RETURN(bool lb, TruthyValue(lhs));
-    if (e.bin_op == BinOp::kAnd && !lb) return Value::Int(0);
-    if (e.bin_op == BinOp::kOr && lb) return Value::Int(1);
-    BDBMS_ASSIGN_OR_RETURN(Value rhs,
-                           EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
-    BDBMS_ASSIGN_OR_RETURN(bool rb, TruthyValue(rhs));
-    return Value::Int(rb ? 1 : 0);
-  }
-
-  BDBMS_ASSIGN_OR_RETURN(Value lhs,
-                         EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
-  BDBMS_ASSIGN_OR_RETURN(Value rhs,
-                         EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
-
-  switch (e.bin_op) {
-    case BinOp::kEq:
-    case BinOp::kNe:
-    case BinOp::kLt:
-    case BinOp::kLe:
-    case BinOp::kGt:
-    case BinOp::kGe: {
-      // Comparisons with NULL are false (two-valued logic; IS NULL exists).
-      if (lhs.is_null() || rhs.is_null()) return Value::Int(0);
-      int c = lhs.Compare(rhs);
-      bool r = false;
-      switch (e.bin_op) {
-        case BinOp::kEq: r = c == 0; break;
-        case BinOp::kNe: r = c != 0; break;
-        case BinOp::kLt: r = c < 0; break;
-        case BinOp::kLe: r = c <= 0; break;
-        case BinOp::kGt: r = c > 0; break;
-        default: r = c >= 0; break;
-      }
-      return Value::Int(r ? 1 : 0);
-    }
-    case BinOp::kLike: {
-      if (lhs.is_null() || rhs.is_null()) return Value::Int(0);
-      if (!lhs.is_string() || !rhs.is_string()) {
-        return Status::InvalidArgument("LIKE requires string operands");
-      }
-      return Value::Int(LikeMatch(lhs.as_string(), rhs.as_string()) ? 1 : 0);
-    }
-    case BinOp::kAdd:
-      if (lhs.is_string() && rhs.is_string()) {
-        return Value::Text(lhs.as_string() + rhs.as_string());
-      }
-      [[fallthrough]];
-    case BinOp::kSub:
-    case BinOp::kMul:
-    case BinOp::kDiv: {
-      if (lhs.is_null() || rhs.is_null()) return Value::Null();
-      if (!lhs.is_numeric() || !rhs.is_numeric()) {
-        return Status::InvalidArgument("arithmetic requires numeric operands");
-      }
-      bool both_int =
-          lhs.type() == DataType::kInt && rhs.type() == DataType::kInt;
-      if (e.bin_op == BinOp::kDiv) {
-        double d = rhs.as_double();
-        if (d == 0.0) return Status::InvalidArgument("division by zero");
-        if (both_int && lhs.as_int() % rhs.as_int() == 0) {
-          return Value::Int(lhs.as_int() / rhs.as_int());
-        }
-        return Value::Double(lhs.as_double() / d);
-      }
-      if (both_int) {
-        int64_t a = lhs.as_int(), b = rhs.as_int();
-        switch (e.bin_op) {
-          case BinOp::kAdd: return Value::Int(a + b);
-          case BinOp::kSub: return Value::Int(a - b);
-          default: return Value::Int(a * b);
-        }
-      }
-      double a = lhs.as_double(), b = rhs.as_double();
-      switch (e.bin_op) {
-        case BinOp::kAdd: return Value::Double(a + b);
-        case BinOp::kSub: return Value::Double(a - b);
-        default: return Value::Double(a * b);
-      }
-    }
-    default:
-      return Status::Internal("unhandled binary operator");
-  }
-}
-
-Result<Value> EvalGeneric(const Expr& e, const ColumnFn& col_fn,
-                          const AnnFieldFn& ann_fn, const AggFn_& agg_fn) {
-  switch (e.kind) {
-    case ExprKind::kLiteral:
-      return e.literal;
-    case ExprKind::kColumnRef:
-      return col_fn(e.qualifier, e.column);
-    case ExprKind::kAnnField:
-      return ann_fn(e.ann_field);
-    case ExprKind::kAggregate:
-      return agg_fn(e);
-    case ExprKind::kUnary: {
-      if (e.un_op == UnOp::kIsNull || e.un_op == UnOp::kIsNotNull) {
-        BDBMS_ASSIGN_OR_RETURN(Value v,
-                               EvalGeneric(*e.child, col_fn, ann_fn, agg_fn));
-        bool is_null = v.is_null();
-        return Value::Int((e.un_op == UnOp::kIsNull) == is_null ? 1 : 0);
-      }
-      BDBMS_ASSIGN_OR_RETURN(Value v,
-                             EvalGeneric(*e.child, col_fn, ann_fn, agg_fn));
-      if (e.un_op == UnOp::kNot) {
-        BDBMS_ASSIGN_OR_RETURN(bool b, TruthyValue(v));
-        return Value::Int(b ? 0 : 1);
-      }
-      // Negation.
-      if (v.is_null()) return Value::Null();
-      if (v.type() == DataType::kInt) return Value::Int(-v.as_int());
-      if (v.type() == DataType::kDouble) return Value::Double(-v.as_double());
-      return Status::InvalidArgument("unary minus requires a number");
-    }
-    case ExprKind::kBinary:
-      return EvalBinary(e, col_fn, ann_fn, agg_fn);
-  }
-  return Status::Internal("unhandled expression kind");
-}
-
-Result<Value> NoColumns(const std::string&, const std::string& name) {
-  return Status::InvalidArgument("column " + name +
-                                 " not allowed in this context");
-}
-Result<Value> NoAnnFields(AnnField) {
-  return Status::InvalidArgument(
-      "annotation attributes (VALUE/CATEGORY/AUTHOR) are only allowed in "
-      "AWHERE/AHAVING/FILTER");
-}
-Result<Value> NoAggregates(const Expr&) {
-  return Status::InvalidArgument("aggregate not allowed in this context");
-}
-
-// Merges `extra` into `into`, skipping duplicates.
-void MergeAnnotations(std::vector<ResultAnnotation>* into,
-                      const std::vector<ResultAnnotation>& extra) {
-  for (const ResultAnnotation& a : extra) {
-    bool dup = false;
-    for (const ResultAnnotation& b : *into) {
-      if (b.SameAs(a)) {
-        dup = true;
-        break;
-      }
-    }
-    if (!dup) into->push_back(a);
-  }
-}
-
-std::string RowKey(const Row& values) {
-  std::string key;
-  for (const Value& v : values) v.EncodeTo(&key);
-  return key;
-}
 
 Result<Privilege> ParsePrivilege(const std::string& name) {
   if (name == "SELECT") return Privilege::kSelect;
@@ -229,6 +40,12 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
           return ExecUpdate(node);
         } else if constexpr (std::is_same_v<T, DeleteStmt>) {
           return ExecDelete(node);
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          return ExecCreateIndex(node);
+        } else if constexpr (std::is_same_v<T, DropIndexStmt>) {
+          return ExecDropIndex(node);
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return ExecExplain(node);
         } else if constexpr (std::is_same_v<T, CreateAnnTableStmt>) {
           return ExecCreateAnnTable(node);
         } else if constexpr (std::is_same_v<T, DropAnnTableStmt>) {
@@ -261,559 +78,43 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
 }
 
 // ---------------------------------------------------------------------------
-// Expression contexts
+// SELECT / EXPLAIN via the plan layer
 // ---------------------------------------------------------------------------
-
-Result<size_t> Executor::BindColumn(const Relation& rel,
-                                    const std::string& qualifier,
-                                    const std::string& name) const {
-  size_t found = rel.columns.size();
-  for (size_t i = 0; i < rel.columns.size(); ++i) {
-    const BoundColumn& c = rel.columns[i];
-    if (c.name != name) continue;
-    if (!qualifier.empty() && c.qualifier != qualifier) continue;
-    if (found != rel.columns.size()) {
-      return Status::InvalidArgument("ambiguous column " + name);
-    }
-    found = i;
-  }
-  if (found == rel.columns.size()) {
-    return Status::NotFound(
-        "no column " + (qualifier.empty() ? name : qualifier + "." + name));
-  }
-  return found;
-}
-
-Result<Value> Executor::EvalExpr(const Expr& e, const Relation& rel,
-                                 const AnnTuple& tuple) {
-  return EvalGeneric(
-      e,
-      [&](const std::string& qual, const std::string& name) -> Result<Value> {
-        BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(rel, qual, name));
-        return tuple.values[idx];
-      },
-      NoAnnFields, NoAggregates);
-}
-
-Result<Value> Executor::EvalAnnExpr(const Expr& e,
-                                    const ResultAnnotation& ann) {
-  return EvalGeneric(e, NoColumns,
-                     [&](AnnField f) -> Result<Value> {
-                       switch (f) {
-                         case AnnField::kValue:
-                           return Value::Text(ann.body);
-                         case AnnField::kCategory:
-                           return Value::Text(ann.category);
-                         case AnnField::kAuthor:
-                           return Value::Text(ann.author);
-                       }
-                       return Status::Internal("bad annotation field");
-                     },
-                     NoAggregates);
-}
-
-Result<bool> Executor::TupleAnnMatch(const Expr& cond, const AnnTuple& tuple) {
-  for (const auto& per_col : tuple.anns) {
-    for (const ResultAnnotation& a : per_col) {
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalAnnExpr(cond, a));
-      BDBMS_ASSIGN_OR_RETURN(bool b, TruthyValue(v));
-      if (b) return true;
-    }
-  }
-  return false;
-}
-
-Result<Value> Executor::EvalAggregate(
-    const Expr& e, const Relation& rel,
-    const std::vector<const AnnTuple*>& group) {
-  if (e.agg_fn == AggFn::kCountStar) {
-    return Value::Int(static_cast<int64_t>(group.size()));
-  }
-  int64_t count = 0;
-  double sum = 0;
-  bool all_int = true;
-  std::optional<Value> min, max;
-  for (const AnnTuple* t : group) {
-    BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.child, rel, *t));
-    if (v.is_null()) continue;
-    ++count;
-    if (v.is_numeric()) {
-      sum += v.as_double();
-      if (v.type() != DataType::kInt) all_int = false;
-    } else if (e.agg_fn == AggFn::kSum || e.agg_fn == AggFn::kAvg) {
-      return Status::InvalidArgument("SUM/AVG require numeric values");
-    }
-    if (!min.has_value() || v.Compare(*min) < 0) min = v;
-    if (!max.has_value() || v.Compare(*max) > 0) max = v;
-  }
-  switch (e.agg_fn) {
-    case AggFn::kCount:
-      return Value::Int(count);
-    case AggFn::kSum:
-      if (count == 0) return Value::Null();
-      return all_int ? Value::Int(static_cast<int64_t>(sum))
-                     : Value::Double(sum);
-    case AggFn::kAvg:
-      if (count == 0) return Value::Null();
-      return Value::Double(sum / static_cast<double>(count));
-    case AggFn::kMin:
-      return min.has_value() ? *min : Value::Null();
-    case AggFn::kMax:
-      return max.has_value() ? *max : Value::Null();
-    default:
-      return Status::Internal("unhandled aggregate");
-  }
-}
-
-Result<Value> Executor::EvalGroupExpr(
-    const Expr& e, const Relation& rel,
-    const std::vector<const AnnTuple*>& group) {
-  return EvalGeneric(
-      e,
-      [&](const std::string& qual, const std::string& name) -> Result<Value> {
-        if (group.empty()) return Value::Null();
-        BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(rel, qual, name));
-        return group[0]->values[idx];
-      },
-      NoAnnFields,
-      [&](const Expr& agg) -> Result<Value> {
-        return EvalAggregate(agg, rel, group);
-      });
-}
-
-Result<bool> Executor::Truthy(const Value& v) { return TruthyValue(v); }
-
-// ---------------------------------------------------------------------------
-// SELECT pipeline
-// ---------------------------------------------------------------------------
-
-Result<Executor::Relation> Executor::ScanTable(const TableRef& ref) {
-  if (!ctx_.catalog->HasTable(ref.table)) {
-    return Status::NotFound("no table " + ref.table);
-  }
-  BDBMS_RETURN_IF_ERROR(
-      ctx_.access->Check(user_, ref.table, Privilege::kSelect));
-  BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(ref.table));
-
-  std::vector<std::string> ann_names = ref.annotation_tables;
-  if (ref.all_annotations) ann_names = ctx_.annotations->ListFor(ref.table);
-  for (const std::string& a : ann_names) {
-    if (!ctx_.catalog->HasAnnotationTable(ref.table, a)) {
-      return Status::NotFound("no annotation table " + a + " on " + ref.table);
-    }
-  }
-
-  Relation rel;
-  rel.source_table = ref.table;
-  std::string qual = ref.alias.empty() ? ref.table : ref.alias;
-  for (const ColumnDef& c : t->schema().columns()) {
-    rel.columns.push_back({c.name, qual});
-  }
-
-  // Cache annotation bodies so one annotation covering many cells is
-  // fetched from storage once per scan.
-  std::map<std::pair<std::string, AnnotationId>, ResultAnnotation> cache;
-  size_t ncols = t->schema().num_columns();
-
-  Status scan_status = t->Scan([&](RowId row_id, const Row& row) -> Status {
-    AnnTuple tuple;
-    tuple.values = row;
-    tuple.anns.resize(ncols);
-    tuple.source_row = row_id;
-    tuple.has_source = true;
-    for (const std::string& ann_name : ann_names) {
-      BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
-                             ctx_.annotations->Get(ref.table, ann_name));
-      for (size_t col = 0; col < ncols; ++col) {
-        for (AnnotationId id : at->IdsForCell(row_id, col)) {
-          auto key = std::make_pair(ann_name, id);
-          auto it = cache.find(key);
-          if (it == cache.end()) {
-            BDBMS_ASSIGN_OR_RETURN(std::string body, at->Body(id));
-            BDBMS_ASSIGN_OR_RETURN(AnnotationMeta meta, at->Meta(id));
-            ResultAnnotation ra{ann_name, id, std::move(body), meta.author,
-                                meta.timestamp};
-            it = cache.emplace(key, std::move(ra)).first;
-          }
-          tuple.anns[col].push_back(it->second);
-        }
-      }
-    }
-    // Outdated cells are reported as synthesized annotations (paper §5).
-    ColumnMask outdated = ctx_.dependencies->OutdatedMask(ref.table, row_id);
-    if (outdated != 0) {
-      for (size_t col = 0; col < ncols; ++col) {
-        if (outdated & ColumnBit(col)) {
-          tuple.anns[col].push_back(
-              {kOutdatedCategory, 0,
-               "<Outdated>value pending re-verification</Outdated>", "system",
-               0});
-        }
-      }
-    }
-    rel.tuples.push_back(std::move(tuple));
-    return Status::Ok();
-  });
-  BDBMS_RETURN_IF_ERROR(scan_status);
-  return rel;
-}
-
-Result<Executor::Relation> Executor::EvalFrom(
-    const std::vector<TableRef>& from) {
-  if (from.empty()) return Status::InvalidArgument("FROM clause is empty");
-  BDBMS_ASSIGN_OR_RETURN(Relation rel, ScanTable(from[0]));
-  for (size_t i = 1; i < from.size(); ++i) {
-    BDBMS_ASSIGN_OR_RETURN(Relation rhs, ScanTable(from[i]));
-    Relation product;
-    product.columns = rel.columns;
-    product.columns.insert(product.columns.end(), rhs.columns.begin(),
-                           rhs.columns.end());
-    for (const AnnTuple& a : rel.tuples) {
-      for (const AnnTuple& b : rhs.tuples) {
-        AnnTuple combined;
-        combined.values = a.values;
-        combined.values.insert(combined.values.end(), b.values.begin(),
-                               b.values.end());
-        combined.anns = a.anns;
-        combined.anns.insert(combined.anns.end(), b.anns.begin(),
-                             b.anns.end());
-        combined.has_source = false;
-        product.tuples.push_back(std::move(combined));
-      }
-    }
-    rel = std::move(product);
-  }
-  return rel;
-}
-
-Result<Executor::Relation> Executor::RunSelect(const SelectStmt& stmt) {
-  BDBMS_ASSIGN_OR_RETURN(Relation rel, EvalFrom(stmt.from));
-
-  // WHERE: value predicate; tuples keep all their annotations.
-  if (stmt.where) {
-    Relation filtered;
-    filtered.columns = rel.columns;
-    filtered.source_table = rel.source_table;
-    for (AnnTuple& t : rel.tuples) {
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, t));
-      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
-      if (keep) filtered.tuples.push_back(std::move(t));
-    }
-    rel = std::move(filtered);
-  }
-
-  // AWHERE: a tuple passes iff one of its annotations satisfies the
-  // condition (tuple keeps all annotations).
-  if (stmt.awhere) {
-    Relation filtered;
-    filtered.columns = rel.columns;
-    filtered.source_table = rel.source_table;
-    for (AnnTuple& t : rel.tuples) {
-      BDBMS_ASSIGN_OR_RETURN(bool keep, TupleAnnMatch(*stmt.awhere, t));
-      if (keep) filtered.tuples.push_back(std::move(t));
-    }
-    rel = std::move(filtered);
-  }
-
-  bool has_aggregates = false;
-  for (const SelectItem& item : stmt.items) {
-    if (item.expr->ContainsAggregate()) has_aggregates = true;
-  }
-  if (!stmt.group_by.empty() || has_aggregates) {
-    BDBMS_ASSIGN_OR_RETURN(rel, GroupAndProject(std::move(rel), stmt));
-  } else {
-    BDBMS_ASSIGN_OR_RETURN(rel, Project(std::move(rel), stmt));
-  }
-
-  if (stmt.distinct) Deduplicate(&rel);
-
-  // FILTER: all tuples pass; annotations not satisfying the condition drop.
-  if (stmt.filter) {
-    for (AnnTuple& t : rel.tuples) {
-      for (auto& per_col : t.anns) {
-        std::vector<ResultAnnotation> kept;
-        for (ResultAnnotation& a : per_col) {
-          BDBMS_ASSIGN_OR_RETURN(Value v, EvalAnnExpr(*stmt.filter, a));
-          BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
-          if (keep) kept.push_back(std::move(a));
-        }
-        per_col = std::move(kept);
-      }
-    }
-  }
-
-  auto apply_order =
-      [this](Relation* r,
-             const std::vector<std::pair<std::string, bool>>& order)
-      -> Status {
-    std::vector<size_t> keys;
-    std::vector<bool> desc;
-    for (const auto& [col, is_desc] : order) {
-      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(*r, "", col));
-      keys.push_back(idx);
-      desc.push_back(is_desc);
-    }
-    std::stable_sort(r->tuples.begin(), r->tuples.end(),
-                     [&](const AnnTuple& a, const AnnTuple& b) {
-                       for (size_t k = 0; k < keys.size(); ++k) {
-                         int c = a.values[keys[k]].Compare(b.values[keys[k]]);
-                         if (c != 0) return desc[k] ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
-    return Status::Ok();
-  };
-  if (!stmt.order_by.empty()) {
-    BDBMS_RETURN_IF_ERROR(apply_order(&rel, stmt.order_by));
-  }
-
-  // Set operations: tuples match on values; annotations of merged tuples
-  // are unioned (paper §3.4).
-  if (stmt.set_op != SetOpKind::kNone) {
-    BDBMS_ASSIGN_OR_RETURN(Relation rhs, RunSelect(*stmt.set_rhs));
-    if (rhs.columns.size() != rel.columns.size()) {
-      return Status::InvalidArgument(
-          "set operation requires same number of columns");
-    }
-    std::map<std::string, std::vector<AnnTuple*>> rhs_index;
-    for (AnnTuple& t : rhs.tuples) {
-      rhs_index[RowKey(t.values)].push_back(&t);
-    }
-    Relation out;
-    out.columns = rel.columns;
-    switch (stmt.set_op) {
-      case SetOpKind::kIntersect: {
-        for (AnnTuple& t : rel.tuples) {
-          auto it = rhs_index.find(RowKey(t.values));
-          if (it == rhs_index.end()) continue;
-          for (AnnTuple* match : it->second) {
-            for (size_t c = 0; c < t.anns.size(); ++c) {
-              MergeAnnotations(&t.anns[c], match->anns[c]);
-            }
-          }
-          t.has_source = false;
-          out.tuples.push_back(std::move(t));
-        }
-        Deduplicate(&out);
-        break;
-      }
-      case SetOpKind::kExcept: {
-        for (AnnTuple& t : rel.tuples) {
-          if (rhs_index.count(RowKey(t.values))) continue;
-          out.tuples.push_back(std::move(t));
-        }
-        Deduplicate(&out);
-        break;
-      }
-      case SetOpKind::kUnion: {
-        for (AnnTuple& t : rel.tuples) out.tuples.push_back(std::move(t));
-        for (AnnTuple& t : rhs.tuples) out.tuples.push_back(std::move(t));
-        Deduplicate(&out);
-        break;
-      }
-      case SetOpKind::kNone:
-        break;
-    }
-    rel = std::move(out);
-    // An ORDER BY written after the set operation parses into the
-    // right-hand SELECT; per standard SQL it orders the combined result.
-    if (!stmt.set_rhs->order_by.empty()) {
-      BDBMS_RETURN_IF_ERROR(apply_order(&rel, stmt.set_rhs->order_by));
-    }
-  }
-
-  return rel;
-}
-
-Result<Executor::Relation> Executor::Project(Relation input,
-                                             const SelectStmt& stmt) {
-  if (stmt.star) return input;
-
-  // Expand qualifier.* items into per-column items first.
-  struct OutCol {
-    const SelectItem* item;       // null for expanded * columns
-    size_t direct_index;          // valid when expanded or simple colref
-    bool is_direct;
-    std::string name;
-  };
-  std::vector<OutCol> out_cols;
-  for (const SelectItem& item : stmt.items) {
-    const Expr& e = *item.expr;
-    if (e.kind == ExprKind::kColumnRef && e.column == "*") {
-      for (size_t i = 0; i < input.columns.size(); ++i) {
-        if (input.columns[i].qualifier == e.qualifier) {
-          out_cols.push_back({&item, i, true, input.columns[i].name});
-        }
-      }
-      continue;
-    }
-    if (e.kind == ExprKind::kColumnRef) {
-      BDBMS_ASSIGN_OR_RETURN(size_t idx,
-                             BindColumn(input, e.qualifier, e.column));
-      out_cols.push_back(
-          {&item, idx, true,
-           item.alias.empty() ? input.columns[idx].name : item.alias});
-      continue;
-    }
-    out_cols.push_back(
-        {&item, 0, false, item.alias.empty() ? "expr" : item.alias});
-  }
-
-  // Resolve PROMOTE sources once.
-  std::map<const SelectItem*, std::vector<size_t>> promote_sources;
-  for (const SelectItem& item : stmt.items) {
-    for (const std::string& col : item.promote_columns) {
-      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(input, "", col));
-      promote_sources[&item].push_back(idx);
-    }
-  }
-
-  Relation out;
-  out.source_table = input.source_table;
-  for (const OutCol& oc : out_cols) {
-    out.columns.push_back({oc.name, ""});
-  }
-  for (AnnTuple& t : input.tuples) {
-    AnnTuple projected;
-    projected.source_row = t.source_row;
-    projected.has_source = t.has_source;
-    for (const OutCol& oc : out_cols) {
-      if (oc.is_direct) {
-        projected.values.push_back(t.values[oc.direct_index]);
-        projected.anns.push_back(t.anns[oc.direct_index]);
-      } else {
-        BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*oc.item->expr, input, t));
-        projected.values.push_back(std::move(v));
-        projected.anns.emplace_back();
-      }
-      // PROMOTE: copy annotations of the named source columns onto this
-      // output column (paper §3.4).
-      auto promo = promote_sources.find(oc.item);
-      if (promo != promote_sources.end()) {
-        for (size_t src : promo->second) {
-          MergeAnnotations(&projected.anns.back(), t.anns[src]);
-        }
-      }
-    }
-    out.tuples.push_back(std::move(projected));
-  }
-  return out;
-}
-
-Result<Executor::Relation> Executor::GroupAndProject(Relation input,
-                                                     const SelectStmt& stmt) {
-  if (stmt.star) {
-    return Status::InvalidArgument("SELECT * cannot be combined with GROUP BY");
-  }
-  // Bind group-by columns.
-  std::vector<size_t> key_cols;
-  for (const std::string& col : stmt.group_by) {
-    BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(input, "", col));
-    key_cols.push_back(idx);
-  }
-
-  // Group tuples preserving first-seen order.
-  std::map<std::string, size_t> group_index;
-  std::vector<std::vector<const AnnTuple*>> groups;
-  for (const AnnTuple& t : input.tuples) {
-    std::string key;
-    for (size_t k : key_cols) t.values[k].EncodeTo(&key);
-    auto [it, inserted] = group_index.emplace(key, groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(&t);
-  }
-  // An aggregate-only query over an empty input still yields one group.
-  if (groups.empty() && stmt.group_by.empty()) groups.emplace_back();
-
-  Relation out;
-  for (const SelectItem& item : stmt.items) {
-    std::string name = item.alias;
-    if (name.empty()) {
-      name = item.expr->kind == ExprKind::kColumnRef ? item.expr->column
-                                                     : "expr";
-    }
-    out.columns.push_back({name, ""});
-  }
-
-  for (const auto& group : groups) {
-    if (stmt.having) {
-      BDBMS_ASSIGN_OR_RETURN(Value v,
-                             EvalGroupExpr(*stmt.having, input, group));
-      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
-      if (!keep) continue;
-    }
-    if (stmt.ahaving) {
-      bool any = false;
-      for (const AnnTuple* t : group) {
-        BDBMS_ASSIGN_OR_RETURN(any, TupleAnnMatch(*stmt.ahaving, *t));
-        if (any) break;
-      }
-      if (!any) continue;
-    }
-    AnnTuple out_tuple;
-    for (const SelectItem& item : stmt.items) {
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalGroupExpr(*item.expr, input, group));
-      out_tuple.values.push_back(std::move(v));
-      // Annotations: union across the group of the referenced column's
-      // annotations (group/merge operators union annotations, §3.4).
-      std::vector<ResultAnnotation> anns;
-      const Expr* col_source = nullptr;
-      if (item.expr->kind == ExprKind::kColumnRef) {
-        col_source = item.expr.get();
-      } else if (item.expr->kind == ExprKind::kAggregate && item.expr->child &&
-                 item.expr->child->kind == ExprKind::kColumnRef) {
-        col_source = item.expr->child.get();
-      }
-      if (col_source != nullptr) {
-        auto bound = BindColumn(input, col_source->qualifier,
-                                col_source->column);
-        if (bound.ok()) {
-          for (const AnnTuple* t : group) {
-            MergeAnnotations(&anns, t->anns[*bound]);
-          }
-        }
-      }
-      for (const std::string& col : item.promote_columns) {
-        BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(input, "", col));
-        for (const AnnTuple* t : group) {
-          MergeAnnotations(&anns, t->anns[idx]);
-        }
-      }
-      out_tuple.anns.push_back(std::move(anns));
-    }
-    out.tuples.push_back(std::move(out_tuple));
-  }
-  return out;
-}
-
-void Executor::Deduplicate(Relation* rel) {
-  std::map<std::string, size_t> seen;
-  std::vector<AnnTuple> unique;
-  for (AnnTuple& t : rel->tuples) {
-    std::string key = RowKey(t.values);
-    auto [it, inserted] = seen.emplace(key, unique.size());
-    if (inserted) {
-      unique.push_back(std::move(t));
-    } else {
-      // Duplicate elimination unions annotations (paper §3.4).
-      AnnTuple& kept = unique[it->second];
-      for (size_t c = 0; c < kept.anns.size(); ++c) {
-        MergeAnnotations(&kept.anns[c], t.anns[c]);
-      }
-      kept.has_source = false;
-    }
-  }
-  rel->tuples = std::move(unique);
-}
 
 Result<QueryResult> Executor::ExecSelect(const SelectStmt& stmt) {
-  BDBMS_ASSIGN_OR_RETURN(Relation rel, RunSelect(stmt));
+  Planner planner(&ctx_, user_);
+  BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.PlanSelect(stmt));
+  std::vector<PlanTuple> tuples;
+  BDBMS_RETURN_IF_ERROR(DrainPlan(plan.get(), &tuples));
   QueryResult result;
-  for (const BoundColumn& c : rel.columns) result.columns.push_back(c.name);
-  for (AnnTuple& t : rel.tuples) {
+  for (const BoundColumn& c : plan->columns()) {
+    result.columns.push_back(c.name);
+  }
+  for (PlanTuple& t : tuples) {
     result.rows.push_back({std::move(t.values), std::move(t.anns)});
   }
   result.affected = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> Executor::ExecExplain(const ExplainStmt& stmt) {
+  Planner planner(&ctx_, user_);
+  BDBMS_ASSIGN_OR_RETURN(std::string text,
+                         planner.ExplainStatement(*stmt.target));
+  QueryResult result;
+  result.columns = {"plan"};
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ResultRow row;
+    row.values = {Value::Text(text.substr(start, end - start))};
+    row.annotations.resize(1);
+    result.rows.push_back(std::move(row));
+    start = end + 1;
+  }
+  result.affected = result.rows.size();
+  result.message = std::move(text);
   return result;
 }
 
@@ -826,43 +127,26 @@ Result<std::vector<std::pair<RowId, ColumnMask>>> Executor::SelectTargets(
         "or set operations");
   }
   *out_table = stmt.from[0].table;
-  BDBMS_ASSIGN_OR_RETURN(Relation rel, EvalFrom(stmt.from));
-  if (stmt.where) {
-    Relation filtered;
-    filtered.columns = rel.columns;
-    filtered.source_table = rel.source_table;
-    for (AnnTuple& t : rel.tuples) {
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, t));
-      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
-      if (keep) filtered.tuples.push_back(std::move(t));
-    }
-    rel = std::move(filtered);
-  }
-  if (stmt.awhere) {
-    Relation filtered;
-    filtered.columns = rel.columns;
-    filtered.source_table = rel.source_table;
-    for (AnnTuple& t : rel.tuples) {
-      BDBMS_ASSIGN_OR_RETURN(bool keep, TupleAnnMatch(*stmt.awhere, t));
-      if (keep) filtered.tuples.push_back(std::move(t));
-    }
-    rel = std::move(filtered);
-  }
+  Planner planner(&ctx_, user_);
+  BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.PlanTargetScan(stmt));
+  std::vector<PlanTuple> tuples;
+  BDBMS_RETURN_IF_ERROR(DrainPlan(plan.get(), &tuples));
+  const std::vector<BoundColumn>& columns = plan->columns();
 
   // The column mask: projected columns of the source table.
   ColumnMask mask = 0;
   if (stmt.star) {
-    mask = AllColumnsMask(rel.columns.size());
+    mask = AllColumnsMask(columns.size());
   } else {
     for (const SelectItem& item : stmt.items) {
       const Expr& e = *item.expr;
       if (e.kind != ExprKind::kColumnRef) continue;
       if (e.column == "*") {
-        mask = AllColumnsMask(rel.columns.size());
+        mask = AllColumnsMask(columns.size());
         continue;
       }
       BDBMS_ASSIGN_OR_RETURN(size_t idx,
-                             BindColumn(rel, e.qualifier, e.column));
+                             BindColumn(columns, e.qualifier, e.column));
       mask |= ColumnBit(idx);
     }
   }
@@ -872,7 +156,7 @@ Result<std::vector<std::pair<RowId, ColumnMask>>> Executor::SelectTargets(
   }
 
   std::vector<std::pair<RowId, ColumnMask>> targets;
-  for (const AnnTuple& t : rel.tuples) {
+  for (const PlanTuple& t : tuples) {
     if (!t.has_source) continue;
     targets.emplace_back(t.source_row, mask);
   }
@@ -907,6 +191,42 @@ Result<QueryResult> Executor::ExecDropTable(const DropTableStmt& stmt) {
   BDBMS_RETURN_IF_ERROR(ctx_.drop_table(stmt.table));
   QueryResult r;
   r.message = "table " + stmt.table + " dropped";
+  return r;
+}
+
+Result<QueryResult> Executor::ExecCreateIndex(const CreateIndexStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied("only superusers may create indexes");
+  }
+  BDBMS_RETURN_IF_ERROR(
+      ctx_.catalog->CreateIndex(stmt.table, stmt.index, stmt.column));
+  BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
+  BDBMS_ASSIGN_OR_RETURN(size_t column, t->schema().ColumnIndex(stmt.column));
+  Status st = t->CreateIndex(stmt.index, column);
+  if (!st.ok()) {
+    (void)ctx_.catalog->DropIndex(stmt.table, stmt.index);
+    return st;
+  }
+  QueryResult r;
+  r.message = "index " + stmt.index + " created on " + stmt.table + "(" +
+              stmt.column + ")";
+  return r;
+}
+
+Result<QueryResult> Executor::ExecDropIndex(const DropIndexStmt& stmt) {
+  if (!ctx_.access->IsSuperuser(user_)) {
+    return Status::PermissionDenied("only superusers may drop indexes");
+  }
+  if (!ctx_.catalog->HasIndex(stmt.table, stmt.index)) {
+    return Status::NotFound("no index " + stmt.index + " on " + stmt.table);
+  }
+  // Drop the storage object first: if that fails the catalog entry stays,
+  // keeping both sides of the metadata in sync.
+  BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
+  BDBMS_RETURN_IF_ERROR(t->DropIndex(stmt.index));
+  BDBMS_RETURN_IF_ERROR(ctx_.catalog->DropIndex(stmt.table, stmt.index));
+  QueryResult r;
+  r.message = "index " + stmt.index + " dropped from " + stmt.table;
   return r;
 }
 
@@ -948,15 +268,15 @@ Result<QueryResult> Executor::ExecInsert(const InsertStmt& stmt,
   BDBMS_RETURN_IF_ERROR(
       ctx_.access->Check(user_, stmt.table, Privilege::kInsert));
   BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
-  Relation empty;
-  AnnTuple no_tuple;
+  const std::vector<BoundColumn> no_columns;
+  const PlanTuple no_tuple;
   size_t ncols = t->schema().num_columns();
   ColumnMask all_cols = AllColumnsMask(ncols);
   uint64_t count = 0;
   for (const auto& exprs : stmt.rows) {
     Row row;
     for (const ExprPtr& e : exprs) {
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, empty, no_tuple));
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, no_columns, no_tuple));
       row.push_back(std::move(v));
     }
     BDBMS_ASSIGN_OR_RETURN(RowId rid, t->Insert(std::move(row)));
@@ -976,6 +296,23 @@ Result<QueryResult> Executor::ExecInsert(const InsertStmt& stmt,
   r.affected = count;
   r.message = std::to_string(count) + " row(s) inserted into " + stmt.table;
   return r;
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Executor::CollectDmlMatches(
+    const std::string& table, const Expr* where) {
+  // Matching rows are materialized before mutation (mutating while
+  // scanning is unsafe) through an index-aware plan: an indexed WHERE
+  // column turns this into an IndexScan instead of a full scan.
+  Planner planner(&ctx_, user_);
+  BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.PlanDmlScan(table, where));
+  std::vector<PlanTuple> tuples;
+  BDBMS_RETURN_IF_ERROR(DrainPlan(plan.get(), &tuples));
+  std::vector<std::pair<RowId, Row>> matches;
+  matches.reserve(tuples.size());
+  for (PlanTuple& t : tuples) {
+    matches.emplace_back(t.source_row, std::move(t.values));
+  }
+  return matches;
 }
 
 Result<QueryResult> Executor::ExecUpdate(
@@ -998,33 +335,18 @@ Result<QueryResult> Executor::ExecUpdate(
     assigned |= ColumnBit(idx);
   }
 
-  Relation rel;
-  for (const ColumnDef& c : schema.columns()) {
-    rel.columns.push_back({c.name, stmt.table});
-  }
-
-  // Materialize matching rows first (mutating while scanning is unsafe).
-  std::vector<std::pair<RowId, Row>> matches;
-  BDBMS_RETURN_IF_ERROR(t->Scan([&](RowId rid, const Row& row) -> Status {
-    if (stmt.where) {
-      AnnTuple tuple;
-      tuple.values = row;
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, tuple));
-      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
-      if (!keep) return Status::Ok();
-    }
-    matches.emplace_back(rid, row);
-    return Status::Ok();
-  }));
+  std::vector<BoundColumn> columns = QualifiedColumns(schema, stmt.table);
+  BDBMS_ASSIGN_OR_RETURN(auto matches,
+                         CollectDmlMatches(stmt.table, stmt.where.get()));
 
   uint64_t count = 0;
   for (auto& [rid, old_row] : matches) {
-    AnnTuple tuple;
+    PlanTuple tuple;
     tuple.values = old_row;
     Row new_row = old_row;
     ColumnMask changed = 0;
     for (const auto& [idx, expr] : sets) {
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, rel, tuple));
+      BDBMS_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr, columns, tuple));
       BDBMS_ASSIGN_OR_RETURN(Value coerced,
                              v.CoerceTo(schema.column(idx).type));
       if (!(coerced == old_row[idx])) changed |= ColumnBit(idx);
@@ -1058,23 +380,8 @@ Result<QueryResult> Executor::ExecDelete(const DeleteStmt& stmt,
   BDBMS_RETURN_IF_ERROR(
       ctx_.access->Check(user_, stmt.table, Privilege::kDelete));
   BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
-
-  Relation rel;
-  for (const ColumnDef& c : t->schema().columns()) {
-    rel.columns.push_back({c.name, stmt.table});
-  }
-  std::vector<std::pair<RowId, Row>> matches;
-  BDBMS_RETURN_IF_ERROR(t->Scan([&](RowId rid, const Row& row) -> Status {
-    if (stmt.where) {
-      AnnTuple tuple;
-      tuple.values = row;
-      BDBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.where, rel, tuple));
-      BDBMS_ASSIGN_OR_RETURN(bool keep, Truthy(v));
-      if (!keep) return Status::Ok();
-    }
-    matches.emplace_back(rid, row);
-    return Status::Ok();
-  }));
+  BDBMS_ASSIGN_OR_RETURN(auto matches,
+                         CollectDmlMatches(stmt.table, stmt.where.get()));
 
   uint64_t count = 0;
   for (auto& [rid, old_row] : matches) {

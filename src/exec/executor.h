@@ -1,58 +1,27 @@
 #ifndef BDBMS_EXEC_EXECUTOR_H_
 #define BDBMS_EXEC_EXECUTOR_H_
 
-#include <functional>
-#include <map>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "annot/annotation_manager.h"
-#include "auth/access_control.h"
-#include "auth/approval.h"
-#include "catalog/catalog.h"
-#include "common/clock.h"
-#include "dep/dependency_manager.h"
+#include "exec/exec_context.h"
 #include "exec/query_result.h"
-#include "prov/provenance.h"
+#include "plan/plan_tuple.h"
 #include "sql/ast.h"
-#include "table/table.h"
 
 namespace bdbms {
 
-// Rows deleted under ADD ANNOTATION ... ON (DELETE ...) are preserved here
-// together with the annotation explaining the deletion (paper §3.2: "the
-// deleted tuples will be stored in separate log tables along with the
-// annotation that specifies why these tuples have been deleted").
-struct DeletionLogEntry {
-  RowId row;
-  Row old_values;
-  std::string annotation;  // XML body ("" for plain DELETEs)
-  std::string issuer;
-  uint64_t timestamp;
-};
-
-// Everything the executor needs from the Database facade.
-struct ExecContext {
-  Catalog* catalog = nullptr;
-  AnnotationManager* annotations = nullptr;
-  ProvenanceManager* provenance = nullptr;
-  DependencyManager* dependencies = nullptr;
-  ApprovalManager* approvals = nullptr;
-  AccessControl* access = nullptr;
-  LogicalClock* clock = nullptr;
-  std::function<Result<Table*>(const std::string&)> tables;
-  std::function<Status(const TableSchema&)> create_table;
-  std::function<Status(const std::string&)> drop_table;
-  std::map<std::string, std::vector<DeletionLogEntry>>* deletion_log = nullptr;
-};
-
-// Statement executor with the paper's annotated-relational semantics:
-// every operator propagates annotations (projection keeps only projected
-// columns' annotations, merging operators union them, AWHERE/AHAVING gate
-// tuples/groups on annotation predicates, FILTER prunes annotations,
-// PROMOTE copies them across columns) and outdated cells are flagged with
-// synthesized _outdated annotations.
+// Statement executor with the paper's annotated-relational semantics.
+// Queries are lowered by the planner (src/plan/) into a streaming operator
+// pipeline — every operator propagates annotations (projection keeps only
+// projected columns' annotations, merging operators union them,
+// AWHERE/AHAVING gate tuples/groups on annotation predicates, FILTER
+// prunes annotations, PROMOTE copies them across columns, and outdated
+// cells are flagged with synthesized _outdated annotations). The executor
+// itself dispatches statements, drives DML side effects (approval logging,
+// dependency propagation, provenance) and runs the A-SQL annotation and
+// authorization commands.
 class Executor {
  public:
   Executor(ExecContext ctx, std::string user)
@@ -61,23 +30,6 @@ class Executor {
   Result<QueryResult> Execute(const Statement& stmt);
 
  private:
-  // Internal pipeline relation: bound columns + annotated tuples.
-  struct BoundColumn {
-    std::string name;
-    std::string qualifier;  // alias or table name; "" for computed columns
-  };
-  struct AnnTuple {
-    Row values;
-    std::vector<std::vector<ResultAnnotation>> anns;  // per column
-    RowId source_row = 0;
-    bool has_source = false;
-  };
-  struct Relation {
-    std::vector<BoundColumn> columns;
-    std::vector<AnnTuple> tuples;
-    std::string source_table;  // set when FROM has exactly one table
-  };
-
   // --- statement handlers --------------------------------------------------
   Result<QueryResult> ExecSelect(const SelectStmt& stmt);
   Result<QueryResult> ExecCreateTable(const CreateTableStmt& stmt);
@@ -89,6 +41,9 @@ class Executor {
                                      touched = nullptr);
   Result<QueryResult> ExecDelete(const DeleteStmt& stmt,
                                  const std::string& annotation_body = "");
+  Result<QueryResult> ExecCreateIndex(const CreateIndexStmt& stmt);
+  Result<QueryResult> ExecDropIndex(const DropIndexStmt& stmt);
+  Result<QueryResult> ExecExplain(const ExplainStmt& stmt);
   Result<QueryResult> ExecCreateAnnTable(const CreateAnnTableStmt& stmt);
   Result<QueryResult> ExecDropAnnTable(const DropAnnTableStmt& stmt);
   Result<QueryResult> ExecAddAnnotation(const AddAnnotationStmt& stmt);
@@ -103,38 +58,13 @@ class Executor {
   Result<QueryResult> ExecCreateDependency(const CreateDependencyStmt& stmt);
   Result<QueryResult> ExecDropDependency(const DropDependencyStmt& stmt);
 
-  // --- SELECT machinery ----------------------------------------------------
-  // Scans one FROM entry, attaching requested annotations + outdated flags.
-  Result<Relation> ScanTable(const TableRef& ref);
-  // Cross product of FROM entries.
-  Result<Relation> EvalFrom(const std::vector<TableRef>& from);
-  // Runs the full SELECT pipeline (used by ExecSelect and by the ON
-  // clauses of the annotation commands, which need source rows + masks).
-  Result<Relation> RunSelect(const SelectStmt& stmt);
-  Result<Relation> Project(Relation input, const SelectStmt& stmt);
-  Result<Relation> GroupAndProject(Relation input, const SelectStmt& stmt);
-  static void Deduplicate(Relation* rel);
+  // Rows matching an UPDATE/DELETE's WHERE, materialized before mutation.
+  Result<std::vector<std::pair<RowId, Row>>> CollectDmlMatches(
+      const std::string& table, const Expr* where);
 
   // The (row, mask) targets a SELECT designates for annotation commands.
   Result<std::vector<std::pair<RowId, ColumnMask>>> SelectTargets(
       const SelectStmt& stmt, std::string* out_table);
-
-  // --- expressions -----------------------------------------------------------
-  Result<Value> EvalExpr(const Expr& e, const Relation& rel,
-                         const AnnTuple& tuple);
-  // Evaluates an annotation condition against one annotation.
-  Result<Value> EvalAnnExpr(const Expr& e, const ResultAnnotation& ann);
-  // True if any annotation on the tuple satisfies `cond`.
-  Result<bool> TupleAnnMatch(const Expr& cond, const AnnTuple& tuple);
-  Result<Value> EvalAggregate(const Expr& e, const Relation& rel,
-                              const std::vector<const AnnTuple*>& group);
-  Result<Value> EvalGroupExpr(const Expr& e, const Relation& rel,
-                              const std::vector<const AnnTuple*>& group);
-
-  Result<size_t> BindColumn(const Relation& rel, const std::string& qualifier,
-                            const std::string& name) const;
-
-  static Result<bool> Truthy(const Value& v);
 
   // Cells changed by DML flow through dependency tracking + provenance.
   Status AfterCellsChanged(const std::string& table, RowId row,

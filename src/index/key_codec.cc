@@ -1,0 +1,65 @@
+#include "index/key_codec.h"
+
+#include <cstring>
+
+namespace bdbms {
+
+namespace {
+
+constexpr char kRankNull = '\x00';
+constexpr char kRankNumeric = '\x01';
+constexpr char kRankString = '\x02';
+constexpr char kRankFence = '\x03';
+
+void AppendBigEndian(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+std::string EncodeIndexKey(const Value& v) {
+  std::string key;
+  switch (v.type()) {
+    case DataType::kNull:
+      key.push_back(kRankNull);
+      break;
+    case DataType::kInt: {
+      key.push_back(kRankNumeric);
+      uint64_t bits = static_cast<uint64_t>(v.as_int());
+      AppendBigEndian(&key, bits ^ (uint64_t{1} << 63));
+      break;
+    }
+    case DataType::kDouble: {
+      key.push_back(kRankNumeric);
+      double d = v.as_double();
+      if (d == 0.0) d = 0.0;  // -0.0 == +0.0 must share one key
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      if (bits & (uint64_t{1} << 63)) {
+        bits = ~bits;  // negative: reverse the order of magnitudes
+      } else {
+        bits ^= uint64_t{1} << 63;  // positive: above all negatives
+      }
+      AppendBigEndian(&key, bits);
+      break;
+    }
+    case DataType::kText:
+    case DataType::kSequence:
+      key.push_back(kRankString);
+      key.append(v.as_string());
+      break;
+  }
+  return key;
+}
+
+std::string IndexKeyLowestNonNull() { return std::string(1, kRankNumeric); }
+
+std::string IndexKeyUpperFence() { return std::string(1, kRankFence); }
+
+std::string IndexKeySuccessor(const std::string& key) {
+  return key + '\x00';
+}
+
+}  // namespace bdbms

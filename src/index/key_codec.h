@@ -1,0 +1,44 @@
+#ifndef BDBMS_INDEX_KEY_CODEC_H_
+#define BDBMS_INDEX_KEY_CODEC_H_
+
+#include <string>
+
+#include "common/value.h"
+
+namespace bdbms {
+
+// Order-preserving byte encoding of cell values for B+-tree index keys.
+//
+// The B+-tree compares keys as raw byte strings, so the codec must map the
+// engine's value order onto memcmp order. Keys are laid out as a one-byte
+// type-rank tag (NULL < numeric < string, matching Value::Compare) followed
+// by a rank-specific payload:
+//   * INT     — big-endian two's complement with the sign bit flipped
+//   * DOUBLE  — big-endian IEEE bits; negatives wholly inverted, positives
+//               sign-flipped (the classic total-order trick)
+//   * TEXT / SEQUENCE — the raw bytes (memcmp == lexicographic order)
+//
+// A secondary index only ever stores keys of its column's declared type
+// (rows are coerced on write), so INT and DOUBLE sharing the numeric rank
+// tag never mix inside one tree; probes must be coerced to the column type
+// before encoding.
+std::string EncodeIndexKey(const Value& v);
+
+// Smallest key of non-null rank — the lower fence that excludes NULLs
+// (SQL comparisons never match NULL, so scans start above them).
+std::string IndexKeyLowestNonNull();
+
+// Upper fence above every encodable key.
+std::string IndexKeyUpperFence();
+
+// The least key strictly greater than `key` in memcmp order. Because every
+// encoded key is a discrete byte string, successor(enc(v)) sits between
+// enc(v) and the encoding of the next distinct value, which turns
+// inclusive/exclusive bounds into the half-open [lo, hi) ranges the B+-tree
+// scan takes: inclusive lower -> enc(v), exclusive lower -> successor,
+// inclusive upper -> successor, exclusive upper -> enc(v).
+std::string IndexKeySuccessor(const std::string& key);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_INDEX_KEY_CODEC_H_

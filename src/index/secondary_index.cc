@@ -1,0 +1,57 @@
+#include "index/secondary_index.h"
+
+#include <algorithm>
+
+#include "index/key_codec.h"
+
+namespace bdbms {
+
+Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Create(
+    std::string name, size_t column) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> tree,
+                         BPlusTree::CreateInMemory());
+  return std::unique_ptr<SecondaryIndex>(
+      new SecondaryIndex(std::move(name), column, std::move(tree)));
+}
+
+Status SecondaryIndex::Insert(const Value& cell, RowId row) {
+  return tree_->Insert(EncodeIndexKey(cell), row);
+}
+
+Status SecondaryIndex::Remove(const Value& cell, RowId row) {
+  return tree_->Delete(EncodeIndexKey(cell), row);
+}
+
+Result<std::vector<RowId>> SecondaryIndex::FindEqual(
+    const Value& probe) const {
+  if (probe.is_null()) return std::vector<RowId>{};
+  BDBMS_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                         tree_->SearchExact(EncodeIndexKey(probe)));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Result<std::vector<RowId>> SecondaryIndex::FindRange(
+    const std::optional<IndexBound>& lo,
+    const std::optional<IndexBound>& hi) const {
+  std::string lo_key = IndexKeyLowestNonNull();
+  if (lo.has_value()) {
+    lo_key = EncodeIndexKey(lo->value);
+    if (!lo->inclusive) lo_key = IndexKeySuccessor(lo_key);
+  }
+  std::string hi_key = IndexKeyUpperFence();
+  if (hi.has_value()) {
+    hi_key = EncodeIndexKey(hi->value);
+    if (hi->inclusive) hi_key = IndexKeySuccessor(hi_key);
+  }
+  std::vector<RowId> rows;
+  BDBMS_RETURN_IF_ERROR(
+      tree_->ScanRange(lo_key, hi_key, [&](std::string_view, uint64_t row) {
+        rows.push_back(row);
+        return true;
+      }));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace bdbms

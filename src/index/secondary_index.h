@@ -1,0 +1,69 @@
+#ifndef BDBMS_INDEX_SECONDARY_INDEX_H_
+#define BDBMS_INDEX_SECONDARY_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "index/btree/bplus_tree.h"
+#include "table/table.h"
+
+namespace bdbms {
+
+// One bound of a key range probe. `inclusive` controls whether the bound
+// value itself qualifies.
+struct IndexBound {
+  Value value;
+  bool inclusive = true;
+};
+
+// A secondary index over one column of a user table: a disk-paged B+-tree
+// mapping the order-preserving key encoding of the cell value to the RowId.
+// Maintained by Table on every INSERT/UPDATE/DELETE; consulted by the
+// planner to turn WHERE equality/range predicates into IndexScan nodes.
+//
+// NULL cells are indexed (under the null rank tag) so maintenance is
+// uniform, but probes never return them: SQL comparisons are never true on
+// NULL, and both probe entry points fence NULLs out.
+class SecondaryIndex {
+ public:
+  static Result<std::unique_ptr<SecondaryIndex>> Create(std::string name,
+                                                        size_t column);
+
+  SecondaryIndex(const SecondaryIndex&) = delete;
+  SecondaryIndex& operator=(const SecondaryIndex&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t column() const { return column_; }
+  uint64_t entry_count() const { return tree_->size(); }
+
+  // --- maintenance (Table calls these with the cell's stored value) -------
+  Status Insert(const Value& cell, RowId row);
+  Status Remove(const Value& cell, RowId row);
+
+  // --- probes (planner/IndexScan) -----------------------------------------
+  // RowIds whose cell equals `probe`, ascending.
+  Result<std::vector<RowId>> FindEqual(const Value& probe) const;
+
+  // RowIds whose cell lies in the (half-)bounded range, ascending. A
+  // missing bound is unbounded on that side (but always above NULLs).
+  Result<std::vector<RowId>> FindRange(const std::optional<IndexBound>& lo,
+                                       const std::optional<IndexBound>& hi)
+      const;
+
+ private:
+  SecondaryIndex(std::string name, size_t column,
+                 std::unique_ptr<BPlusTree> tree)
+      : name_(std::move(name)), column_(column), tree_(std::move(tree)) {}
+
+  std::string name_;
+  size_t column_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_INDEX_SECONDARY_INDEX_H_

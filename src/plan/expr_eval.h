@@ -1,0 +1,48 @@
+#ifndef BDBMS_PLAN_EXPR_EVAL_H_
+#define BDBMS_PLAN_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "exec/query_result.h"
+#include "plan/plan_tuple.h"
+#include "sql/ast.h"
+
+namespace bdbms {
+
+// Expression evaluation shared by the plan operators and the executor's
+// DML paths. All contexts reduce to one generic recursive evaluator that
+// differs only in how column references, annotation attributes and
+// aggregates resolve.
+
+// Scalar context: column refs resolve against `columns`/`tuple`;
+// annotation attributes and aggregates are rejected. With an empty column
+// list this doubles as the constant context of INSERT VALUES expressions.
+Result<Value> EvalScalar(const Expr& e, const std::vector<BoundColumn>& columns,
+                         const PlanTuple& tuple);
+
+// Annotation context: VALUE/CATEGORY/AUTHOR resolve against one
+// annotation; column refs and aggregates are rejected (AWHERE/AHAVING/
+// FILTER conditions).
+Result<Value> EvalAnnExpr(const Expr& e, const ResultAnnotation& ann);
+
+// True if any annotation attached to the tuple satisfies `cond`.
+Result<bool> TupleAnnMatch(const Expr& cond, const PlanTuple& tuple);
+
+// Group context: aggregates evaluate over `group`, bare columns take the
+// group's first tuple (HAVING and aggregate select items).
+Result<Value> EvalGroupExpr(const Expr& e,
+                            const std::vector<BoundColumn>& columns,
+                            const std::vector<const PlanTuple*>& group);
+
+// SQL truthiness: NULL is false, numerics compare against zero, anything
+// else is an error.
+Result<bool> Truthy(const Value& v);
+
+// SQL LIKE with % (any run) and _ (any one char).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_PLAN_EXPR_EVAL_H_

@@ -1,0 +1,369 @@
+#ifndef BDBMS_PLAN_OPERATOR_H_
+#define BDBMS_PLAN_OPERATOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "annot/annotation_table.h"
+#include "exec/exec_context.h"
+#include "index/secondary_index.h"
+#include "plan/plan_tuple.h"
+#include "sql/ast.h"
+
+namespace bdbms {
+
+// A physical operator in the Volcano iterator model: Open() prepares the
+// node, each Next() produces one tuple, so relations stream through the
+// pipeline instead of being materialized wholesale (pipeline breakers —
+// Sort, HashAggregate, Distinct, SetOp and the build side of joins —
+// materialize only what they must). Every operator propagates annotations
+// under the paper's §3.3/§3.4 rules.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  virtual Status Open() = 0;
+  // Produces the next tuple into `*out`; returns false when exhausted.
+  virtual Result<bool> Next(PlanTuple* out) = 0;
+
+  // One EXPLAIN line, without indentation.
+  virtual std::string Describe() const = 0;
+  virtual std::vector<const PlanNode*> Children() const { return {}; }
+
+  const std::vector<BoundColumn>& columns() const { return columns_; }
+
+ protected:
+  std::vector<BoundColumn> columns_;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+// Renders the plan tree, two spaces of indent per level.
+std::string ExplainPlan(const PlanNode& root);
+
+// Open() + Next()-until-exhausted into `out`.
+Status DrainPlan(PlanNode* root, std::vector<PlanTuple>* out);
+
+// Duplicate elimination joining annotations of merged tuples (§3.4).
+void DeduplicateTuples(std::vector<PlanTuple>* tuples);
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+// Base of the access methods: subclasses produce the candidate RowId list;
+// the base streams the rows, attaching requested annotations and the
+// synthesized _outdated annotations (paper §5) when `attach_metadata`.
+class ScanNodeBase : public PlanNode {
+ public:
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+
+ protected:
+  ScanNodeBase(const ExecContext* ctx, Table* table, std::string table_name,
+               std::string qualifier, std::vector<std::string> ann_names,
+               bool attach_metadata);
+
+  // Live-row candidates, ascending by RowId (supersets are fine; rows
+  // deleted since planning are skipped).
+  virtual Result<std::vector<RowId>> CollectCandidates() = 0;
+
+  // " AS alias" / " ANNOTATION(...)" decoration shared by subclasses.
+  std::string DescribeSuffix() const;
+
+  const ExecContext* ctx_;
+  Table* table_;
+  std::string table_name_;
+  std::string qualifier_;
+  std::vector<std::string> ann_names_;
+  bool attach_metadata_;
+
+ private:
+  std::vector<AnnotationTable*> ann_tables_;
+  // One fetch per annotation even when it covers many cells.
+  std::map<std::pair<std::string, AnnotationId>, ResultAnnotation> cache_;
+  std::vector<RowId> candidates_;
+  size_t pos_ = 0;
+};
+
+// Full-table scan in RowId order.
+class SeqScanNode : public ScanNodeBase {
+ public:
+  SeqScanNode(const ExecContext* ctx, Table* table, std::string table_name,
+              std::string qualifier, std::vector<std::string> ann_names,
+              bool attach_metadata)
+      : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
+                     std::move(ann_names), attach_metadata) {}
+
+  std::string Describe() const override;
+
+ protected:
+  Result<std::vector<RowId>> CollectCandidates() override;
+};
+
+// B+-tree probe: equality or (half-)bounded range on one indexed column.
+// Candidates come from the secondary index; output stays in RowId order.
+class IndexScanNode : public ScanNodeBase {
+ public:
+  struct Probe {
+    // Exactly one of `equal` or a bound set is used.
+    std::optional<Value> equal;
+    std::optional<IndexBound> lo;
+    std::optional<IndexBound> hi;
+  };
+
+  IndexScanNode(const ExecContext* ctx, Table* table, std::string table_name,
+                std::string qualifier, std::vector<std::string> ann_names,
+                bool attach_metadata, const SecondaryIndex* index,
+                Probe probe, std::string predicate_text)
+      : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
+                     std::move(ann_names), attach_metadata),
+        index_(index),
+        probe_(std::move(probe)),
+        predicate_text_(std::move(predicate_text)) {}
+
+  std::string Describe() const override;
+
+ protected:
+  Result<std::vector<RowId>> CollectCandidates() override;
+
+ private:
+  const SecondaryIndex* index_;
+  Probe probe_;
+  std::string predicate_text_;
+};
+
+// AWHERE pushdown: scans only the row intervals covered by live regions of
+// the attached annotation tables (via the annotation interval structures
+// and Table row-range access) plus rows holding outdated cells — the only
+// rows that can carry an annotation for AWHERE to match.
+class AnnIntervalScanNode : public ScanNodeBase {
+ public:
+  AnnIntervalScanNode(const ExecContext* ctx, Table* table,
+                      std::string table_name, std::string qualifier,
+                      std::vector<std::string> ann_names)
+      : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
+                     std::move(ann_names), /*attach_metadata=*/true) {}
+
+  std::string Describe() const override;
+
+ protected:
+  Result<std::vector<RowId>> CollectCandidates() override;
+};
+
+// ---------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------
+
+// WHERE: value predicates (an implicit conjunction, evaluated in order
+// with short-circuiting); passing tuples keep all their annotations.
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanNodePtr child, std::vector<const Expr*> predicates);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  std::vector<const Expr*> predicates_;
+};
+
+// AWHERE: a tuple passes iff one of its annotations satisfies the
+// condition (the tuple keeps all annotations).
+class AWhereNode : public PlanNode {
+ public:
+  AWhereNode(PlanNodePtr child, const Expr* condition);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  const Expr* condition_;
+};
+
+// FILTER: all tuples pass; annotations not satisfying the condition drop.
+class AnnotFilterNode : public PlanNode {
+ public:
+  AnnotFilterNode(PlanNodePtr child, const Expr* condition);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  const Expr* condition_;
+};
+
+// PROMOTE: copies the annotations of source input columns onto the target
+// input column before projection (paper §3.4).
+class PromoteNode : public PlanNode {
+ public:
+  // Each mapping: (target column index, source column indices).
+  using Mapping = std::pair<size_t, std::vector<size_t>>;
+
+  PromoteNode(PlanNodePtr child, std::vector<Mapping> mappings);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  std::vector<Mapping> mappings_;
+};
+
+// Projection: direct columns carry their annotations; computed expressions
+// start with none (plus any inline PROMOTE sources).
+class ProjectNode : public PlanNode {
+ public:
+  struct Item {
+    bool is_direct = false;
+    size_t direct_index = 0;   // valid when is_direct
+    const Expr* expr = nullptr;  // valid when !is_direct
+    std::string name;
+    // Inline PROMOTE sources (computed items, or direct items the planner
+    // could not route through a PromoteNode).
+    std::vector<size_t> promote_sources;
+  };
+
+  ProjectNode(PlanNodePtr child, std::vector<Item> items);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  std::vector<Item> items_;
+};
+
+// GROUP BY + aggregates (+ HAVING/AHAVING) in one pipeline-breaking node.
+// Groups hash on the encoded key columns; output order is first-seen, and
+// each output column unions the annotations of the column it aggregates
+// over across the group (§3.4).
+class HashAggregateNode : public PlanNode {
+ public:
+  HashAggregateNode(PlanNodePtr child, const SelectStmt* stmt,
+                    std::vector<size_t> key_columns,
+                    std::vector<std::string> column_names);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  const SelectStmt* stmt_;
+  std::vector<size_t> key_columns_;
+  std::vector<PlanTuple> results_;
+  size_t pos_ = 0;
+};
+
+// DISTINCT: duplicate elimination unioning annotations (§3.4).
+class DistinctNode : public PlanNode {
+ public:
+  explicit DistinctNode(PlanNodePtr child);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  std::vector<PlanTuple> results_;
+  size_t pos_ = 0;
+};
+
+// ORDER BY: stable sort on pre-bound key columns.
+class SortNode : public PlanNode {
+ public:
+  // (column index, descending)
+  SortNode(PlanNodePtr child, std::vector<std::pair<size_t, bool>> keys);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  std::vector<std::pair<size_t, bool>> keys_;
+  std::vector<PlanTuple> results_;
+  size_t pos_ = 0;
+};
+
+// LIMIT n.
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanNodePtr child, uint64_t limit);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr child_;
+  uint64_t limit_;
+  uint64_t produced_ = 0;
+};
+
+// Cartesian product: materializes the right (build) side once, streams the
+// left side. Join predicates live in a FilterNode above (or are pushed
+// below the join by the planner when they touch one side only).
+class NestedLoopJoinNode : public PlanNode {
+ public:
+  NestedLoopJoinNode(PlanNodePtr left, PlanNodePtr right);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  PlanNodePtr left_;
+  PlanNodePtr right_;
+  std::vector<PlanTuple> right_tuples_;
+  PlanTuple current_left_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+// UNION / INTERSECT / EXCEPT with annotation union on value-equal tuples
+// (§3.4). Materializes both inputs.
+class SetOpNode : public PlanNode {
+ public:
+  SetOpNode(SetOpKind kind, PlanNodePtr left, PlanNodePtr right);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  SetOpKind kind_;
+  PlanNodePtr left_;
+  PlanNodePtr right_;
+  std::vector<PlanTuple> results_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_PLAN_OPERATOR_H_

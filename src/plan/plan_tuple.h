@@ -1,0 +1,55 @@
+#ifndef BDBMS_PLAN_PLAN_TUPLE_H_
+#define BDBMS_PLAN_PLAN_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "exec/query_result.h"
+#include "table/table.h"
+
+namespace bdbms {
+
+// One output column of a plan node: name plus the qualifier it is
+// addressable under (the FROM alias if one was given, else the table
+// name; "" for computed/projected columns).
+struct BoundColumn {
+  std::string name;
+  std::string qualifier;
+};
+
+// The tuple flowing between plan operators: values, per-column propagated
+// annotations, and — while the tuple still corresponds 1:1 to a stored row
+// — its RowId (annotation commands need it to address regions).
+struct PlanTuple {
+  Row values;
+  std::vector<std::vector<ResultAnnotation>> anns;  // parallel to values
+  RowId source_row = 0;
+  bool has_source = false;
+};
+
+// A table's schema columns bound under one qualifier — the column space
+// of a scan (and of DML WHERE/SET expressions).
+std::vector<BoundColumn> QualifiedColumns(const TableSchema& schema,
+                                          const std::string& qualifier);
+
+// Resolves qualifier.name against a column list; empty qualifier matches
+// any. Errors on ambiguity or no match.
+Result<size_t> BindColumn(const std::vector<BoundColumn>& columns,
+                          const std::string& qualifier,
+                          const std::string& name);
+
+// Merges `extra` into `into`, skipping duplicates (annotation union, the
+// merge rule every annotation-propagating operator shares, paper §3.4).
+void MergeAnnotations(std::vector<ResultAnnotation>* into,
+                      const std::vector<ResultAnnotation>& extra);
+
+// Byte-string identity of a tuple's values (duplicate detection for
+// DISTINCT, set operations and grouping).
+std::string TupleKey(const Row& values);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_PLAN_PLAN_TUPLE_H_

@@ -1,0 +1,510 @@
+#include "plan/planner.h"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "plan/expr_eval.h"
+#include "sql/ast_printer.h"
+
+namespace bdbms {
+
+namespace {
+
+// Splits an AND tree into its conjuncts.
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAnd) {
+    SplitConjuncts(e->left.get(), out);
+    SplitConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void CollectColumnRefs(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kColumnRef) out->push_back(e);
+  CollectColumnRefs(e->left.get(), out);
+  CollectColumnRefs(e->right.get(), out);
+  CollectColumnRefs(e->child.get(), out);
+}
+
+// Coerces a probe literal to the indexed column's type; empty when the
+// comparison cannot be routed through the index.
+std::optional<Value> CoerceProbe(const Value& literal, DataType column_type) {
+  if (literal.is_null()) return std::nullopt;
+  if (literal.type() == DataType::kDouble && column_type == DataType::kInt) {
+    // Guard the int64 cast inside CoerceTo against overflow.
+    double d = literal.as_double();
+    if (d < -9.2e18 || d > 9.2e18) return std::nullopt;
+  }
+  auto coerced = literal.CoerceTo(column_type);
+  if (!coerced.ok()) return std::nullopt;
+  return *coerced;
+}
+
+// One comparison conjunct normalized to `column <op> value`.
+struct ColumnComparison {
+  size_t column = 0;
+  BinOp op = BinOp::kEq;
+  Value value;
+  const Expr* conjunct = nullptr;
+};
+
+// The probe the planner settled on for one scan.
+struct IndexChoice {
+  const SecondaryIndex* index = nullptr;
+  IndexScanNode::Probe probe;
+  std::string predicate_text;
+  std::vector<const Expr*> consumed;
+};
+
+BinOp FlipComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;
+  }
+}
+
+// Extracts `col <op> literal` (either operand order) from a conjunct.
+std::optional<ColumnComparison> MatchComparison(
+    const Expr* e, const std::vector<BoundColumn>& scan_columns,
+    const TableSchema& schema) {
+  if (e->kind != ExprKind::kBinary) return std::nullopt;
+  switch (e->bin_op) {
+    case BinOp::kEq:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      break;
+    default:
+      return std::nullopt;
+  }
+  const Expr* col = e->left.get();
+  const Expr* lit = e->right.get();
+  BinOp op = e->bin_op;
+  if (col->kind != ExprKind::kColumnRef) {
+    std::swap(col, lit);
+    op = FlipComparison(op);
+  }
+  if (col->kind != ExprKind::kColumnRef || lit->kind != ExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  auto bound = BindColumn(scan_columns, col->qualifier, col->column);
+  if (!bound.ok()) return std::nullopt;
+  std::optional<Value> probe =
+      CoerceProbe(lit->literal, schema.column(*bound).type);
+  if (!probe.has_value()) return std::nullopt;
+  return ColumnComparison{*bound, op, std::move(*probe), e};
+}
+
+// Picks an index probe from the scan's pushed conjuncts: the first
+// equality over an indexed column wins; otherwise the first indexed
+// column with at least one range bound, folding every bound on it.
+std::optional<IndexChoice> ChooseIndex(
+    const Table& table, const std::vector<BoundColumn>& scan_columns,
+    const std::vector<const Expr*>& conjuncts) {
+  std::vector<ColumnComparison> comparisons;
+  for (const Expr* e : conjuncts) {
+    auto cmp = MatchComparison(e, scan_columns, table.schema());
+    if (cmp.has_value()) comparisons.push_back(std::move(*cmp));
+  }
+  // Equality first.
+  for (const ColumnComparison& cmp : comparisons) {
+    if (cmp.op != BinOp::kEq) continue;
+    const SecondaryIndex* index = table.FindIndexOnColumn(cmp.column);
+    if (index == nullptr) continue;
+    IndexChoice choice;
+    choice.index = index;
+    choice.probe.equal = cmp.value;
+    choice.predicate_text = ExprToString(*cmp.conjunct);
+    choice.consumed = {cmp.conjunct};
+    return choice;
+  }
+  // Then ranges: fold all bounds on the chosen column.
+  for (const ColumnComparison& seed : comparisons) {
+    if (seed.op == BinOp::kEq) continue;
+    const SecondaryIndex* index = table.FindIndexOnColumn(seed.column);
+    if (index == nullptr) continue;
+    IndexChoice choice;
+    choice.index = index;
+    for (const ColumnComparison& cmp : comparisons) {
+      if (cmp.column != seed.column || cmp.op == BinOp::kEq) continue;
+      bool is_lower = cmp.op == BinOp::kGt || cmp.op == BinOp::kGe;
+      bool inclusive = cmp.op == BinOp::kGe || cmp.op == BinOp::kLe;
+      std::optional<IndexBound>& slot =
+          is_lower ? choice.probe.lo : choice.probe.hi;
+      IndexBound bound{cmp.value, inclusive};
+      if (!slot.has_value()) {
+        slot = std::move(bound);
+      } else {
+        // Keep the tighter bound; on equal values exclusive is tighter.
+        int c = bound.value.Compare(slot->value);
+        bool tighter = is_lower ? c > 0 : c < 0;
+        if (c == 0 && !bound.inclusive) tighter = true;
+        if (tighter) slot = std::move(bound);
+      }
+      if (!choice.predicate_text.empty()) choice.predicate_text += " AND ";
+      choice.predicate_text += ExprToString(*cmp.conjunct);
+      choice.consumed.push_back(cmp.conjunct);
+    }
+    return choice;
+  }
+  return std::nullopt;
+}
+
+// Appends a Filter node for the given conjuncts (no-op when empty).
+PlanNodePtr WrapFilter(PlanNodePtr plan, std::vector<const Expr*> conjuncts) {
+  if (conjuncts.empty()) return plan;
+  return std::make_unique<FilterNode>(std::move(plan), std::move(conjuncts));
+}
+
+// Output column name of a select item in the aggregate pipeline.
+std::string AggregateItemName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  return item.expr->kind == ExprKind::kColumnRef ? item.expr->column : "expr";
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Planner::BuildScan(const TableRef& ref,
+                                       std::vector<const Expr*> conjuncts,
+                                       bool attach_metadata,
+                                       bool try_ann_interval) {
+  if (!ctx_->catalog->HasTable(ref.table)) {
+    return Status::NotFound("no table " + ref.table);
+  }
+  if (attach_metadata) {
+    BDBMS_RETURN_IF_ERROR(
+        ctx_->access->Check(user_, ref.table, Privilege::kSelect));
+  }
+  BDBMS_ASSIGN_OR_RETURN(Table * table, ctx_->tables(ref.table));
+
+  std::vector<std::string> ann_names = ref.annotation_tables;
+  if (ref.all_annotations) ann_names = ctx_->annotations->ListFor(ref.table);
+  for (const std::string& a : ann_names) {
+    if (!ctx_->catalog->HasAnnotationTable(ref.table, a)) {
+      return Status::NotFound("no annotation table " + a + " on " + ref.table);
+    }
+  }
+
+  std::string qualifier = ref.alias.empty() ? ref.table : ref.alias;
+  std::vector<BoundColumn> scan_columns =
+      QualifiedColumns(table->schema(), qualifier);
+
+  std::optional<IndexChoice> choice =
+      ChooseIndex(*table, scan_columns, conjuncts);
+  PlanNodePtr scan;
+  if (choice.has_value()) {
+    // Drop the conjuncts the probe consumed; the rest filter above.
+    std::vector<const Expr*> residual;
+    for (const Expr* e : conjuncts) {
+      bool consumed = false;
+      for (const Expr* c : choice->consumed) consumed |= c == e;
+      if (!consumed) residual.push_back(e);
+    }
+    conjuncts = std::move(residual);
+    scan = std::make_unique<IndexScanNode>(
+        ctx_, table, ref.table, qualifier, std::move(ann_names),
+        attach_metadata, choice->index, std::move(choice->probe),
+        std::move(choice->predicate_text));
+  } else if (try_ann_interval && attach_metadata) {
+    scan = std::make_unique<AnnIntervalScanNode>(ctx_, table, ref.table,
+                                                 qualifier,
+                                                 std::move(ann_names));
+  } else {
+    scan = std::make_unique<SeqScanNode>(ctx_, table, ref.table, qualifier,
+                                         std::move(ann_names),
+                                         attach_metadata);
+  }
+  return WrapFilter(std::move(scan), std::move(conjuncts));
+}
+
+Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+
+  // The joined column space, for routing conjuncts to scans.
+  std::vector<BoundColumn> joined;
+  std::vector<std::pair<size_t, size_t>> scan_ranges;  // [begin, end) per scan
+  for (const TableRef& ref : stmt.from) {
+    // GetSchema doubles as the existence check (NotFound on unknown).
+    BDBMS_ASSIGN_OR_RETURN(TableSchema schema,
+                           ctx_->catalog->GetSchema(ref.table));
+    std::string qualifier = ref.alias.empty() ? ref.table : ref.alias;
+    size_t begin = joined.size();
+    for (BoundColumn& c : QualifiedColumns(schema, qualifier)) {
+      joined.push_back(std::move(c));
+    }
+    scan_ranges.emplace_back(begin, joined.size());
+  }
+
+  // Route each WHERE conjunct to the single scan it touches, if any.
+  // Conjuncts that do not bind cleanly (unknown or ambiguous columns, or
+  // columns from several tables) stay in the residual filter, preserving
+  // the executor's lazy binding-error behaviour.
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where) SplitConjuncts(stmt.where.get(), &conjuncts);
+  std::vector<std::vector<const Expr*>> pushed(stmt.from.size());
+  std::vector<const Expr*> residual;
+  for (const Expr* conjunct : conjuncts) {
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(conjunct, &refs);
+    size_t owner = stmt.from.size();  // sentinel: unroutable
+    bool routable = !refs.empty();
+    for (const Expr* ref : refs) {
+      auto bound = BindColumn(joined, ref->qualifier, ref->column);
+      if (!bound.ok()) {
+        routable = false;
+        break;
+      }
+      size_t scan = 0;
+      while (*bound >= scan_ranges[scan].second) ++scan;
+      if (owner == stmt.from.size()) {
+        owner = scan;
+      } else if (owner != scan) {
+        routable = false;
+        break;
+      }
+    }
+    if (routable && owner < stmt.from.size()) {
+      pushed[owner].push_back(conjunct);
+    } else {
+      residual.push_back(conjunct);
+    }
+  }
+
+  // AWHERE interval pushdown only applies to a non-joined scan whose
+  // candidates are exactly the potentially annotated rows.
+  bool try_ann_interval = stmt.from.size() == 1 && stmt.awhere != nullptr;
+
+  PlanNodePtr plan;
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    BDBMS_ASSIGN_OR_RETURN(
+        PlanNodePtr scan,
+        BuildScan(stmt.from[i], std::move(pushed[i]),
+                  /*attach_metadata=*/true, try_ann_interval));
+    plan = plan == nullptr ? std::move(scan)
+                           : std::make_unique<NestedLoopJoinNode>(
+                                 std::move(plan), std::move(scan));
+  }
+  plan = WrapFilter(std::move(plan), std::move(residual));
+  if (stmt.awhere) {
+    plan = std::make_unique<AWhereNode>(std::move(plan), stmt.awhere.get());
+  }
+  return plan;
+}
+
+Result<PlanNodePtr> Planner::PlanTargetScan(const SelectStmt& stmt) {
+  return PlanFromWhere(stmt);
+}
+
+Result<PlanNodePtr> Planner::PlanDmlScan(const std::string& table,
+                                         const Expr* where) {
+  TableRef ref;
+  ref.table = table;
+  std::vector<const Expr*> conjuncts;
+  if (where != nullptr) SplitConjuncts(where, &conjuncts);
+  // Conjuncts that do not bind against the table stay residual so binding
+  // errors surface at evaluation time, exactly like the WHERE filter.
+  return BuildScan(ref, std::move(conjuncts), /*attach_metadata=*/false,
+                   /*try_ann_interval=*/false);
+}
+
+Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
+                                            bool as_set_rhs) {
+  BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanFromWhere(stmt));
+
+  bool has_aggregates = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->ContainsAggregate()) has_aggregates = true;
+  }
+
+  if (!stmt.group_by.empty() || has_aggregates) {
+    if (stmt.star) {
+      return Status::InvalidArgument(
+          "SELECT * cannot be combined with GROUP BY");
+    }
+    std::vector<size_t> key_columns;
+    for (const std::string& col : stmt.group_by) {
+      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(plan->columns(), "", col));
+      key_columns.push_back(idx);
+    }
+    std::vector<std::string> names;
+    for (const SelectItem& item : stmt.items) {
+      names.push_back(AggregateItemName(item));
+    }
+    plan = std::make_unique<HashAggregateNode>(
+        std::move(plan), &stmt, std::move(key_columns), std::move(names));
+  } else if (!stmt.star) {
+    // Expand qualifier.* items, resolve direct columns and PROMOTE lists.
+    const std::vector<BoundColumn>& in_cols = plan->columns();
+    std::vector<ProjectNode::Item> items;
+    std::vector<std::vector<size_t>> promote_of_item(stmt.items.size());
+    std::vector<size_t> direct_use_count(in_cols.size(), 0);
+    std::vector<std::pair<size_t, size_t>> item_of_output;  // (stmt item, out)
+    for (size_t s = 0; s < stmt.items.size(); ++s) {
+      const SelectItem& item = stmt.items[s];
+      const Expr& e = *item.expr;
+      for (const std::string& col : item.promote_columns) {
+        BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(in_cols, "", col));
+        promote_of_item[s].push_back(idx);
+      }
+      if (e.kind == ExprKind::kColumnRef && e.column == "*") {
+        for (size_t i = 0; i < in_cols.size(); ++i) {
+          if (in_cols[i].qualifier != e.qualifier) continue;
+          items.push_back({true, i, nullptr, in_cols[i].name, {}});
+          ++direct_use_count[i];
+          item_of_output.emplace_back(s, items.size() - 1);
+        }
+        continue;
+      }
+      if (e.kind == ExprKind::kColumnRef) {
+        BDBMS_ASSIGN_OR_RETURN(size_t idx,
+                               BindColumn(in_cols, e.qualifier, e.column));
+        items.push_back({true, idx, nullptr,
+                         item.alias.empty() ? in_cols[idx].name : item.alias,
+                         {}});
+        ++direct_use_count[idx];
+        item_of_output.emplace_back(s, items.size() - 1);
+        continue;
+      }
+      items.push_back({false, 0, item.expr.get(),
+                       item.alias.empty() ? "expr" : item.alias, {}});
+      item_of_output.emplace_back(s, items.size() - 1);
+    }
+    // Route PROMOTE through a dedicated node when the target input column
+    // is projected exactly once; otherwise merge inline during projection
+    // so other projections of the same column stay unaffected.
+    std::vector<PromoteNode::Mapping> mappings;
+    for (const auto& [s, out] : item_of_output) {
+      if (promote_of_item[s].empty()) continue;
+      ProjectNode::Item& it = items[out];
+      if (it.is_direct && direct_use_count[it.direct_index] == 1) {
+        mappings.emplace_back(it.direct_index, promote_of_item[s]);
+      } else {
+        it.promote_sources = promote_of_item[s];
+      }
+    }
+    if (!mappings.empty()) {
+      plan = std::make_unique<PromoteNode>(std::move(plan),
+                                           std::move(mappings));
+    }
+    plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
+  }
+
+  if (stmt.distinct) {
+    plan = std::make_unique<DistinctNode>(std::move(plan));
+  }
+  if (stmt.filter) {
+    plan = std::make_unique<AnnotFilterNode>(std::move(plan),
+                                             stmt.filter.get());
+  }
+  // The chain-last SELECT's ORDER BY/LIMIT are the trailing clauses of
+  // the whole set operation; the outermost level applies them to the
+  // combination, so they are skipped here instead of sorting/capping the
+  // branch twice.
+  bool is_chain_last = as_set_rhs && stmt.set_op == SetOpKind::kNone;
+  if (!stmt.order_by.empty() && !is_chain_last) {
+    std::vector<std::pair<size_t, bool>> keys;
+    for (const auto& [col, desc] : stmt.order_by) {
+      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(plan->columns(), "", col));
+      keys.emplace_back(idx, desc);
+    }
+    plan = std::make_unique<SortNode>(std::move(plan), std::move(keys));
+  }
+  if (stmt.limit.has_value() && as_set_rhs && !is_chain_last) {
+    // `... UNION SELECT ... LIMIT n UNION ...`: neither a branch cap nor
+    // the trailing clause — reject instead of silently dropping it.
+    return Status::NotSupported(
+        "LIMIT inside a set-operation branch is not supported; apply it "
+        "after the last SELECT");
+  }
+  if (stmt.limit.has_value() && !as_set_rhs) {
+    plan = std::make_unique<LimitNode>(std::move(plan), *stmt.limit);
+  }
+
+  if (stmt.set_op != SetOpKind::kNone) {
+    BDBMS_ASSIGN_OR_RETURN(PlanNodePtr rhs,
+                           PlanSelectImpl(*stmt.set_rhs, /*as_set_rhs=*/true));
+    plan = std::make_unique<SetOpNode>(stmt.set_op, std::move(plan),
+                                       std::move(rhs));
+    // A trailing ORDER BY / LIMIT written after the set operations parses
+    // into the last SELECT of the (right-nested) chain; per standard SQL
+    // they apply to the whole combination, so only the outermost level
+    // applies them, reading them off the chain's last SELECT.
+    if (!as_set_rhs) {
+      const SelectStmt* last = stmt.set_rhs.get();
+      while (last->set_op != SetOpKind::kNone) last = last->set_rhs.get();
+      if (!last->order_by.empty()) {
+        std::vector<std::pair<size_t, bool>> keys;
+        for (const auto& [col, desc] : last->order_by) {
+          BDBMS_ASSIGN_OR_RETURN(size_t idx,
+                                 BindColumn(plan->columns(), "", col));
+          keys.emplace_back(idx, desc);
+        }
+        plan = std::make_unique<SortNode>(std::move(plan), std::move(keys));
+      }
+      if (last->limit.has_value()) {
+        plan = std::make_unique<LimitNode>(std::move(plan), *last->limit);
+      }
+    }
+  }
+  return plan;
+}
+
+Result<PlanNodePtr> Planner::PlanSelect(const SelectStmt& stmt) {
+  return PlanSelectImpl(stmt, /*as_set_rhs=*/false);
+}
+
+Result<std::string> Planner::ExplainStatement(const Statement& stmt) {
+  if (const auto* sel = std::get_if<SelectStmt>(&stmt.node)) {
+    BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanSelect(*sel));
+    return ExplainPlan(*plan);
+  }
+  auto indent = [](const std::string& text) {
+    std::string out;
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      out += "  " + text.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+    return out;
+  };
+  if (const auto* upd = std::get_if<UpdateStmt>(&stmt.node)) {
+    if (!ctx_->catalog->HasTable(upd->table)) {
+      return Status::NotFound("no table " + upd->table);
+    }
+    // Same privilege the execution itself would demand.
+    BDBMS_RETURN_IF_ERROR(
+        ctx_->access->Check(user_, upd->table, Privilege::kUpdate));
+    BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                           PlanDmlScan(upd->table, upd->where.get()));
+    std::string out = "Update " + upd->table + " SET ";
+    for (size_t i = 0; i < upd->assignments.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += upd->assignments[i].first;
+    }
+    return out + "\n" + indent(ExplainPlan(*plan));
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&stmt.node)) {
+    if (!ctx_->catalog->HasTable(del->table)) {
+      return Status::NotFound("no table " + del->table);
+    }
+    BDBMS_RETURN_IF_ERROR(
+        ctx_->access->Check(user_, del->table, Privilege::kDelete));
+    BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                           PlanDmlScan(del->table, del->where.get()));
+    return "Delete " + del->table + "\n" + indent(ExplainPlan(*plan));
+  }
+  return Status::NotSupported("EXPLAIN supports SELECT, UPDATE and DELETE");
+}
+
+}  // namespace bdbms

@@ -1,0 +1,65 @@
+#ifndef BDBMS_PLAN_PLANNER_H_
+#define BDBMS_PLAN_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "plan/operator.h"
+#include "sql/ast.h"
+
+namespace bdbms {
+
+// Lowers statements into physical operator trees. Access-path selection:
+//  * WHERE is split into AND-conjuncts; conjuncts touching exactly one
+//    FROM entry are pushed below the join onto that entry's scan;
+//  * a pushed `col = literal` (or range) conjunct over an indexed column
+//    turns the scan into an IndexScan, consuming the conjunct;
+//  * a single-table SELECT with AWHERE and no index probe scans only the
+//    row intervals covered by live annotations (plus outdated rows),
+//    courtesy of the annotation interval structures;
+//  * everything unconsumed stays in a Filter above.
+class Planner {
+ public:
+  Planner(const ExecContext* ctx, std::string user)
+      : ctx_(ctx), user_(std::move(user)) {}
+
+  // Full SELECT pipeline: scans, join, WHERE/AWHERE, aggregation or
+  // projection (with PROMOTE), DISTINCT, FILTER, ORDER BY, LIMIT and set
+  // operations. Performs catalog and SELECT-privilege validation.
+  Result<PlanNodePtr> PlanSelect(const SelectStmt& stmt);
+
+  // Scan + WHERE + AWHERE of a single-table SELECT, without projection —
+  // the row-targeting pipeline of the annotation commands (the caller
+  // reads source RowIds and computes column masks itself).
+  Result<PlanNodePtr> PlanTargetScan(const SelectStmt& stmt);
+
+  // Index-aware scan + WHERE for UPDATE/DELETE row targeting. No
+  // annotation attachment, no privilege check (the caller already
+  // checked the DML privilege).
+  Result<PlanNodePtr> PlanDmlScan(const std::string& table, const Expr* where);
+
+  // EXPLAIN rendering for SELECT/UPDATE/DELETE statements.
+  Result<std::string> ExplainStatement(const Statement& stmt);
+
+ private:
+  // Scans + join + Filter + AWhere (steps shared by PlanSelect and
+  // PlanTargetScan).
+  Result<PlanNodePtr> PlanFromWhere(const SelectStmt& stmt);
+
+  // One FROM entry with its pushed conjuncts; chooses the access path.
+  Result<PlanNodePtr> BuildScan(const TableRef& ref,
+                                std::vector<const Expr*> conjuncts,
+                                bool attach_metadata, bool try_ann_interval);
+
+  // set-op recursion: rhs plans suppress their own LIMIT (it applies to
+  // the combined result, like a trailing ORDER BY).
+  Result<PlanNodePtr> PlanSelectImpl(const SelectStmt& stmt, bool as_set_rhs);
+
+  const ExecContext* ctx_;
+  std::string user_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_PLAN_PLANNER_H_

@@ -106,6 +106,7 @@ struct SelectStmt {
   ExprPtr ahaving;                 // annotation condition on groups
   ExprPtr filter;                  // annotation filter (tuples all pass)
   std::vector<std::pair<std::string, bool>> order_by;  // (column, descending)
+  std::optional<uint64_t> limit;
   SetOpKind set_op = SetOpKind::kNone;
   std::unique_ptr<SelectStmt> set_rhs;
 };
@@ -134,11 +135,29 @@ struct DeleteStmt {
   ExprPtr where;
 };
 
+// CREATE INDEX name ON table (column) — registers a B+-tree secondary
+// index the planner may choose for equality/range predicates.
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+};
+// DROP INDEX name ON table.
+struct DropIndexStmt {
+  std::string index;
+  std::string table;
+};
+
+struct Statement;  // forward; ExplainStmt and AddAnnotationStmt nest one
+
+// EXPLAIN <statement> — prints the physical plan without executing it.
+struct ExplainStmt {
+  std::unique_ptr<Statement> target;
+};
+
 // ---------------------------------------------------------------------------
 // A-SQL annotation commands (Figures 4 and 6)
 // ---------------------------------------------------------------------------
-
-struct Statement;  // forward; AddAnnotationStmt nests a statement
 
 struct CreateAnnTableStmt {
   std::string table;
@@ -221,7 +240,8 @@ struct DropDependencyStmt {
 
 using StatementVariant =
     std::variant<SelectStmt, CreateTableStmt, DropTableStmt, InsertStmt,
-                 UpdateStmt, DeleteStmt, CreateAnnTableStmt, DropAnnTableStmt,
+                 UpdateStmt, DeleteStmt, CreateIndexStmt, DropIndexStmt,
+                 ExplainStmt, CreateAnnTableStmt, DropAnnTableStmt,
                  AddAnnotationStmt, ArchiveAnnotationStmt, GrantStmt,
                  CreateUserStmt, AddUserToGroupStmt, StartApprovalStmt,
                  StopApprovalStmt, ApproveStmt, ShowPendingStmt,

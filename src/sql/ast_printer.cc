@@ -1,0 +1,85 @@
+#include "sql/ast_printer.h"
+
+namespace bdbms {
+
+namespace {
+
+std::string_view BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kLike: return "LIKE";
+  }
+  return "?";
+}
+
+std::string_view AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kAvg: return "AVG";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal.ToString();
+    case ExprKind::kColumnRef:
+      return e.qualifier.empty() ? e.column : e.qualifier + "." + e.column;
+    case ExprKind::kAnnField:
+      switch (e.ann_field) {
+        case AnnField::kValue: return "VALUE";
+        case AnnField::kCategory: return "CATEGORY";
+        case AnnField::kAuthor: return "AUTHOR";
+      }
+      return "?";
+    case ExprKind::kAggregate: {
+      if (e.agg_fn == AggFn::kCountStar) return "COUNT(*)";
+      std::string out(AggFnName(e.agg_fn));
+      out += "(";
+      out += ExprToString(*e.child);
+      out += ")";
+      return out;
+    }
+    case ExprKind::kUnary: {
+      std::string child = ExprToString(*e.child);
+      switch (e.un_op) {
+        case UnOp::kNot: return "NOT " + child;
+        case UnOp::kNeg: return "-" + child;
+        case UnOp::kIsNull: return child + " IS NULL";
+        case UnOp::kIsNotNull: return child + " IS NOT NULL";
+      }
+      return "?";
+    }
+    case ExprKind::kBinary: {
+      std::string out = "(";
+      out += ExprToString(*e.left);
+      out += " ";
+      out += BinOpName(e.bin_op);
+      out += " ";
+      out += ExprToString(*e.right);
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace bdbms

@@ -1,0 +1,17 @@
+#ifndef BDBMS_SQL_AST_PRINTER_H_
+#define BDBMS_SQL_AST_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace bdbms {
+
+// Renders an expression back to (normalized) A-SQL text — used by EXPLAIN
+// to label Filter/IndexScan/aggregate nodes. Binary expressions are fully
+// parenthesized, so the output is unambiguous regardless of precedence.
+std::string ExprToString(const Expr& e);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_SQL_AST_PRINTER_H_

@@ -117,6 +117,13 @@ class Parser {
       return ParseApprove();
     }
     if (Cur().IsKeyword("SHOW")) return ParseShowPending();
+    if (Cur().IsKeyword("EXPLAIN")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
+      ExplainStmt stmt;
+      stmt.target = std::make_unique<Statement>(std::move(inner));
+      return Statement{std::move(stmt)};
+    }
     return Err("expected a statement, got '" + Cur().text + "'");
   }
 
@@ -164,8 +171,21 @@ class Parser {
       BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
       return Statement{CreateUserStmt{name, /*is_group=*/true}};
     }
+    if (Cur().IsKeyword("INDEX")) {
+      Advance();
+      CreateIndexStmt stmt;
+      BDBMS_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+      // Column in parentheses (standard) or bare.
+      bool parens = Cur().IsSymbol("(");
+      if (parens) Advance();
+      BDBMS_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier());
+      if (parens) BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return Statement{std::move(stmt)};
+    }
     if (Cur().IsKeyword("DEPENDENCY")) return ParseCreateDependency();
-    return Err("expected TABLE, ANNOTATION, USER, GROUP or DEPENDENCY");
+    return Err("expected TABLE, ANNOTATION, INDEX, USER, GROUP or DEPENDENCY");
   }
 
   Result<DataType> ParseType() {
@@ -256,12 +276,20 @@ class Parser {
       BDBMS_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier());
       return Statement{DropAnnTableStmt{table, ann}};
     }
+    if (Cur().IsKeyword("INDEX")) {
+      Advance();
+      DropIndexStmt stmt;
+      BDBMS_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier());
+      BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+      return Statement{std::move(stmt)};
+    }
     if (Cur().IsKeyword("DEPENDENCY")) {
       Advance();
       BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
       return Statement{DropDependencyStmt{name}};
     }
-    return Err("expected TABLE, ANNOTATION or DEPENDENCY after DROP");
+    return Err("expected TABLE, ANNOTATION, INDEX or DEPENDENCY after DROP");
   }
 
   Result<InsertStmt> ParseInsert() {
@@ -594,6 +622,11 @@ class Parser {
         }
         break;
       }
+    }
+    if (Cur().IsKeyword("LIMIT")) {
+      Advance();
+      BDBMS_ASSIGN_OR_RETURN(uint64_t n, ExpectInteger());
+      stmt.limit = n;
     }
     if (Cur().IsKeyword("UNION") || Cur().IsKeyword("INTERSECT") ||
         Cur().IsKeyword("EXCEPT")) {

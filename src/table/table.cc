@@ -1,8 +1,16 @@
 #include "table/table.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "index/secondary_index.h"
+
 namespace bdbms {
+
+Table::Table(TableSchema schema, std::unique_ptr<HeapFile> heap)
+    : schema_(std::move(schema)), heap_(std::move(heap)) {}
+
+Table::~Table() = default;
 
 Result<std::unique_ptr<Table>> Table::CreateInMemory(TableSchema schema,
                                                      size_t pool_pages) {
@@ -64,6 +72,7 @@ Result<RowId> Table::Insert(Row row) {
   BDBMS_ASSIGN_OR_RETURN(RecordId rid,
                          heap_->Insert(EncodeRecord(row_id, validated)));
   rows_[row_id] = rid;
+  BDBMS_RETURN_IF_ERROR(IndexInsert(row_id, validated));
   return row_id;
 }
 
@@ -77,6 +86,7 @@ Status Table::InsertWithRowId(RowId row_id, Row row) {
                          heap_->Insert(EncodeRecord(row_id, validated)));
   rows_[row_id] = rid;
   if (row_id >= next_row_id_) next_row_id_ = row_id + 1;
+  BDBMS_RETURN_IF_ERROR(IndexInsert(row_id, validated));
   return Status::Ok();
 }
 
@@ -101,10 +111,15 @@ Status Table::Update(RowId row_id, Row row) {
                             std::to_string(row_id));
   }
   BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  if (!indexes_.empty()) {
+    BDBMS_ASSIGN_OR_RETURN(Row old_row, Get(row_id));
+    BDBMS_RETURN_IF_ERROR(IndexRemove(row_id, old_row));
+  }
   BDBMS_RETURN_IF_ERROR(heap_->Delete(it->second));
   BDBMS_ASSIGN_OR_RETURN(RecordId rid,
                          heap_->Insert(EncodeRecord(row_id, validated)));
   it->second = rid;
+  BDBMS_RETURN_IF_ERROR(IndexInsert(row_id, validated));
   return Status::Ok();
 }
 
@@ -124,6 +139,10 @@ Status Table::Delete(RowId row_id) {
     return Status::NotFound("table " + schema_.name() + ": no row " +
                             std::to_string(row_id));
   }
+  if (!indexes_.empty()) {
+    BDBMS_ASSIGN_OR_RETURN(Row old_row, Get(row_id));
+    BDBMS_RETURN_IF_ERROR(IndexRemove(row_id, old_row));
+  }
   BDBMS_RETURN_IF_ERROR(heap_->Delete(it->second));
   rows_.erase(it);
   return Status::Ok();
@@ -134,6 +153,89 @@ Status Table::Scan(const std::function<Status(RowId, const Row&)>& fn) const {
     BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(rid));
     BDBMS_ASSIGN_OR_RETURN(auto decoded, DecodeRecord(payload));
     BDBMS_RETURN_IF_ERROR(fn(row_id, decoded.second));
+  }
+  return Status::Ok();
+}
+
+Status Table::ScanRange(
+    RowId begin, RowId end,
+    const std::function<Status(RowId, const Row&)>& fn) const {
+  for (auto it = rows_.lower_bound(begin);
+       it != rows_.end() && it->first <= end; ++it) {
+    BDBMS_ASSIGN_OR_RETURN(std::string payload, heap_->Read(it->second));
+    BDBMS_ASSIGN_OR_RETURN(auto decoded, DecodeRecord(payload));
+    BDBMS_RETURN_IF_ERROR(fn(it->first, decoded.second));
+  }
+  return Status::Ok();
+}
+
+std::vector<RowId> Table::SnapshotRowIds() const {
+  std::vector<RowId> ids;
+  ids.reserve(rows_.size());
+  for (const auto& [row_id, rid] : rows_) ids.push_back(row_id);
+  return ids;
+}
+
+std::vector<RowId> Table::RowIdsInRange(RowId begin, RowId end) const {
+  std::vector<RowId> ids;
+  for (auto it = rows_.lower_bound(begin);
+       it != rows_.end() && it->first <= end; ++it) {
+    ids.push_back(it->first);
+  }
+  return ids;
+}
+
+Status Table::CreateIndex(const std::string& name, size_t column) {
+  if (column >= schema_.num_columns()) {
+    return Status::OutOfRange("index column out of range");
+  }
+  if (FindIndex(name) != nullptr) {
+    return Status::AlreadyExists("index " + name + " already exists on " +
+                                 schema_.name());
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<SecondaryIndex> index,
+                         SecondaryIndex::Create(name, column));
+  BDBMS_RETURN_IF_ERROR(Scan([&](RowId row_id, const Row& row) {
+    return index->Insert(row[column], row_id);
+  }));
+  indexes_.push_back(std::move(index));
+  return Status::Ok();
+}
+
+Status Table::DropIndex(const std::string& name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if ((*it)->name() == name) {
+      indexes_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no index " + name + " on " + schema_.name());
+}
+
+const SecondaryIndex* Table::FindIndex(const std::string& name) const {
+  for (const auto& index : indexes_) {
+    if (index->name() == name) return index.get();
+  }
+  return nullptr;
+}
+
+const SecondaryIndex* Table::FindIndexOnColumn(size_t column) const {
+  for (const auto& index : indexes_) {
+    if (index->column() == column) return index.get();
+  }
+  return nullptr;
+}
+
+Status Table::IndexInsert(RowId row_id, const Row& row) {
+  for (const auto& index : indexes_) {
+    BDBMS_RETURN_IF_ERROR(index->Insert(row[index->column()], row_id));
+  }
+  return Status::Ok();
+}
+
+Status Table::IndexRemove(RowId row_id, const Row& row) {
+  for (const auto& index : indexes_) {
+    BDBMS_RETURN_IF_ERROR(index->Remove(row[index->column()], row_id));
   }
   return Status::Ok();
 }

@@ -5,12 +5,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "storage/heap_file.h"
 
 namespace bdbms {
+
+class SecondaryIndex;
 
 // Logical row identifier: assigned densely in insertion order and never
 // reused. The paper models a relation as a 2-D space (columns × tuples,
@@ -37,6 +40,7 @@ class Table {
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
+  ~Table();
 
   const TableSchema& schema() const { return schema_; }
 
@@ -65,6 +69,30 @@ class Table {
   // Visits live rows in RowId order; `fn` returning non-OK stops the scan.
   Status Scan(const std::function<Status(RowId, const Row&)>& fn) const;
 
+  // Visits live rows with begin <= RowId <= end in RowId order — the
+  // pushdown primitive for RowId intervals coming from the annotation
+  // interval index (only annotated row ranges are fetched).
+  Status ScanRange(RowId begin, RowId end,
+                   const std::function<Status(RowId, const Row&)>& fn) const;
+
+  // Live RowIds, ascending (a snapshot; cheap, no heap reads).
+  std::vector<RowId> SnapshotRowIds() const;
+
+  // Live RowIds with begin <= RowId <= end, ascending.
+  std::vector<RowId> RowIdsInRange(RowId begin, RowId end) const;
+
+  // --- secondary indexes ---------------------------------------------------
+  // Builds a B+-tree index named `name` over column `column` from the
+  // current rows; maintained by every subsequent Insert/Update/Delete.
+  Status CreateIndex(const std::string& name, size_t column);
+
+  Status DropIndex(const std::string& name);
+
+  const SecondaryIndex* FindIndex(const std::string& name) const;
+
+  // The first index whose key is `column` (nullptr if none).
+  const SecondaryIndex* FindIndexOnColumn(size_t column) const;
+
   uint64_t row_count() const { return rows_.size(); }
 
   // One past the largest RowId ever assigned (the tuple-axis extent).
@@ -76,8 +104,7 @@ class Table {
   Status Flush() { return heap_->Flush(); }
 
  private:
-  Table(TableSchema schema, std::unique_ptr<HeapFile> heap)
-      : schema_(std::move(schema)), heap_(std::move(heap)) {}
+  Table(TableSchema schema, std::unique_ptr<HeapFile> heap);
 
   // Recovers rows_ / next_row_id_ from heap contents.
   Status Bootstrap();
@@ -85,9 +112,14 @@ class Table {
   static std::string EncodeRecord(RowId row_id, const Row& row);
   static Result<std::pair<RowId, Row>> DecodeRecord(std::string_view payload);
 
+  // Adds/removes `row`'s entries in every secondary index.
+  Status IndexInsert(RowId row_id, const Row& row);
+  Status IndexRemove(RowId row_id, const Row& row);
+
   TableSchema schema_;
   std::unique_ptr<HeapFile> heap_;
   std::map<RowId, RecordId> rows_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   RowId next_row_id_ = 0;
 };
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compares google-benchmark JSON results against a committed baseline.
+
+Usage:
+  tools/compare_bench.py --baseline bench/baseline.json --results DIR \
+      [--threshold 1.5]
+
+DIR holds one ``<bench_name>.json`` per bench binary, as produced by
+``<bench> --benchmark_out=DIR/<bench_name>.json --benchmark_out_format=json``.
+
+The baseline maps bench binary name -> benchmark name -> real_time in ns
+(see ``--update`` below). A benchmark regresses when its real_time exceeds
+baseline * threshold. The default threshold is generous (1.5x) because CI
+machines are noisy and bench-smoke runs use tiny iteration budgets; the
+check is advisory in CI (the job does not fail), the report is what
+matters.
+
+Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage or
+input error.
+
+Refresh the baseline after an intentional perf change with:
+  tools/compare_bench.py --baseline bench/baseline.json --results DIR --update
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_results(results_dir: pathlib.Path):
+    """Returns {bench_name: {benchmark: real_time_ns}} from a results dir."""
+    results = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            print(f"warning: skipping unparsable {path}: {err}")
+            continue
+        unit_scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+        entries = {}
+        for bench in data.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            scale = unit_scale.get(bench.get("time_unit", "ns"), 1.0)
+            entries[bench["name"]] = bench["real_time"] * scale
+        if entries:
+            results[path.stem] = entries
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument("--results", required=True, type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="regression factor over baseline (default 1.5)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results")
+    args = parser.parse_args()
+
+    if not args.results.is_dir():
+        print(f"error: results dir {args.results} does not exist")
+        return 2
+    results = load_results(args.results)
+    if not results:
+        print(f"error: no benchmark JSON files under {args.results}")
+        return 2
+
+    if args.update:
+        args.baseline.write_text(json.dumps(results, indent=2, sort_keys=True)
+                                 + "\n")
+        print(f"baseline {args.baseline} updated "
+              f"({sum(len(v) for v in results.values())} benchmarks)")
+        return 0
+
+    if not args.baseline.is_file():
+        print(f"error: baseline {args.baseline} does not exist "
+              "(generate one with --update)")
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    regressions = []
+    improvements = []
+    missing = []
+    width = max((len(f"{b}/{n}") for b, v in results.items() for n in v),
+                default=20)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
+          f"ratio")
+    for bench, entries in sorted(results.items()):
+        base_entries = baseline.get(bench, {})
+        for name, current in sorted(entries.items()):
+            label = f"{bench}/{name}"
+            base = base_entries.get(name)
+            if base is None:
+                missing.append(label)
+                print(f"{label.ljust(width)}  {'--':>12}  {current:>10.0f}ns"
+                      "   new")
+                continue
+            ratio = current / base if base else float("inf")
+            marker = ""
+            if ratio > args.threshold:
+                marker = "  <-- REGRESSION"
+                regressions.append((label, ratio))
+            elif ratio < 1.0 / args.threshold:
+                improvements.append((label, ratio))
+            print(f"{label.ljust(width)}  {base:>10.0f}ns  {current:>10.0f}ns"
+                  f"  {ratio:5.2f}x{marker}")
+
+    print()
+    if improvements:
+        print(f"{len(improvements)} benchmark(s) improved beyond "
+              f"{1 / args.threshold:.2f}x")
+    if missing:
+        print(f"{len(missing)} benchmark(s) not in baseline "
+              "(refresh with --update)")
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.2f}x:")
+        for label, ratio in regressions:
+            print(f"  {label}: {ratio:.2f}x")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
