@@ -1,0 +1,101 @@
+// Equi-join microbenchmark (ISSUE 3): HashJoin vs NestedLoopJoin at 1k
+// and 10k probe rows, over indexed and unindexed tables. `l.k = r.k`
+// plans a HashJoin; the semantically identical `l.k <= r.k AND l.k >=
+// r.k` is not an equi conjunct, so it runs the NestedLoopJoin + Filter
+// pipeline — the gap between the two is the point of the operator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+
+namespace bdbms {
+namespace {
+
+constexpr int kRightRows = 100;  // build side: 100 rows, keys 0..99
+
+// L(id, k) with `rows` rows, k = id % 100; R(k, name) with 100 rows.
+// Every L row matches exactly one R row.
+std::unique_ptr<Database> BuildDatabase(int rows, bool indexed) {
+  auto db = std::make_unique<Database>();
+  (void)db->Execute("CREATE TABLE L (id INT, k INT)");
+  (void)db->Execute("CREATE TABLE R (k INT, name TEXT)");
+  for (int base = 0; base < rows; base += 500) {
+    std::string insert = "INSERT INTO L VALUES ";
+    for (int i = base; i < base + 500 && i < rows; ++i) {
+      if (i > base) insert += ", ";
+      insert += "(";
+      insert += std::to_string(i);
+      insert += ", ";
+      insert += std::to_string(i % kRightRows);
+      insert += ")";
+    }
+    (void)db->Execute(insert);
+  }
+  std::string insert = "INSERT INTO R VALUES ";
+  for (int i = 0; i < kRightRows; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(";
+    insert += std::to_string(i);
+    insert += ", 'r";
+    insert += std::to_string(i);
+    insert += "')";
+  }
+  (void)db->Execute(insert);
+  if (indexed) {
+    (void)db->Execute("CREATE INDEX idx_lk ON L (k)");
+    (void)db->Execute("CREATE INDEX idx_rk ON R (k)");
+  }
+  (void)db->Execute("ANALYZE");
+  return db;
+}
+
+void RunJoin(benchmark::State& state, const std::string& where,
+             bool indexed) {
+  auto db = BuildDatabase(static_cast<int>(state.range(0)), indexed);
+  const std::string sql = "SELECT id, name FROM L, R " + where;
+  for (auto _ : state) {
+    auto r = db->Execute(sql);
+    if (!r.ok() || r->rows.size() != static_cast<size_t>(state.range(0))) {
+      state.SkipWithError("join returned the wrong row count");
+      return;
+    }
+    benchmark::DoNotOptimize(r->rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  RunJoin(state, "WHERE L.k = R.k", /*indexed=*/false);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_HashJoin_Indexed(benchmark::State& state) {
+  RunJoin(state, "WHERE L.k = R.k", /*indexed=*/true);
+}
+BENCHMARK(BM_HashJoin_Indexed)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NestedLoopJoin(benchmark::State& state) {
+  RunJoin(state, "WHERE L.k <= R.k AND L.k >= R.k", /*indexed=*/false);
+}
+BENCHMARK(BM_NestedLoopJoin)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NestedLoopJoin_Indexed(benchmark::State& state) {
+  RunJoin(state, "WHERE L.k <= R.k AND L.k >= R.k", /*indexed=*/true);
+}
+BENCHMARK(BM_NestedLoopJoin_Indexed)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bdbms
+
+BENCHMARK_MAIN();

@@ -40,6 +40,7 @@ Status Catalog::DropTable(const std::string& name) {
       ++idx_it;
     }
   }
+  stats_.erase(name);
   return Status::Ok();
 }
 
@@ -151,6 +152,19 @@ std::vector<IndexInfo> Catalog::ListIndexes(const std::string& on_table) const {
     if (info.on_table == on_table) out.push_back(info);
   }
   return out;
+}
+
+Status Catalog::SetStats(const std::string& table, TableStats stats) {
+  if (!tables_.count(table)) {
+    return Status::NotFound("no table " + table);
+  }
+  stats_[table] = std::move(stats);
+  return Status::Ok();
+}
+
+const TableStats* Catalog::GetStats(const std::string& table) const {
+  auto it = stats_.find(table);
+  return it == stats_.end() ? nullptr : &it->second;
 }
 
 }  // namespace bdbms

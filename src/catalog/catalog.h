@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "catalog/statistics.h"
 #include "common/result.h"
 
 namespace bdbms {
@@ -73,6 +74,14 @@ class Catalog {
   // All indexes on `on_table`.
   std::vector<IndexInfo> ListIndexes(const std::string& on_table) const;
 
+  // --- statistics (ANALYZE) ------------------------------------------------
+  // Stores the statistics snapshot ANALYZE collected for `table`,
+  // replacing any previous snapshot. NotFound on unknown tables.
+  Status SetStats(const std::string& table, TableStats stats);
+  // The latest snapshot for `table`; nullptr when the table was never
+  // analyzed (or was dropped/recreated since, which clears statistics).
+  const TableStats* GetStats(const std::string& table) const;
+
  private:
   static std::string AnnKey(const std::string& on_table,
                             const std::string& ann_name) {
@@ -84,6 +93,7 @@ class Catalog {
   std::map<std::string, AnnotationTableInfo> annotation_tables_;
   // Keyed by "tbl.index".
   std::map<std::string, IndexInfo> indexes_;
+  std::map<std::string, TableStats> stats_;
 };
 
 }  // namespace bdbms

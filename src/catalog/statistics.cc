@@ -1,0 +1,21 @@
+#include "catalog/statistics.h"
+
+namespace bdbms {
+
+double Histogram::FractionBelow(double v) const {
+  if (total == 0 || counts.empty()) return 0.0;
+  if (v <= lo) return 0.0;
+  if (v >= hi) return 1.0;
+  double width = (hi - lo) / static_cast<double>(counts.size());
+  if (width <= 0.0) return 1.0;  // degenerate single-value range
+  auto bucket = static_cast<size_t>((v - lo) / width);
+  if (bucket >= counts.size()) bucket = counts.size() - 1;
+  uint64_t below = 0;
+  for (size_t i = 0; i < bucket; ++i) below += counts[i];
+  double in_bucket = static_cast<double>(counts[bucket]);
+  double frac = ((v - lo) - width * static_cast<double>(bucket)) / width;
+  return (static_cast<double>(below) + in_bucket * frac) /
+         static_cast<double>(total);
+}
+
+}  // namespace bdbms

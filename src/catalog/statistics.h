@@ -1,0 +1,55 @@
+#ifndef BDBMS_CATALOG_STATISTICS_H_
+#define BDBMS_CATALOG_STATISTICS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/value.h"
+
+namespace bdbms {
+
+// Table/column statistics collected by ANALYZE and stored in the catalog.
+// The planner's cost model (src/plan/cost_model.*) reads them to estimate
+// predicate selectivity and join cardinality. Statistics are a snapshot:
+// DML does not maintain them, so they go stale until the next ANALYZE —
+// estimates may then be off, but plans stay correct (docs/planner.md).
+
+// Equi-width histogram over a numeric column's [lo, hi] value range.
+// Bucket i counts the non-null values v with
+//   lo + i*w <= v < lo + (i+1)*w,  w = (hi-lo)/buckets
+// (the last bucket is closed above so hi itself is counted).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;  // sum of counts
+
+  // Estimated fraction of values below `v`, with linear interpolation
+  // inside the bucket containing `v`. Inclusivity of the bound is below
+  // the histogram's resolution and is ignored.
+  double FractionBelow(double v) const;
+};
+
+// Statistics for one column.
+struct ColumnStats {
+  uint64_t non_null = 0;
+  uint64_t null_count = 0;
+  uint64_t ndv = 0;  // distinct non-null values
+  // Extremes of the non-null values under the engine's total order;
+  // absent when every value is NULL.
+  std::optional<Value> min;
+  std::optional<Value> max;
+  // Present for columns whose non-null values are all numeric.
+  std::optional<Histogram> histogram;
+};
+
+// Statistics for one table, parallel to its schema's column order.
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_CATALOG_STATISTICS_H_

@@ -46,6 +46,8 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
           return ExecDropIndex(node);
         } else if constexpr (std::is_same_v<T, ExplainStmt>) {
           return ExecExplain(node);
+        } else if constexpr (std::is_same_v<T, AnalyzeStmt>) {
+          return ExecAnalyze(node);
         } else if constexpr (std::is_same_v<T, CreateAnnTableStmt>) {
           return ExecCreateAnnTable(node);
         } else if constexpr (std::is_same_v<T, DropAnnTableStmt>) {
@@ -116,6 +118,41 @@ Result<QueryResult> Executor::ExecExplain(const ExplainStmt& stmt) {
   result.affected = result.rows.size();
   result.message = std::move(text);
   return result;
+}
+
+Result<QueryResult> Executor::ExecAnalyze(const AnalyzeStmt& stmt) {
+  // ANALYZE reads every row of its targets, so it demands the same
+  // SELECT privilege a full scan would.
+  std::vector<std::string> targets;
+  if (stmt.table.empty()) {
+    targets = ctx_.catalog->ListTables();
+  } else {
+    if (!ctx_.catalog->HasTable(stmt.table)) {
+      return Status::NotFound("no table " + stmt.table);
+    }
+    targets.push_back(stmt.table);
+  }
+  // Check every target up front so a privilege failure midway cannot
+  // leave a partial batch of refreshed snapshots behind.
+  for (const std::string& name : targets) {
+    BDBMS_RETURN_IF_ERROR(ctx_.access->Check(user_, name, Privilege::kSelect));
+  }
+  QueryResult r;
+  r.columns = {"table", "rows"};
+  for (const std::string& name : targets) {
+    BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(name));
+    BDBMS_ASSIGN_OR_RETURN(TableStats stats, t->ComputeStats());
+    uint64_t row_count = stats.row_count;
+    BDBMS_RETURN_IF_ERROR(ctx_.catalog->SetStats(name, std::move(stats)));
+    ResultRow row;
+    row.values = {Value::Text(name),
+                  Value::Int(static_cast<int64_t>(row_count))};
+    row.annotations.resize(row.values.size());
+    r.rows.push_back(std::move(row));
+  }
+  r.affected = r.rows.size();
+  r.message = "analyzed " + std::to_string(r.rows.size()) + " table(s)";
+  return r;
 }
 
 Result<std::vector<std::pair<RowId, ColumnMask>>> Executor::SelectTargets(

@@ -44,6 +44,7 @@ class Executor {
   Result<QueryResult> ExecCreateIndex(const CreateIndexStmt& stmt);
   Result<QueryResult> ExecDropIndex(const DropIndexStmt& stmt);
   Result<QueryResult> ExecExplain(const ExplainStmt& stmt);
+  Result<QueryResult> ExecAnalyze(const AnalyzeStmt& stmt);
   Result<QueryResult> ExecCreateAnnTable(const CreateAnnTableStmt& stmt);
   Result<QueryResult> ExecDropAnnTable(const DropAnnTableStmt& stmt);
   Result<QueryResult> ExecAddAnnotation(const AddAnnotationStmt& stmt);

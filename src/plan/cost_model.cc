@@ -1,0 +1,175 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bdbms {
+
+namespace {
+
+double Clamp01(double s) { return std::clamp(s, 0.0, 1.0); }
+
+// Fraction of non-null values below `v`, histogram first, then linear
+// interpolation between the analyzed extremes.
+std::optional<double> FractionBelow(const ColumnStats& stats, double v) {
+  if (stats.histogram.has_value() && stats.histogram->total > 0) {
+    return stats.histogram->FractionBelow(v);
+  }
+  if (!stats.min.has_value() || !stats.max.has_value()) return std::nullopt;
+  if (!stats.min->is_numeric() || !stats.max->is_numeric()) {
+    return std::nullopt;
+  }
+  double lo = stats.min->as_double(), hi = stats.max->as_double();
+  if (v <= lo) return 0.0;
+  if (v >= hi) return 1.0;
+  return hi > lo ? (v - lo) / (hi - lo) : 1.0;
+}
+
+// `column <op> literal` with the column on the left (callers flip).
+double ComparisonSelectivity(BinOp op, const ColumnStats* stats,
+                             const Value& literal) {
+  if (literal.is_null()) return 0.0;  // comparisons with NULL are false
+  switch (op) {
+    case BinOp::kEq:
+      return EqSelectivity(stats, literal);
+    case BinOp::kNe:
+      return Clamp01(1.0 - EqSelectivity(stats, literal));
+    case BinOp::kLt:
+    case BinOp::kLe: {
+      IndexBound hi{literal, op == BinOp::kLe};
+      return RangeSelectivity(stats, std::nullopt, hi);
+    }
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      IndexBound lo{literal, op == BinOp::kGe};
+      return RangeSelectivity(stats, lo, std::nullopt);
+    }
+    default:
+      return cost::kDefaultSel;
+  }
+}
+
+BinOp FlipOp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;
+  }
+}
+
+}  // namespace
+
+double IndexProbeCost(double rows) {
+  return std::log2(std::max(rows, 1.0) + 1.0);
+}
+
+double SeqScanCost(double rows) { return rows * cost::kSeqTuple; }
+
+double IndexScanCost(double table_rows, double matching_rows) {
+  return IndexProbeCost(table_rows) + matching_rows * cost::kRandomFetch;
+}
+
+double ClampRows(double rows, double input_rows) {
+  if (input_rows <= 0.0) return 0.0;
+  return std::max(rows, 1.0);
+}
+
+double EqSelectivity(const ColumnStats* stats, const Value& probe) {
+  if (stats == nullptr || stats->ndv == 0) return cost::kDefaultEq;
+  if (stats->min.has_value() && probe.Compare(*stats->min) < 0) return 0.0;
+  if (stats->max.has_value() && probe.Compare(*stats->max) > 0) return 0.0;
+  return Clamp01(1.0 / static_cast<double>(stats->ndv));
+}
+
+double RangeSelectivity(const ColumnStats* stats,
+                        const std::optional<IndexBound>& lo,
+                        const std::optional<IndexBound>& hi) {
+  double below_hi = 1.0, below_lo = 0.0;
+  bool interpolated = false;
+  if (stats != nullptr) {
+    if (hi.has_value() && hi->value.is_numeric()) {
+      if (auto f = FractionBelow(*stats, hi->value.as_double())) {
+        below_hi = *f;
+        interpolated = true;
+      }
+    }
+    if (lo.has_value() && lo->value.is_numeric()) {
+      if (auto f = FractionBelow(*stats, lo->value.as_double())) {
+        below_lo = *f;
+        interpolated = true;
+      }
+    }
+  }
+  if (interpolated) return Clamp01(below_hi - below_lo);
+  // No usable statistics: the default per bounded side.
+  double s = 1.0;
+  if (lo.has_value()) s *= cost::kDefaultRange;
+  if (hi.has_value()) s *= cost::kDefaultRange;
+  return s;
+}
+
+double EstimateConjunctSelectivity(const Expr& e,
+                                   const StatsResolver& resolver) {
+  if (e.kind == ExprKind::kBinary) {
+    switch (e.bin_op) {
+      case BinOp::kAnd:
+        return Clamp01(EstimateConjunctSelectivity(*e.left, resolver) *
+                       EstimateConjunctSelectivity(*e.right, resolver));
+      case BinOp::kOr: {
+        double a = EstimateConjunctSelectivity(*e.left, resolver);
+        double b = EstimateConjunctSelectivity(*e.right, resolver);
+        return Clamp01(a + b - a * b);
+      }
+      case BinOp::kLike:
+        return cost::kDefaultLike;
+      case BinOp::kEq:
+      case BinOp::kNe:
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe: {
+        const Expr* col = e.left.get();
+        const Expr* lit = e.right.get();
+        BinOp op = e.bin_op;
+        if (col->kind != ExprKind::kColumnRef) {
+          std::swap(col, lit);
+          op = FlipOp(op);
+        }
+        if (col->kind != ExprKind::kColumnRef ||
+            lit->kind != ExprKind::kLiteral) {
+          return cost::kDefaultSel;
+        }
+        return ComparisonSelectivity(op, resolver(*col), lit->literal);
+      }
+      default:
+        return cost::kDefaultSel;
+    }
+  }
+  if (e.kind == ExprKind::kUnary) {
+    switch (e.un_op) {
+      case UnOp::kNot:
+        return Clamp01(1.0 -
+                       EstimateConjunctSelectivity(*e.child, resolver));
+      case UnOp::kIsNull:
+      case UnOp::kIsNotNull: {
+        const ColumnStats* stats =
+            e.child->kind == ExprKind::kColumnRef ? resolver(*e.child)
+                                                  : nullptr;
+        double null_frac = cost::kDefaultEq;
+        if (stats != nullptr && stats->non_null + stats->null_count > 0) {
+          null_frac = static_cast<double>(stats->null_count) /
+                      static_cast<double>(stats->non_null + stats->null_count);
+        }
+        return e.un_op == UnOp::kIsNull ? Clamp01(null_frac)
+                                        : Clamp01(1.0 - null_frac);
+      }
+      default:
+        return cost::kDefaultSel;
+    }
+  }
+  return cost::kDefaultSel;
+}
+
+}  // namespace bdbms

@@ -1,6 +1,7 @@
 #include "plan/operator.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <unordered_map>
 
@@ -15,6 +16,10 @@ std::string ExplainPlan(const PlanNode& root) {
                                                           size_t depth) {
     out.append(depth * 2, ' ');
     out += node.Describe();
+    char est[64];
+    std::snprintf(est, sizeof(est), "  (rows=%.0f cost=%.1f)",
+                  node.est_rows(), node.est_cost());
+    out += est;
     out += '\n';
     for (const PlanNode* child : node.Children()) walk(*child, depth + 1);
   };
@@ -326,7 +331,7 @@ std::vector<const PlanNode*> PromoteNode::Children() const {
 ProjectNode::ProjectNode(PlanNodePtr child, std::vector<Item> items)
     : child_(std::move(child)), items_(std::move(items)) {
   for (const Item& item : items_) {
-    columns_.push_back({item.name, ""});
+    columns_.push_back({item.name, item.qualifier});
   }
 }
 
@@ -622,6 +627,107 @@ Result<bool> NestedLoopJoinNode::Next(PlanTuple* out) {
 std::string NestedLoopJoinNode::Describe() const { return "NestedLoopJoin"; }
 
 std::vector<const PlanNode*> NestedLoopJoinNode::Children() const {
+  return {left_.get(), right_.get()};
+}
+
+HashJoinNode::HashJoinNode(PlanNodePtr left, PlanNodePtr right,
+                           std::vector<std::pair<size_t, size_t>> keys,
+                           std::string predicate_text)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      predicate_text_(std::move(predicate_text)) {
+  columns_ = left_->columns();
+  const auto& right_cols = right_->columns();
+  columns_.insert(columns_.end(), right_cols.begin(), right_cols.end());
+  for (const auto& [l, r] : keys_) {
+    left_cols_.push_back(l);
+    right_cols_.push_back(r);
+  }
+}
+
+bool HashJoinNode::EncodeKey(const PlanTuple& tuple,
+                             const std::vector<size_t>& cols,
+                             std::string* out) {
+  out->clear();
+  for (size_t c : cols) {
+    const Value& v = tuple.values[c];
+    if (v.is_null()) return false;
+    if (v.is_numeric()) {
+      double d = v.as_double();
+      if (d == 0.0) d = 0.0;  // fold -0.0 into +0.0 (they compare equal)
+      out->push_back('n');
+      out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+    } else {
+      const std::string& s = v.as_string();
+      uint64_t len = s.size();
+      out->push_back('s');
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+    }
+  }
+  return true;
+}
+
+Status HashJoinNode::Open() {
+  build_.clear();
+  have_left_ = false;
+  bucket_ = nullptr;
+  bucket_pos_ = 0;
+  BDBMS_RETURN_IF_ERROR(left_->Open());
+  std::vector<PlanTuple> right_tuples;
+  BDBMS_RETURN_IF_ERROR(DrainPlan(right_.get(), &right_tuples));
+  std::string key;
+  for (PlanTuple& t : right_tuples) {
+    if (!EncodeKey(t, right_cols_, &key)) continue;  // NULL key never joins
+    build_[key].push_back(std::move(t));
+  }
+  return Status::Ok();
+}
+
+Result<bool> HashJoinNode::Next(PlanTuple* out) {
+  std::string key;
+  for (;;) {
+    if (!have_left_ || bucket_ == nullptr || bucket_pos_ >= bucket_->size()) {
+      BDBMS_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      have_left_ = true;
+      bucket_ = nullptr;
+      bucket_pos_ = 0;
+      if (!EncodeKey(current_left_, left_cols_, &key)) continue;
+      auto it = build_.find(key);
+      if (it == build_.end()) continue;
+      bucket_ = &it->second;
+    }
+    while (bucket_pos_ < bucket_->size()) {
+      const PlanTuple& rhs = (*bucket_)[bucket_pos_++];
+      // Re-verify with the engine's comparison: hash equality is
+      // necessary but (for numerics beyond 2^53) not sufficient.
+      bool match = true;
+      for (const auto& [l, r] : keys_) {
+        if (current_left_.values[l].Compare(rhs.values[r]) != 0) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      out->values = current_left_.values;
+      out->values.insert(out->values.end(), rhs.values.begin(),
+                         rhs.values.end());
+      out->anns = current_left_.anns;
+      out->anns.insert(out->anns.end(), rhs.anns.begin(), rhs.anns.end());
+      out->source_row = 0;
+      out->has_source = false;
+      return true;
+    }
+  }
+}
+
+std::string HashJoinNode::Describe() const {
+  return "HashJoin " + predicate_text_;
+}
+
+std::vector<const PlanNode*> HashJoinNode::Children() const {
   return {left_.get(), right_.get()};
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -30,14 +31,26 @@ class PlanNode {
   // Produces the next tuple into `*out`; returns false when exhausted.
   virtual Result<bool> Next(PlanTuple* out) = 0;
 
-  // One EXPLAIN line, without indentation.
+  // One EXPLAIN line, without indentation (estimates are appended by
+  // ExplainPlan).
   virtual std::string Describe() const = 0;
   virtual std::vector<const PlanNode*> Children() const { return {}; }
 
   const std::vector<BoundColumn>& columns() const { return columns_; }
 
+  // Planner estimates (docs/planner.md): output cardinality and total
+  // cost in abstract work units, shown per node by EXPLAIN.
+  double est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+  void SetEstimate(double rows, double total_cost) {
+    est_rows_ = rows;
+    est_cost_ = total_cost;
+  }
+
  protected:
   std::vector<BoundColumn> columns_;
+  double est_rows_ = 0.0;
+  double est_cost_ = 0.0;
 };
 
 using PlanNodePtr = std::unique_ptr<PlanNode>;
@@ -237,6 +250,10 @@ class ProjectNode : public PlanNode {
     // Inline PROMOTE sources (computed items, or direct items the planner
     // could not route through a PromoteNode).
     std::vector<size_t> promote_sources;
+    // Output qualifier; nonempty only for the column-order-restoring
+    // projection over a reordered join, where qualified references must
+    // keep binding above the node.
+    std::string qualifier;
   };
 
   ProjectNode(PlanNodePtr child, std::vector<Item> items);
@@ -343,6 +360,45 @@ class NestedLoopJoinNode : public PlanNode {
   PlanTuple current_left_;
   bool have_left_ = false;
   size_t right_pos_ = 0;
+};
+
+// Equi-join: materializes and hashes the right (build) side on the join
+// key columns, then streams the left (probe) side. Key equality is
+// verified with Value::Compare after the hash probe, so results match the
+// NestedLoopJoin + Filter pipeline exactly (NULL keys never join, mixed
+// int/double keys compare numerically). Output tuples concatenate both
+// sides' values and per-column annotations, like NestedLoopJoin.
+class HashJoinNode : public PlanNode {
+ public:
+  // `keys`: (left column index, right column index) pairs joined by
+  // equality. `predicate_text` labels the node in EXPLAIN.
+  HashJoinNode(PlanNodePtr left, PlanNodePtr right,
+               std::vector<std::pair<size_t, size_t>> keys,
+               std::string predicate_text);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override;
+
+ private:
+  // Canonical hash key of the tuple's `cols` values (numerics normalized
+  // to double so int 1 and double 1.0 land in the same bucket); false
+  // when any key value is NULL (the tuple cannot join).
+  static bool EncodeKey(const PlanTuple& tuple,
+                        const std::vector<size_t>& cols, std::string* out);
+
+  PlanNodePtr left_;
+  PlanNodePtr right_;
+  std::vector<std::pair<size_t, size_t>> keys_;
+  std::string predicate_text_;
+  std::vector<size_t> left_cols_;   // keys_, split per side
+  std::vector<size_t> right_cols_;
+  std::unordered_map<std::string, std::vector<PlanTuple>> build_;
+  PlanTuple current_left_;
+  const std::vector<PlanTuple>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+  bool have_left_ = false;
 };
 
 // UNION / INTERSECT / EXCEPT with annotation union on value-equal tuples

@@ -1,9 +1,13 @@
 #include "plan/planner.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <utility>
 
+#include "plan/cost_model.h"
 #include "plan/expr_eval.h"
 #include "sql/ast_printer.h"
 
@@ -51,12 +55,14 @@ struct ColumnComparison {
   const Expr* conjunct = nullptr;
 };
 
-// The probe the planner settled on for one scan.
+// The probe the planner settled on for one scan, plus its estimates.
 struct IndexChoice {
   const SecondaryIndex* index = nullptr;
   IndexScanNode::Probe probe;
   std::string predicate_text;
   std::vector<const Expr*> consumed;
+  double selectivity = 1.0;  // of the consumed conjuncts
+  double plan_cost = 0.0;    // scan + residual-filter cost, for ranking
 };
 
 BinOp FlipComparison(BinOp op) {
@@ -102,18 +108,26 @@ std::optional<ColumnComparison> MatchComparison(
   return ColumnComparison{*bound, op, std::move(*probe), e};
 }
 
-// Picks an index probe from the scan's pushed conjuncts: the first
-// equality over an indexed column wins; otherwise the first indexed
-// column with at least one range bound, folding every bound on it.
+const ColumnStats* ColumnStatsOf(const TableStats* stats, size_t column) {
+  if (stats == nullptr || column >= stats->columns.size()) return nullptr;
+  return &stats->columns[column];
+}
+
+// Enumerates the candidate index probes over the pushed conjuncts (every
+// indexed equality, plus folded range bounds per indexed column), costs
+// each alternative as scan + residual filter, and keeps the cheapest —
+// returning nullopt when the sequential scan wins or no probe exists.
 std::optional<IndexChoice> ChooseIndex(
     const Table& table, const std::vector<BoundColumn>& scan_columns,
-    const std::vector<const Expr*>& conjuncts) {
+    const std::vector<const Expr*>& conjuncts, const TableStats* stats,
+    double table_rows) {
   std::vector<ColumnComparison> comparisons;
   for (const Expr* e : conjuncts) {
     auto cmp = MatchComparison(e, scan_columns, table.schema());
     if (cmp.has_value()) comparisons.push_back(std::move(*cmp));
   }
-  // Equality first.
+  std::vector<IndexChoice> candidates;
+  // Equality probes: one candidate per indexed equality conjunct.
   for (const ColumnComparison& cmp : comparisons) {
     if (cmp.op != BinOp::kEq) continue;
     const SecondaryIndex* index = table.FindIndexOnColumn(cmp.column);
@@ -123,11 +137,19 @@ std::optional<IndexChoice> ChooseIndex(
     choice.probe.equal = cmp.value;
     choice.predicate_text = ExprToString(*cmp.conjunct);
     choice.consumed = {cmp.conjunct};
-    return choice;
+    choice.selectivity =
+        EqSelectivity(ColumnStatsOf(stats, cmp.column), cmp.value);
+    candidates.push_back(std::move(choice));
   }
-  // Then ranges: fold all bounds on the chosen column.
+  // Range probes: one candidate per indexed column, folding every bound
+  // on that column (the tightest bound per side wins).
+  std::vector<size_t> range_columns;
   for (const ColumnComparison& seed : comparisons) {
     if (seed.op == BinOp::kEq) continue;
+    if (std::count(range_columns.begin(), range_columns.end(), seed.column)) {
+      continue;
+    }
+    range_columns.push_back(seed.column);
     const SecondaryIndex* index = table.FindIndexOnColumn(seed.column);
     if (index == nullptr) continue;
     IndexChoice choice;
@@ -152,15 +174,49 @@ std::optional<IndexChoice> ChooseIndex(
       choice.predicate_text += ExprToString(*cmp.conjunct);
       choice.consumed.push_back(cmp.conjunct);
     }
-    return choice;
+    choice.selectivity = RangeSelectivity(ColumnStatsOf(stats, seed.column),
+                                          choice.probe.lo, choice.probe.hi);
+    candidates.push_back(std::move(choice));
   }
-  return std::nullopt;
+  if (candidates.empty()) return std::nullopt;
+
+  // Rank full scan alternatives: access cost plus filtering whatever the
+  // probe did not consume (each alternative filters a different residue).
+  double total = static_cast<double>(conjuncts.size());
+  double seq_cost =
+      SeqScanCost(table_rows) + table_rows * cost::kFilterTuple * total;
+  std::optional<IndexChoice> best;
+  for (IndexChoice& choice : candidates) {
+    double match = table_rows * choice.selectivity;
+    double residual =
+        total - static_cast<double>(choice.consumed.size());
+    choice.plan_cost = IndexScanCost(table_rows, match) +
+                       match * cost::kFilterTuple * residual;
+    if (choice.plan_cost >= seq_cost) continue;
+    if (!best.has_value() || choice.plan_cost < best->plan_cost) {
+      best = std::move(choice);
+    }
+  }
+  return best;
 }
 
-// Appends a Filter node for the given conjuncts (no-op when empty).
-PlanNodePtr WrapFilter(PlanNodePtr plan, std::vector<const Expr*> conjuncts) {
+// Appends a Filter node for the given conjuncts (no-op when empty),
+// estimating its output with the conjuncts' combined selectivity.
+PlanNodePtr WrapFilter(PlanNodePtr plan, std::vector<const Expr*> conjuncts,
+                       const StatsResolver& resolver) {
   if (conjuncts.empty()) return plan;
-  return std::make_unique<FilterNode>(std::move(plan), std::move(conjuncts));
+  double sel = 1.0;
+  for (const Expr* e : conjuncts) {
+    sel *= EstimateConjunctSelectivity(*e, resolver);
+  }
+  double child_rows = plan->est_rows();
+  double child_cost = plan->est_cost();
+  double npred = static_cast<double>(conjuncts.size());
+  auto filter =
+      std::make_unique<FilterNode>(std::move(plan), std::move(conjuncts));
+  filter->SetEstimate(ClampRows(child_rows * sel, child_rows),
+                      child_cost + child_rows * cost::kFilterTuple * npred);
+  return filter;
 }
 
 // Output column name of a select item in the aggregate pipeline.
@@ -168,6 +224,15 @@ std::string AggregateItemName(const SelectItem& item) {
   if (!item.alias.empty()) return item.alias;
   return item.expr->kind == ExprKind::kColumnRef ? item.expr->column : "expr";
 }
+
+// An equi-join conjunct `a.col = b.col` between two distinct FROM entries,
+// enforceable as a HashJoin key.
+struct JoinPred {
+  const Expr* expr = nullptr;
+  size_t scan[2] = {0, 0};      // FROM indices of the two sides
+  size_t local_col[2] = {0, 0};  // column index within each side's scan
+  bool used = false;
+};
 
 }  // namespace
 
@@ -196,8 +261,15 @@ Result<PlanNodePtr> Planner::BuildScan(const TableRef& ref,
   std::vector<BoundColumn> scan_columns =
       QualifiedColumns(table->schema(), qualifier);
 
+  // Planning cardinality: the ANALYZE snapshot when one exists (stale
+  // until the next ANALYZE), else the live row count.
+  const TableStats* stats = ctx_->catalog->GetStats(ref.table);
+  double table_rows = stats != nullptr
+                          ? static_cast<double>(stats->row_count)
+                          : static_cast<double>(table->row_count());
+
   std::optional<IndexChoice> choice =
-      ChooseIndex(*table, scan_columns, conjuncts);
+      ChooseIndex(*table, scan_columns, conjuncts, stats, table_rows);
   PlanNodePtr scan;
   if (choice.has_value()) {
     // Drop the conjuncts the probe consumed; the rest filter above.
@@ -208,38 +280,58 @@ Result<PlanNodePtr> Planner::BuildScan(const TableRef& ref,
       if (!consumed) residual.push_back(e);
     }
     conjuncts = std::move(residual);
+    double match = table_rows * choice->selectivity;
     scan = std::make_unique<IndexScanNode>(
         ctx_, table, ref.table, qualifier, std::move(ann_names),
         attach_metadata, choice->index, std::move(choice->probe),
         std::move(choice->predicate_text));
+    scan->SetEstimate(ClampRows(match, table_rows),
+                      IndexScanCost(table_rows, match));
   } else if (try_ann_interval && attach_metadata) {
     scan = std::make_unique<AnnIntervalScanNode>(ctx_, table, ref.table,
                                                  qualifier,
                                                  std::move(ann_names));
+    double rows =
+        ClampRows(table_rows * cost::kAnnIntervalFraction, table_rows);
+    scan->SetEstimate(rows, SeqScanCost(rows));
   } else {
     scan = std::make_unique<SeqScanNode>(ctx_, table, ref.table, qualifier,
                                          std::move(ann_names),
                                          attach_metadata);
+    scan->SetEstimate(table_rows, SeqScanCost(table_rows));
   }
-  return WrapFilter(std::move(scan), std::move(conjuncts));
+  StatsResolver resolver = [&](const Expr& col) -> const ColumnStats* {
+    auto bound = BindColumn(scan_columns, col.qualifier, col.column);
+    if (!bound.ok()) return nullptr;
+    return ColumnStatsOf(stats, *bound);
+  };
+  return WrapFilter(std::move(scan), std::move(conjuncts), resolver);
 }
 
 Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt) {
   if (stmt.from.empty()) {
     return Status::InvalidArgument("FROM clause is empty");
   }
+  size_t nscans = stmt.from.size();
 
-  // The joined column space, for routing conjuncts to scans.
+  // The joined column space (FROM order), for routing conjuncts to scans
+  // and resolving statistics by name above the join.
   std::vector<BoundColumn> joined;
+  std::vector<const ColumnStats*> joined_stats;
   std::vector<std::pair<size_t, size_t>> scan_ranges;  // [begin, end) per scan
-  for (const TableRef& ref : stmt.from) {
+  std::vector<const TableStats*> table_stats(nscans, nullptr);
+  for (size_t i = 0; i < nscans; ++i) {
+    const TableRef& ref = stmt.from[i];
     // GetSchema doubles as the existence check (NotFound on unknown).
     BDBMS_ASSIGN_OR_RETURN(TableSchema schema,
                            ctx_->catalog->GetSchema(ref.table));
+    table_stats[i] = ctx_->catalog->GetStats(ref.table);
     std::string qualifier = ref.alias.empty() ? ref.table : ref.alias;
     size_t begin = joined.size();
+    size_t local = 0;
     for (BoundColumn& c : QualifiedColumns(schema, qualifier)) {
       joined.push_back(std::move(c));
+      joined_stats.push_back(ColumnStatsOf(table_stats[i], local++));
     }
     scan_ranges.emplace_back(begin, joined.size());
   }
@@ -250,12 +342,12 @@ Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt) {
   // the executor's lazy binding-error behaviour.
   std::vector<const Expr*> conjuncts;
   if (stmt.where) SplitConjuncts(stmt.where.get(), &conjuncts);
-  std::vector<std::vector<const Expr*>> pushed(stmt.from.size());
+  std::vector<std::vector<const Expr*>> pushed(nscans);
   std::vector<const Expr*> residual;
   for (const Expr* conjunct : conjuncts) {
     std::vector<const Expr*> refs;
     CollectColumnRefs(conjunct, &refs);
-    size_t owner = stmt.from.size();  // sentinel: unroutable
+    size_t owner = nscans;  // sentinel: unroutable
     bool routable = !refs.empty();
     for (const Expr* ref : refs) {
       auto bound = BindColumn(joined, ref->qualifier, ref->column);
@@ -265,37 +357,227 @@ Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt) {
       }
       size_t scan = 0;
       while (*bound >= scan_ranges[scan].second) ++scan;
-      if (owner == stmt.from.size()) {
+      if (owner == nscans) {
         owner = scan;
       } else if (owner != scan) {
         routable = false;
         break;
       }
     }
-    if (routable && owner < stmt.from.size()) {
+    if (routable && owner < nscans) {
       pushed[owner].push_back(conjunct);
     } else {
       residual.push_back(conjunct);
     }
   }
 
+  // Lift equi-join conjuncts (`a.col = b.col` across two FROM entries)
+  // out of the residual: they become HashJoin keys.
+  std::vector<JoinPred> join_preds;
+  if (nscans > 1) {
+    std::vector<const Expr*> kept;
+    for (const Expr* e : residual) {
+      bool lifted = false;
+      if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kEq &&
+          e->left && e->left->kind == ExprKind::kColumnRef && e->right &&
+          e->right->kind == ExprKind::kColumnRef) {
+        auto lb = BindColumn(joined, e->left->qualifier, e->left->column);
+        auto rb = BindColumn(joined, e->right->qualifier, e->right->column);
+        if (lb.ok() && rb.ok()) {
+          size_t ls = 0, rs = 0;
+          while (*lb >= scan_ranges[ls].second) ++ls;
+          while (*rb >= scan_ranges[rs].second) ++rs;
+          if (ls != rs) {
+            JoinPred pred;
+            pred.expr = e;
+            pred.scan[0] = ls;
+            pred.local_col[0] = *lb - scan_ranges[ls].first;
+            pred.scan[1] = rs;
+            pred.local_col[1] = *rb - scan_ranges[rs].first;
+            join_preds.push_back(pred);
+            lifted = true;
+          }
+        }
+      }
+      if (!lifted) kept.push_back(e);
+    }
+    residual = std::move(kept);
+  }
+
   // AWHERE interval pushdown only applies to a non-joined scan whose
   // candidates are exactly the potentially annotated rows.
-  bool try_ann_interval = stmt.from.size() == 1 && stmt.awhere != nullptr;
+  bool try_ann_interval = nscans == 1 && stmt.awhere != nullptr;
 
-  PlanNodePtr plan;
-  for (size_t i = 0; i < stmt.from.size(); ++i) {
+  std::vector<PlanNodePtr> scans(nscans);
+  std::vector<double> scan_rows(nscans, 0.0);
+  std::vector<size_t> widths(nscans, 0);
+  for (size_t i = 0; i < nscans; ++i) {
     BDBMS_ASSIGN_OR_RETURN(
-        PlanNodePtr scan,
-        BuildScan(stmt.from[i], std::move(pushed[i]),
-                  /*attach_metadata=*/true, try_ann_interval));
-    plan = plan == nullptr ? std::move(scan)
-                           : std::make_unique<NestedLoopJoinNode>(
-                                 std::move(plan), std::move(scan));
+        scans[i], BuildScan(stmt.from[i], std::move(pushed[i]),
+                            /*attach_metadata=*/true, try_ann_interval));
+    scan_rows[i] = scans[i]->est_rows();
+    widths[i] = scan_ranges[i].second - scan_ranges[i].first;
   }
-  plan = WrapFilter(std::move(plan), std::move(residual));
+
+  // NDV of one side of a join predicate: the ANALYZE value when present,
+  // else the filtered scan cardinality (i.e. assume the key is unique).
+  auto column_ndv = [&](size_t scan, size_t local) {
+    const ColumnStats* cs = ColumnStatsOf(table_stats[scan], local);
+    if (cs != nullptr && cs->ndv > 0) return static_cast<double>(cs->ndv);
+    return std::max(scan_rows[scan], 1.0);
+  };
+
+  // Greedy join order (docs/planner.md): start from the smallest
+  // estimated input, then repeatedly fold in the not-yet-joined relation
+  // minimizing the estimated intermediate cardinality, preferring
+  // relations reachable through an equi-join predicate so cross products
+  // come last. Both join operators materialize their right input, so the
+  // smaller of (accumulated plan, new relation) goes right — the build
+  // side of a HashJoin — and the larger streams through as the probe.
+  PlanNodePtr plan;
+  std::vector<bool> in_set(nscans, false);
+  std::vector<size_t> col_offset(nscans, 0);
+  {
+    size_t start = 0;
+    for (size_t i = 1; i < nscans; ++i) {
+      if (scan_rows[i] < scan_rows[start]) start = i;
+    }
+    plan = std::move(scans[start]);
+    in_set[start] = true;
+    col_offset[start] = 0;
+    size_t width = widths[start];
+    double cur_rows = scan_rows[start];
+
+    for (size_t step = 1; step < nscans; ++step) {
+      size_t best = nscans;
+      double best_rows = std::numeric_limits<double>::infinity();
+      bool best_connected = false;
+      for (size_t j = 0; j < nscans; ++j) {
+        if (in_set[j]) continue;
+        double est = cur_rows * scan_rows[j];
+        bool connected = false;
+        for (const JoinPred& pred : join_preds) {
+          if (pred.used) continue;
+          for (int side = 0; side < 2; ++side) {
+            if (pred.scan[side] != j || !in_set[pred.scan[1 - side]]) {
+              continue;
+            }
+            connected = true;
+            double ndv =
+                std::max(column_ndv(pred.scan[0], pred.local_col[0]),
+                         column_ndv(pred.scan[1], pred.local_col[1]));
+            est /= std::max(ndv, 1.0);
+          }
+        }
+        est = ClampRows(est, cur_rows * scan_rows[j]);
+        if (best == nscans || (connected && !best_connected) ||
+            (connected == best_connected && est < best_rows)) {
+          best = j;
+          best_rows = est;
+          best_connected = connected;
+        }
+      }
+
+      // Collect the predicates connecting `best` to the joined set, as
+      // (column in the accumulated plan, column local to the new scan).
+      std::vector<std::pair<size_t, size_t>> keys;
+      std::string predicate_text;
+      for (JoinPred& pred : join_preds) {
+        if (pred.used) continue;
+        for (int side = 0; side < 2; ++side) {
+          size_t other = 1 - side;
+          if (pred.scan[side] != best || !in_set[pred.scan[other]]) continue;
+          keys.emplace_back(
+              col_offset[pred.scan[other]] + pred.local_col[other],
+              pred.local_col[side]);
+          if (!predicate_text.empty()) predicate_text += " AND ";
+          predicate_text += ExprToString(*pred.expr);
+          pred.used = true;
+          break;
+        }
+      }
+
+      // Orientation: the smaller side builds (right), the larger probes.
+      bool new_is_probe = scan_rows[best] > cur_rows;
+      PlanNodePtr left = std::move(plan);
+      PlanNodePtr right = std::move(scans[best]);
+      if (new_is_probe) {
+        std::swap(left, right);
+        for (auto& [set_col, new_col] : keys) std::swap(set_col, new_col);
+        // The output layout becomes new-scan columns ++ accumulated ones.
+        for (size_t i = 0; i < nscans; ++i) {
+          if (in_set[i]) col_offset[i] += widths[best];
+        }
+        col_offset[best] = 0;
+      } else {
+        col_offset[best] = width;
+      }
+      double build_rows = std::min(cur_rows, scan_rows[best]);
+      double probe_rows = std::max(cur_rows, scan_rows[best]);
+      double both_cost = left->est_cost() + right->est_cost();
+      PlanNodePtr join;
+      double join_cost;
+      if (!keys.empty()) {
+        join_cost = both_cost + build_rows * cost::kHashBuild +
+                    probe_rows * cost::kHashProbe;
+        join = std::make_unique<HashJoinNode>(std::move(left),
+                                              std::move(right),
+                                              std::move(keys),
+                                              std::move(predicate_text));
+      } else {
+        best_rows = ClampRows(cur_rows * scan_rows[best],
+                              cur_rows * scan_rows[best]);
+        join_cost = both_cost +
+                    cur_rows * scan_rows[best] * cost::kNlPair;
+        join = std::make_unique<NestedLoopJoinNode>(std::move(left),
+                                                    std::move(right));
+      }
+      join->SetEstimate(best_rows, join_cost);
+      plan = std::move(join);
+      in_set[best] = true;
+      width += widths[best];
+      cur_rows = best_rows;
+    }
+  }
+  // Did the physical column layout end up differing from FROM order?
+  bool order_changed = false;
+  for (size_t i = 0; i < nscans; ++i) {
+    if (col_offset[i] != scan_ranges[i].first) order_changed = true;
+  }
+
+  // A reordered join changes the physical column order; SELECT * exposes
+  // it, so restore FROM order with a direct projection that keeps names,
+  // qualifiers and annotations intact.
+  if (stmt.star && order_changed && nscans > 1) {
+    std::vector<ProjectNode::Item> items;
+    for (size_t i = 0; i < nscans; ++i) {
+      for (size_t c = 0; c < widths[i]; ++c) {
+        ProjectNode::Item item;
+        item.is_direct = true;
+        item.direct_index = col_offset[i] + c;
+        item.name = joined[scan_ranges[i].first + c].name;
+        item.qualifier = joined[scan_ranges[i].first + c].qualifier;
+        items.push_back(std::move(item));
+      }
+    }
+    double rows = plan->est_rows();
+    double cst = plan->est_cost() + rows * cost::kPipeTuple;
+    plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
+    plan->SetEstimate(rows, cst);
+  }
+
+  StatsResolver resolver = [&](const Expr& col) -> const ColumnStats* {
+    auto bound = BindColumn(joined, col.qualifier, col.column);
+    return bound.ok() ? joined_stats[*bound] : nullptr;
+  };
+  plan = WrapFilter(std::move(plan), std::move(residual), resolver);
   if (stmt.awhere) {
+    double child_rows = plan->est_rows();
+    double child_cost = plan->est_cost();
     plan = std::make_unique<AWhereNode>(std::move(plan), stmt.awhere.get());
+    plan->SetEstimate(ClampRows(child_rows * cost::kAnnMatchFraction,
+                                child_rows),
+                      child_cost + child_rows * cost::kFilterTuple);
   }
   return plan;
 }
@@ -320,6 +602,15 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
                                             bool as_set_rhs) {
   BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanFromWhere(stmt));
 
+  // Estimate helper for the tuple-in/tuple-out nodes above the join.
+  auto stacked = [](PlanNodePtr child, auto make, double rows,
+                    double added_cost) {
+    double cst = child->est_cost() + added_cost;
+    PlanNodePtr node = make(std::move(child));
+    node->SetEstimate(rows, cst);
+    return node;
+  };
+
   bool has_aggregates = false;
   for (const SelectItem& item : stmt.items) {
     if (item.expr->ContainsAggregate()) has_aggregates = true;
@@ -339,8 +630,17 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
     for (const SelectItem& item : stmt.items) {
       names.push_back(AggregateItemName(item));
     }
-    plan = std::make_unique<HashAggregateNode>(
-        std::move(plan), &stmt, std::move(key_columns), std::move(names));
+    double in_rows = plan->est_rows();
+    double groups = stmt.group_by.empty()
+                        ? 1.0
+                        : ClampRows(in_rows * cost::kGroupFraction, in_rows);
+    plan = stacked(
+        std::move(plan),
+        [&](PlanNodePtr c) -> PlanNodePtr {
+          return std::make_unique<HashAggregateNode>(
+              std::move(c), &stmt, std::move(key_columns), std::move(names));
+        },
+        groups, in_rows * cost::kHashBuild);
   } else if (!stmt.star) {
     // Expand qualifier.* items, resolve direct columns and PROMOTE lists.
     const std::vector<BoundColumn>& in_cols = plan->columns();
@@ -358,7 +658,7 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
       if (e.kind == ExprKind::kColumnRef && e.column == "*") {
         for (size_t i = 0; i < in_cols.size(); ++i) {
           if (in_cols[i].qualifier != e.qualifier) continue;
-          items.push_back({true, i, nullptr, in_cols[i].name, {}});
+          items.push_back({true, i, nullptr, in_cols[i].name, {}, ""});
           ++direct_use_count[i];
           item_of_output.emplace_back(s, items.size() - 1);
         }
@@ -369,13 +669,14 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
                                BindColumn(in_cols, e.qualifier, e.column));
         items.push_back({true, idx, nullptr,
                          item.alias.empty() ? in_cols[idx].name : item.alias,
-                         {}});
+                         {},
+                         ""});
         ++direct_use_count[idx];
         item_of_output.emplace_back(s, items.size() - 1);
         continue;
       }
       items.push_back({false, 0, item.expr.get(),
-                       item.alias.empty() ? "expr" : item.alias, {}});
+                       item.alias.empty() ? "expr" : item.alias, {}, ""});
       item_of_output.emplace_back(s, items.size() - 1);
     }
     // Route PROMOTE through a dedicated node when the target input column
@@ -392,23 +693,51 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
       }
     }
     if (!mappings.empty()) {
-      plan = std::make_unique<PromoteNode>(std::move(plan),
-                                           std::move(mappings));
+      double rows = plan->est_rows();
+      plan = stacked(
+          std::move(plan),
+          [&](PlanNodePtr c) -> PlanNodePtr {
+            return std::make_unique<PromoteNode>(std::move(c),
+                                                 std::move(mappings));
+          },
+          rows, rows * cost::kPipeTuple);
     }
-    plan = std::make_unique<ProjectNode>(std::move(plan), std::move(items));
+    double rows = plan->est_rows();
+    plan = stacked(
+        std::move(plan),
+        [&](PlanNodePtr c) -> PlanNodePtr {
+          return std::make_unique<ProjectNode>(std::move(c),
+                                               std::move(items));
+        },
+        rows, rows * cost::kPipeTuple);
   }
 
   if (stmt.distinct) {
-    plan = std::make_unique<DistinctNode>(std::move(plan));
+    double rows = plan->est_rows();
+    plan = stacked(
+        std::move(plan),
+        [](PlanNodePtr c) -> PlanNodePtr {
+          return std::make_unique<DistinctNode>(std::move(c));
+        },
+        rows, rows * cost::kHashBuild);
   }
   if (stmt.filter) {
-    plan = std::make_unique<AnnotFilterNode>(std::move(plan),
-                                             stmt.filter.get());
+    double rows = plan->est_rows();
+    plan = stacked(
+        std::move(plan),
+        [&](PlanNodePtr c) -> PlanNodePtr {
+          return std::make_unique<AnnotFilterNode>(std::move(c),
+                                                   stmt.filter.get());
+        },
+        rows, rows * cost::kFilterTuple);
   }
   // The chain-last SELECT's ORDER BY/LIMIT are the trailing clauses of
   // the whole set operation; the outermost level applies them to the
   // combination, so they are skipped here instead of sorting/capping the
   // branch twice.
+  auto sort_cost = [](double rows) {
+    return rows * std::log2(std::max(rows, 2.0)) * cost::kSortTuple;
+  };
   bool is_chain_last = as_set_rhs && stmt.set_op == SetOpKind::kNone;
   if (!stmt.order_by.empty() && !is_chain_last) {
     std::vector<std::pair<size_t, bool>> keys;
@@ -416,7 +745,13 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
       BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(plan->columns(), "", col));
       keys.emplace_back(idx, desc);
     }
-    plan = std::make_unique<SortNode>(std::move(plan), std::move(keys));
+    double rows = plan->est_rows();
+    plan = stacked(
+        std::move(plan),
+        [&](PlanNodePtr c) -> PlanNodePtr {
+          return std::make_unique<SortNode>(std::move(c), std::move(keys));
+        },
+        rows, sort_cost(rows));
   }
   if (stmt.limit.has_value() && as_set_rhs && !is_chain_last) {
     // `... UNION SELECT ... LIMIT n UNION ...`: neither a branch cap nor
@@ -426,14 +761,28 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
         "after the last SELECT");
   }
   if (stmt.limit.has_value() && !as_set_rhs) {
-    plan = std::make_unique<LimitNode>(std::move(plan), *stmt.limit);
+    double rows =
+        std::min(plan->est_rows(), static_cast<double>(*stmt.limit));
+    plan = stacked(
+        std::move(plan),
+        [&](PlanNodePtr c) -> PlanNodePtr {
+          return std::make_unique<LimitNode>(std::move(c), *stmt.limit);
+        },
+        rows, 0.0);
   }
 
   if (stmt.set_op != SetOpKind::kNone) {
     BDBMS_ASSIGN_OR_RETURN(PlanNodePtr rhs,
                            PlanSelectImpl(*stmt.set_rhs, /*as_set_rhs=*/true));
+    double l = plan->est_rows(), r = rhs->est_rows();
+    double rows = l + r;
+    if (stmt.set_op == SetOpKind::kIntersect) rows = std::min(l, r);
+    if (stmt.set_op == SetOpKind::kExcept) rows = l;
+    double cst =
+        plan->est_cost() + rhs->est_cost() + (l + r) * cost::kHashBuild;
     plan = std::make_unique<SetOpNode>(stmt.set_op, std::move(plan),
                                        std::move(rhs));
+    plan->SetEstimate(rows, cst);
     // A trailing ORDER BY / LIMIT written after the set operations parses
     // into the last SELECT of the (right-nested) chain; per standard SQL
     // they apply to the whole combination, so only the outermost level
@@ -448,10 +797,24 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
                                  BindColumn(plan->columns(), "", col));
           keys.emplace_back(idx, desc);
         }
-        plan = std::make_unique<SortNode>(std::move(plan), std::move(keys));
+        double srows = plan->est_rows();
+        plan = stacked(
+            std::move(plan),
+            [&](PlanNodePtr c) -> PlanNodePtr {
+              return std::make_unique<SortNode>(std::move(c),
+                                                std::move(keys));
+            },
+            srows, sort_cost(srows));
       }
       if (last->limit.has_value()) {
-        plan = std::make_unique<LimitNode>(std::move(plan), *last->limit);
+        double lrows =
+            std::min(plan->est_rows(), static_cast<double>(*last->limit));
+        plan = stacked(
+            std::move(plan),
+            [&](PlanNodePtr c) -> PlanNodePtr {
+              return std::make_unique<LimitNode>(std::move(c), *last->limit);
+            },
+            lrows, 0.0);
       }
     }
   }

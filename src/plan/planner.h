@@ -10,15 +10,22 @@
 
 namespace bdbms {
 
-// Lowers statements into physical operator trees. Access-path selection:
+// Lowers statements into physical operator trees, choosing access paths
+// and join order with the cost model over the catalog's ANALYZE
+// statistics (src/plan/cost_model.*, docs/planner.md):
 //  * WHERE is split into AND-conjuncts; conjuncts touching exactly one
 //    FROM entry are pushed below the join onto that entry's scan;
-//  * a pushed `col = literal` (or range) conjunct over an indexed column
-//    turns the scan into an IndexScan, consuming the conjunct;
+//  * every candidate index probe (equality or folded range over an
+//    indexed column) is costed against the sequential scan, and the
+//    cheapest alternative wins, consuming its conjuncts;
+//  * equi-join conjuncts (`a.col = b.col`) become HashJoin keys; the
+//    join order is chosen greedily by estimated cardinality, with
+//    NestedLoopJoin kept for predicate-less (cross product) joins;
 //  * a single-table SELECT with AWHERE and no index probe scans only the
 //    row intervals covered by live annotations (plus outdated rows),
 //    courtesy of the annotation interval structures;
 //  * everything unconsumed stays in a Filter above.
+// Every node carries estimated rows/cost, which EXPLAIN prints.
 class Planner {
  public:
   Planner(const ExecContext* ctx, std::string user)

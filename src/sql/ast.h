@@ -155,6 +155,13 @@ struct ExplainStmt {
   std::unique_ptr<Statement> target;
 };
 
+// ANALYZE [table] — collects row-count / per-column NDV, min/max and
+// histogram statistics into the catalog for the cost-based planner. With
+// no table, every table in the catalog is analyzed.
+struct AnalyzeStmt {
+  std::string table;  // empty = all tables
+};
+
 // ---------------------------------------------------------------------------
 // A-SQL annotation commands (Figures 4 and 6)
 // ---------------------------------------------------------------------------
@@ -241,7 +248,7 @@ struct DropDependencyStmt {
 using StatementVariant =
     std::variant<SelectStmt, CreateTableStmt, DropTableStmt, InsertStmt,
                  UpdateStmt, DeleteStmt, CreateIndexStmt, DropIndexStmt,
-                 ExplainStmt, CreateAnnTableStmt, DropAnnTableStmt,
+                 ExplainStmt, AnalyzeStmt, CreateAnnTableStmt, DropAnnTableStmt,
                  AddAnnotationStmt, ArchiveAnnotationStmt, GrantStmt,
                  CreateUserStmt, AddUserToGroupStmt, StartApprovalStmt,
                  StopApprovalStmt, ApproveStmt, ShowPendingStmt,

@@ -22,7 +22,7 @@ const std::set<std::string>& Keywords() {
       "APPROVAL", "COLUMNS", "APPROVED", "APPROVE",   "DISAPPROVE",
       "OPERATION", "PENDING", "SHOW",    "DEPENDENCY", "USING",    "JOIN",
       "PROVENANCE", "INT",   "INTEGER",  "DOUBLE",    "TEXT",      "SEQUENCE",
-      "ALL",       "INDEX",  "EXPLAIN",  "LIMIT",
+      "ALL",       "INDEX",  "EXPLAIN",  "LIMIT",     "ANALYZE",
   };
   return *kw;
 }

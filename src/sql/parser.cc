@@ -124,6 +124,15 @@ class Parser {
       stmt.target = std::make_unique<Statement>(std::move(inner));
       return Statement{std::move(stmt)};
     }
+    if (Cur().IsKeyword("ANALYZE")) {
+      Advance();
+      AnalyzeStmt stmt;
+      if (Cur().type == TokenType::kIdentifier) {
+        stmt.table = Cur().text;
+        Advance();
+      }
+      return Statement{std::move(stmt)};
+    }
     return Err("expected a statement, got '" + Cur().text + "'");
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "index/secondary_index.h"
 
@@ -238,6 +239,61 @@ Status Table::IndexRemove(RowId row_id, const Row& row) {
     BDBMS_RETURN_IF_ERROR(index->Remove(row[index->column()], row_id));
   }
   return Status::Ok();
+}
+
+Result<TableStats> Table::ComputeStats(size_t histogram_buckets) const {
+  size_t ncols = schema_.num_columns();
+  TableStats stats;
+  stats.columns.resize(ncols);
+  // Distinct non-null values per column (by encoded identity) and, for
+  // columns that stay all-numeric, the raw values for the histogram pass.
+  std::vector<std::set<std::string>> distinct(ncols);
+  std::vector<std::vector<double>> numeric(ncols);
+  std::vector<bool> all_numeric(ncols, true);
+  BDBMS_RETURN_IF_ERROR(Scan([&](RowId, const Row& row) {
+    ++stats.row_count;
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& v = row[c];
+      ColumnStats& col = stats.columns[c];
+      if (v.is_null()) {
+        ++col.null_count;
+        continue;
+      }
+      ++col.non_null;
+      std::string key;
+      v.EncodeTo(&key);
+      distinct[c].insert(std::move(key));
+      if (!col.min.has_value() || v.Compare(*col.min) < 0) col.min = v;
+      if (!col.max.has_value() || v.Compare(*col.max) > 0) col.max = v;
+      if (v.is_numeric() && all_numeric[c]) {
+        numeric[c].push_back(v.as_double());
+      } else {
+        all_numeric[c] = false;
+      }
+    }
+    return Status::Ok();
+  }));
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnStats& col = stats.columns[c];
+    col.ndv = distinct[c].size();
+    if (!all_numeric[c] || numeric[c].empty() || histogram_buckets == 0) {
+      continue;
+    }
+    Histogram h;
+    h.lo = *std::min_element(numeric[c].begin(), numeric[c].end());
+    h.hi = *std::max_element(numeric[c].begin(), numeric[c].end());
+    h.counts.assign(histogram_buckets, 0);
+    double width = (h.hi - h.lo) / static_cast<double>(histogram_buckets);
+    for (double v : numeric[c]) {
+      size_t bucket =
+          width > 0.0 ? static_cast<size_t>((v - h.lo) / width) : 0;
+      if (bucket >= histogram_buckets) bucket = histogram_buckets - 1;
+      ++h.counts[bucket];
+    }
+    h.total = numeric[c].size();
+    col.histogram = std::move(h);
+  }
+  return stats;
 }
 
 }  // namespace bdbms

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "catalog/statistics.h"
 #include "common/result.h"
 #include "storage/heap_file.h"
 
@@ -94,6 +95,12 @@ class Table {
   const SecondaryIndex* FindIndexOnColumn(size_t column) const;
 
   uint64_t row_count() const { return rows_.size(); }
+
+  // One full scan computing the ANALYZE statistics snapshot: row count
+  // plus per-column null count, NDV, min/max, and (for columns whose
+  // non-null values are all numeric) an equi-width histogram with
+  // `histogram_buckets` buckets.
+  Result<TableStats> ComputeStats(size_t histogram_buckets = 16) const;
 
   // One past the largest RowId ever assigned (the tuple-axis extent).
   RowId next_row_id() const { return next_row_id_; }

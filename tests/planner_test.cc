@@ -51,16 +51,17 @@ class ExplainFixture : public ::testing::Test {
 
 TEST_F(ExplainFixture, SeqScanWithFilter) {
   EXPECT_EQ(Explain(db_, "SELECT GID FROM Gene WHERE GName = 'eno1'"),
-            "Project [GID]\n"
-            "  Filter (GName = 'eno1')\n"
-            "    SeqScan Gene\n");
+            "Project [GID]  (rows=1 cost=3.4)\n"
+            "  Filter (GName = 'eno1')  (rows=1 cost=3.3)\n"
+            "    SeqScan Gene  (rows=3 cost=3.0)\n");
 }
 
 TEST_F(ExplainFixture, CreateIndexSwitchesToIndexScan) {
   EXEC_OK(db_, "CREATE INDEX idx_name ON Gene (GName)");
   EXPECT_EQ(Explain(db_, "SELECT GID FROM Gene WHERE GName = 'eno1'"),
-            "Project [GID]\n"
-            "  IndexScan Gene USING idx_name (GName = 'eno1')\n");
+            "Project [GID]  (rows=1 cost=2.7)\n"
+            "  IndexScan Gene USING idx_name (GName = 'eno1')"
+            "  (rows=1 cost=2.6)\n");
 }
 
 TEST_F(ExplainFixture, RangeProbeKeepsResidualFilter) {
@@ -69,30 +70,35 @@ TEST_F(ExplainFixture, RangeProbeKeepsResidualFilter) {
       Explain(db_,
               "SELECT GID FROM Gene "
               "WHERE Score > 1 AND Score <= 3 AND GID != 2"),
-      "Project [GID]\n"
-      "  Filter (GID != 2)\n"
-      "    IndexScan Gene USING idx_score (Score > 1) AND (Score <= 3)\n");
+      "Project [GID]  (rows=1 cost=2.9)\n"
+      "  Filter (GID != 2)  (rows=1 cost=2.8)\n"
+      "    IndexScan Gene USING idx_score (Score > 1) AND (Score <= 3)"
+      "  (rows=1 cost=2.7)\n");
 }
 
 TEST_F(ExplainFixture, DropIndexRevertsToSeqScan) {
   EXEC_OK(db_, "CREATE INDEX idx_name ON Gene (GName)");
   EXEC_OK(db_, "DROP INDEX idx_name ON Gene");
   EXPECT_EQ(Explain(db_, "SELECT GID FROM Gene WHERE GName = 'eno1'"),
-            "Project [GID]\n"
-            "  Filter (GName = 'eno1')\n"
-            "    SeqScan Gene\n");
+            "Project [GID]  (rows=1 cost=3.4)\n"
+            "  Filter (GName = 'eno1')  (rows=1 cost=3.3)\n"
+            "    SeqScan Gene  (rows=3 cost=3.0)\n");
 }
 
 TEST_F(ExplainFixture, JoinPushesSingleTableConjunctsBelow) {
+  // The single-table conjunct is pushed below the join (on a 3-row table
+  // the cost model keeps the sequential scan: a range probe is not worth
+  // the index overhead); the equi conjunct becomes the HashJoin key, and
+  // the filtered (smaller) side becomes the build input on the right.
   EXEC_OK(db_, "CREATE INDEX idx_score ON Gene (Score)");
   EXPECT_EQ(Explain(db_,
                     "SELECT A.GID FROM Gene A, Gene B "
                     "WHERE A.GID = B.GID AND A.Score > 2"),
-            "Project [GID]\n"
-            "  Filter (A.GID = B.GID)\n"
-            "    NestedLoopJoin\n"
-            "      IndexScan Gene AS A USING idx_score (A.Score > 2)\n"
-            "      SeqScan Gene AS B\n");
+            "Project [GID]  (rows=1 cost=10.9)\n"
+            "  HashJoin (A.GID = B.GID)  (rows=1 cost=10.8)\n"
+            "    SeqScan Gene AS B  (rows=3 cost=3.0)\n"
+            "    Filter (A.Score > 2)  (rows=1 cost=3.3)\n"
+            "      SeqScan Gene AS A  (rows=3 cost=3.0)\n");
 }
 
 TEST_F(ExplainFixture, AWhereUsesAnnotationIntervalScan) {
@@ -100,28 +106,29 @@ TEST_F(ExplainFixture, AWhereUsesAnnotationIntervalScan) {
   EXPECT_EQ(Explain(db_,
                     "SELECT GID FROM Gene ANNOTATION(Notes) "
                     "AWHERE VALUE LIKE '%x%'"),
-            "Project [GID]\n"
-            "  AWhere (VALUE LIKE '%x%')\n"
+            "Project [GID]  (rows=1 cost=1.2)\n"
+            "  AWhere (VALUE LIKE '%x%')  (rows=1 cost=1.1)\n"
             "    AnnIntervalScan Gene ANNOTATION(Notes) "
-            "(annotated row intervals + outdated rows)\n");
+            "(annotated row intervals + outdated rows)"
+            "  (rows=1 cost=1.0)\n");
 }
 
 TEST_F(ExplainFixture, AggregateSortLimit) {
   EXPECT_EQ(Explain(db_,
                     "SELECT GName, COUNT(*) AS n FROM Gene GROUP BY GName "
                     "HAVING COUNT(*) > 0 ORDER BY n DESC LIMIT 2"),
-            "Limit 2\n"
-            "  Sort [n DESC]\n"
+            "Limit 2  (rows=1 cost=8.0)\n"
+            "  Sort [n DESC]  (rows=1 cost=8.0)\n"
             "    HashAggregate keys=[GName] [GName, COUNT(*)] "
-            "HAVING (COUNT(*) > 0)\n"
-            "      SeqScan Gene\n");
+            "HAVING (COUNT(*) > 0)  (rows=1 cost=7.5)\n"
+            "      SeqScan Gene  (rows=3 cost=3.0)\n");
 }
 
 TEST_F(ExplainFixture, PromoteIsAPlanNode) {
   EXPECT_EQ(Explain(db_, "SELECT GID PROMOTE (GName, Score) FROM Gene"),
-            "Project [GID]\n"
-            "  Promote GID <- (GName, Score)\n"
-            "    SeqScan Gene\n");
+            "Project [GID]  (rows=3 cost=3.6)\n"
+            "  Promote GID <- (GName, Score)  (rows=3 cost=3.3)\n"
+            "    SeqScan Gene  (rows=3 cost=3.0)\n");
 }
 
 TEST_F(ExplainFixture, DistinctSetOpAndAnnotFilter) {
@@ -130,25 +137,26 @@ TEST_F(ExplainFixture, DistinctSetOpAndAnnotFilter) {
   EXPECT_EQ(Explain(db_,
                     "SELECT DISTINCT GName FROM Gene FILTER CATEGORY = 'x' "
                     "UNION SELECT GName FROM Gene ORDER BY GName"),
-            "Sort [GName ASC]\n"
-            "  Union\n"
-            "    AnnotFilter (CATEGORY = 'x')\n"
-            "      Distinct\n"
-            "        Project [GName]\n"
-            "          SeqScan Gene\n"
-            "    Project [GName]\n"
-            "      SeqScan Gene\n");
+            "Sort [GName ASC]  (rows=6 cost=28.2)\n"
+            "  Union  (rows=6 cost=20.4)\n"
+            "    AnnotFilter (CATEGORY = 'x')  (rows=3 cost=8.1)\n"
+            "      Distinct  (rows=3 cost=7.8)\n"
+            "        Project [GName]  (rows=3 cost=3.3)\n"
+            "          SeqScan Gene  (rows=3 cost=3.0)\n"
+            "    Project [GName]  (rows=3 cost=3.3)\n"
+            "      SeqScan Gene  (rows=3 cost=3.0)\n");
 }
 
 TEST_F(ExplainFixture, UpdateAndDeleteShowScanPlan) {
   EXEC_OK(db_, "CREATE INDEX idx_name ON Gene (GName)");
   EXPECT_EQ(Explain(db_, "UPDATE Gene SET Score = 0.0 WHERE GName = 'eno1'"),
             "Update Gene SET Score\n"
-            "  IndexScan Gene USING idx_name (GName = 'eno1')\n");
+            "  IndexScan Gene USING idx_name (GName = 'eno1')"
+            "  (rows=1 cost=2.6)\n");
   EXPECT_EQ(Explain(db_, "DELETE FROM Gene WHERE GID = 1"),
             "Delete Gene\n"
-            "  Filter (GID = 1)\n"
-            "    SeqScan Gene\n");
+            "  Filter (GID = 1)  (rows=1 cost=3.3)\n"
+            "    SeqScan Gene  (rows=3 cost=3.0)\n");
 }
 
 TEST_F(ExplainFixture, ExplainRejectsNonDml) {

@@ -15,6 +15,11 @@ machines are noisy and bench-smoke runs use tiny iteration budgets; the
 check is advisory in CI (the job does not fail), the report is what
 matters.
 
+When ``--summary FILE`` is given (or the ``GITHUB_STEP_SUMMARY``
+environment variable is set, as it is inside GitHub Actions), a markdown
+table of the comparison is appended to that file so the report shows up
+directly in the Actions run summary.
+
 Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage or
 input error.
 
@@ -24,6 +29,7 @@ Refresh the baseline after an intentional perf change with:
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -49,6 +55,34 @@ def load_results(results_dir: pathlib.Path):
     return results
 
 
+def write_markdown_summary(path, rows, regressions, missing, threshold):
+    """Appends the comparison as a markdown table (GitHub step summary)."""
+    lines = ["## Benchmark comparison vs committed baseline", ""]
+    if regressions:
+        lines.append(f"**{len(regressions)} regression(s) beyond "
+                     f"{threshold:.2f}x** (advisory)")
+    else:
+        lines.append(f"No regressions beyond {threshold:.2f}x.")
+    if missing:
+        lines.append(f"{len(missing)} benchmark(s) missing from the "
+                     "baseline (refresh with `--update`).")
+    lines += ["", "| benchmark | baseline | current | ratio | |",
+              "|---|---:|---:|---:|---|"]
+    for label, base, current, ratio, marker in rows:
+        base_s = f"{base:.0f}ns" if base is not None else "--"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "--"
+        flag = {"REGRESSION": ":red_circle: regression",
+                "improved": ":green_circle: improved",
+                "new": "new"}.get(marker, "")
+        lines.append(f"| `{label}` | {base_s} | {current:.0f}ns "
+                     f"| {ratio_s} | {flag} |")
+    try:
+        with open(path, "a") as fp:
+            fp.write("\n".join(lines) + "\n")
+    except OSError as err:
+        print(f"warning: could not write summary {path}: {err.strerror}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, type=pathlib.Path)
@@ -57,6 +91,10 @@ def main() -> int:
                         help="regression factor over baseline (default 1.5)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the results")
+    parser.add_argument("--summary", type=pathlib.Path,
+                        default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                        help="append a markdown report to this file "
+                             "(default: $GITHUB_STEP_SUMMARY when set)")
     args = parser.parse_args()
 
     if not args.results.is_dir():
@@ -83,10 +121,7 @@ def main() -> int:
     regressions = []
     improvements = []
     missing = []
-    width = max((len(f"{b}/{n}") for b, v in results.items() for n in v),
-                default=20)
-    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
-          f"ratio")
+    rows = []  # (label, base or None, current, ratio or None, marker)
     for bench, entries in sorted(results.items()):
         base_entries = baseline.get(bench, {})
         for name, current in sorted(entries.items()):
@@ -94,18 +129,32 @@ def main() -> int:
             base = base_entries.get(name)
             if base is None:
                 missing.append(label)
-                print(f"{label.ljust(width)}  {'--':>12}  {current:>10.0f}ns"
-                      "   new")
+                rows.append((label, None, current, None, "new"))
                 continue
             ratio = current / base if base else float("inf")
             marker = ""
             if ratio > args.threshold:
-                marker = "  <-- REGRESSION"
+                marker = "REGRESSION"
                 regressions.append((label, ratio))
             elif ratio < 1.0 / args.threshold:
+                marker = "improved"
                 improvements.append((label, ratio))
-            print(f"{label.ljust(width)}  {base:>10.0f}ns  {current:>10.0f}ns"
-                  f"  {ratio:5.2f}x{marker}")
+            rows.append((label, base, current, ratio, marker))
+
+    width = max((len(label) for label, *_ in rows), default=20)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
+          f"ratio")
+    for label, base, current, ratio, marker in rows:
+        if base is None:
+            print(f"{label.ljust(width)}  {'--':>12}  {current:>10.0f}ns"
+                  "   new")
+            continue
+        arrow = "  <-- REGRESSION" if marker == "REGRESSION" else ""
+        print(f"{label.ljust(width)}  {base:>10.0f}ns  {current:>10.0f}ns"
+              f"  {ratio:5.2f}x{arrow}")
+    if args.summary:
+        write_markdown_summary(args.summary, rows, regressions, missing,
+                               args.threshold)
 
     print()
     if improvements:
