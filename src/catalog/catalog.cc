@@ -114,20 +114,44 @@ std::vector<AnnotationTableInfo> Catalog::ListAnnotationTables(
 
 Status Catalog::CreateIndex(const std::string& on_table,
                             const std::string& index_name,
-                            const std::string& column) {
+                            const std::vector<std::string>& columns,
+                            IndexKind kind) {
   auto table_it = tables_.find(on_table);
   if (table_it == tables_.end()) {
     return Status::NotFound("no table " + on_table);
   }
-  if (!table_it->second.FindColumn(column).has_value()) {
-    return Status::NotFound("no column " + column + " in " + on_table);
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    auto found = table_it->second.FindColumn(columns[i]);
+    if (!found.has_value()) {
+      return Status::NotFound("no column " + columns[i] + " in " + on_table);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (columns[j] == columns[i]) {
+        return Status::InvalidArgument("duplicate index column " +
+                                       columns[i]);
+      }
+    }
+    if (kind == IndexKind::kSpGist) {
+      DataType type = table_it->second.column(*found).type;
+      if (type != DataType::kText && type != DataType::kSequence) {
+        return Status::InvalidArgument(
+            "sequence index requires a TEXT or SEQUENCE column");
+      }
+    }
+  }
+  if (kind == IndexKind::kSpGist && columns.size() != 1) {
+    return Status::InvalidArgument(
+        "sequence index takes exactly one column");
   }
   std::string key = AnnKey(on_table, index_name);
   if (indexes_.count(key)) {
     return Status::AlreadyExists("index " + index_name + " already exists on " +
                                  on_table);
   }
-  indexes_[key] = {index_name, on_table, column};
+  indexes_[key] = {index_name, on_table, columns.front(), columns, kind};
   return Status::Ok();
 }
 

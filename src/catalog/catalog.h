@@ -21,13 +21,20 @@ struct AnnotationTableInfo {
   bool is_provenance = false;  // provenance tables get system-only writers
 };
 
-// Metadata about one secondary index (CREATE INDEX <name> ON <table>
-// (<column>)). The storage object lives in Table; the catalog entry is
-// what the planner consults when choosing access paths.
+// How a secondary index is organized: a B+-tree over the order-preserving
+// composite key codec, or an SP-GiST trie over one sequence/text column
+// (CREATE SEQUENCE INDEX ... USING SPGIST).
+enum class IndexKind { kBTree, kSpGist };
+
+// Metadata about one secondary index (CREATE [SEQUENCE] INDEX <name> ON
+// <table> (<columns>)). The storage object lives in Table; the catalog
+// entry is what DDL validates against.
 struct IndexInfo {
   std::string name;     // index name (unique per user table)
   std::string on_table;
-  std::string column;
+  std::string column;   // leading key column (compat accessor)
+  std::vector<std::string> columns;  // full key column list, in order
+  IndexKind kind = IndexKind::kBTree;
 };
 
 // System catalog: user tables and their annotation tables. Dependency
@@ -64,10 +71,20 @@ class Catalog {
       const std::string& on_table) const;
 
   // --- secondary indexes ---------------------------------------------------
-  // Registers index `index_name` over `on_table`.`column`; validates the
-  // table and column exist and the name is unused on that table.
+  // Registers index `index_name` over `on_table`(`columns`); validates the
+  // table and every column exist, the name is unused on that table, the
+  // key columns are distinct, and — for SP-GiST — that the key is a single
+  // TEXT/SEQUENCE column.
   Status CreateIndex(const std::string& on_table,
-                     const std::string& index_name, const std::string& column);
+                     const std::string& index_name,
+                     const std::vector<std::string>& columns,
+                     IndexKind kind = IndexKind::kBTree);
+  Status CreateIndex(const std::string& on_table,
+                     const std::string& index_name,
+                     const std::string& column) {
+    return CreateIndex(on_table, index_name,
+                       std::vector<std::string>{column});
+  }
   Status DropIndex(const std::string& on_table, const std::string& index_name);
   bool HasIndex(const std::string& on_table,
                 const std::string& index_name) const;

@@ -235,18 +235,30 @@ Result<QueryResult> Executor::ExecCreateIndex(const CreateIndexStmt& stmt) {
   if (!ctx_.access->IsSuperuser(user_)) {
     return Status::PermissionDenied("only superusers may create indexes");
   }
+  IndexKind kind = stmt.spgist ? IndexKind::kSpGist : IndexKind::kBTree;
   BDBMS_RETURN_IF_ERROR(
-      ctx_.catalog->CreateIndex(stmt.table, stmt.index, stmt.column));
+      ctx_.catalog->CreateIndex(stmt.table, stmt.index, stmt.columns, kind));
   BDBMS_ASSIGN_OR_RETURN(Table * t, ctx_.tables(stmt.table));
-  BDBMS_ASSIGN_OR_RETURN(size_t column, t->schema().ColumnIndex(stmt.column));
-  Status st = t->CreateIndex(stmt.index, column);
+  std::vector<size_t> columns;
+  for (const std::string& name : stmt.columns) {
+    BDBMS_ASSIGN_OR_RETURN(size_t column, t->schema().ColumnIndex(name));
+    columns.push_back(column);
+  }
+  Status st = stmt.spgist
+                  ? t->CreateSequenceIndex(stmt.index, columns.front())
+                  : t->CreateIndex(stmt.index, std::move(columns));
   if (!st.ok()) {
     (void)ctx_.catalog->DropIndex(stmt.table, stmt.index);
     return st;
   }
   QueryResult r;
-  r.message = "index " + stmt.index + " created on " + stmt.table + "(" +
-              stmt.column + ")";
+  std::string cols;
+  for (const std::string& name : stmt.columns) {
+    if (!cols.empty()) cols += ", ";
+    cols += name;
+  }
+  r.message = std::string(stmt.spgist ? "sequence index " : "index ") +
+              stmt.index + " created on " + stmt.table + "(" + cols + ")";
   return r;
 }
 

@@ -2,7 +2,10 @@
 #define BDBMS_INDEX_KEY_CODEC_H_
 
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/result.h"
 #include "common/value.h"
 
 namespace bdbms {
@@ -10,34 +13,65 @@ namespace bdbms {
 // Order-preserving byte encoding of cell values for B+-tree index keys.
 //
 // The B+-tree compares keys as raw byte strings, so the codec must map the
-// engine's value order onto memcmp order. Keys are laid out as a one-byte
-// type-rank tag (NULL < numeric < string, matching Value::Compare) followed
-// by a rank-specific payload:
+// engine's value order onto memcmp order — including for *composite*
+// (multi-column) keys, which are the concatenation of the per-component
+// encodings. Each component is a one-byte type-rank tag (NULL < numeric <
+// string, matching Value::Compare) followed by a rank-specific payload:
+//   * NULL    — the tag alone
 //   * INT     — big-endian two's complement with the sign bit flipped
 //   * DOUBLE  — big-endian IEEE bits; negatives wholly inverted, positives
 //               sign-flipped (the classic total-order trick)
-//   * TEXT / SEQUENCE — the raw bytes (memcmp == lexicographic order)
+//   * TEXT / SEQUENCE — the bytes with 0x00 escaped as 0x00 0xFF, closed by
+//               a 0x00 0x01 terminator. The escape keeps the terminator
+//               unambiguous, and the terminator makes every component
+//               encoding prefix-free, so concatenating components preserves
+//               lexicographic row order ("ab" < "abc" because the
+//               terminator byte 0x00 sorts below every continuation).
 //
-// A secondary index only ever stores keys of its column's declared type
-// (rows are coerced on write), so INT and DOUBLE sharing the numeric rank
-// tag never mix inside one tree; probes must be coerced to the column type
-// before encoding.
+// Component encodings are self-delimiting, so a composite key can be
+// decoded back into its column values given the declared column types
+// (INT and DOUBLE share the numeric rank tag; a secondary index only ever
+// stores keys of its columns' declared types because rows are coerced on
+// write, so the schema disambiguates). That reversibility is what makes
+// index-only scans possible.
+void AppendIndexKey(std::string* out, const Value& v);
+
+// Single-component convenience wrapper around AppendIndexKey.
 std::string EncodeIndexKey(const Value& v);
+
+// Concatenation of the component encodings of `values`.
+std::string EncodeCompositeKey(const std::vector<Value>& values);
+
+// Inverse of EncodeCompositeKey: decodes one value per entry of `types`
+// (the declared column types, used to pick INT vs DOUBLE under the shared
+// numeric rank). Fails if the key does not parse or has trailing bytes.
+Result<std::vector<Value>> DecodeCompositeKey(
+    std::string_view key, const std::vector<DataType>& types);
+
+// Appends the *unterminated* string-component prefix for `prefix` (rank
+// tag + escaped bytes, no terminator): every string component whose value
+// starts with `prefix` encodes to a byte string starting with exactly
+// these bytes — the probe prefix of a LIKE 'p%' ScanPrefix range.
+void AppendStringKeyPrefix(std::string* out, std::string_view prefix);
 
 // Smallest key of non-null rank — the lower fence that excludes NULLs
 // (SQL comparisons never match NULL, so scans start above them).
 std::string IndexKeyLowestNonNull();
 
-// Upper fence above every encodable key.
+// Upper fence above every encodable key (single- or multi-component).
 std::string IndexKeyUpperFence();
 
-// The least key strictly greater than `key` in memcmp order. Because every
-// encoded key is a discrete byte string, successor(enc(v)) sits between
-// enc(v) and the encoding of the next distinct value, which turns
-// inclusive/exclusive bounds into the half-open [lo, hi) ranges the B+-tree
-// scan takes: inclusive lower -> enc(v), exclusive lower -> successor,
-// inclusive upper -> successor, exclusive upper -> enc(v).
+// The least byte string strictly greater than `key` in memcmp order.
+// Only meaningful when `key` is a WHOLE stored key: probe bounds on a
+// component of a composite key must use IndexKeyPrefixUpperBound instead
+// — the appended 0x00 is exactly the byte a NULL continuation encodes
+// as, so successor(component) would miss rows whose next column is NULL.
 std::string IndexKeySuccessor(const std::string& key);
+
+// The least key strictly greater than every key that starts with `prefix`
+// (byte-increment of the last non-0xFF byte); the global upper fence when
+// no such key exists. Upper bound of prefix-probe ranges.
+std::string IndexKeyPrefixUpperBound(std::string prefix);
 
 }  // namespace bdbms
 

@@ -7,51 +7,118 @@
 namespace bdbms {
 
 Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Create(
-    std::string name, size_t column) {
+    std::string name, std::vector<size_t> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
   BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> tree,
                          BPlusTree::CreateInMemory());
-  return std::unique_ptr<SecondaryIndex>(
-      new SecondaryIndex(std::move(name), column, std::move(tree)));
+  return std::unique_ptr<SecondaryIndex>(new SecondaryIndex(
+      std::move(name), std::move(columns), std::move(tree)));
 }
 
-Status SecondaryIndex::Insert(const Value& cell, RowId row) {
-  return tree_->Insert(EncodeIndexKey(cell), row);
+std::string SecondaryIndex::KeyOf(const Row& row) const {
+  std::string key;
+  for (size_t c : columns_) AppendIndexKey(&key, row[c]);
+  return key;
 }
 
-Status SecondaryIndex::Remove(const Value& cell, RowId row) {
-  return tree_->Delete(EncodeIndexKey(cell), row);
+Status SecondaryIndex::Insert(const Row& row, RowId row_id) {
+  return tree_->Insert(KeyOf(row), row_id);
 }
 
-Result<std::vector<RowId>> SecondaryIndex::FindEqual(
-    const Value& probe) const {
-  if (probe.is_null()) return std::vector<RowId>{};
-  BDBMS_ASSIGN_OR_RETURN(std::vector<RowId> rows,
-                         tree_->SearchExact(EncodeIndexKey(probe)));
-  std::sort(rows.begin(), rows.end());
-  return rows;
+Status SecondaryIndex::Remove(const Row& row, RowId row_id) {
+  return tree_->Delete(KeyOf(row), row_id);
 }
 
-Result<std::vector<RowId>> SecondaryIndex::FindRange(
-    const std::optional<IndexBound>& lo,
-    const std::optional<IndexBound>& hi) const {
-  std::string lo_key = IndexKeyLowestNonNull();
-  if (lo.has_value()) {
-    lo_key = EncodeIndexKey(lo->value);
-    if (!lo->inclusive) lo_key = IndexKeySuccessor(lo_key);
+Status SecondaryIndex::ScanProbe(
+    const IndexProbe& probe,
+    const std::function<bool(std::string_view, RowId)>& fn) const {
+  // Equality with NULL is never true; such probes match nothing.
+  for (const Value& v : probe.eq) {
+    if (v.is_null()) return Status::Ok();
   }
-  std::string hi_key = IndexKeyUpperFence();
-  if (hi.has_value()) {
-    hi_key = EncodeIndexKey(hi->value);
-    if (hi->inclusive) hi_key = IndexKeySuccessor(hi_key);
+  if ((probe.lo.has_value() && probe.lo->value.is_null()) ||
+      (probe.hi.has_value() && probe.hi->value.is_null())) {
+    return Status::Ok();
   }
+  std::string prefix = EncodeCompositeKey(probe.eq);
+  std::string lo_key, hi_key;
+  if (probe.like_prefix.has_value()) {
+    lo_key = prefix;
+    AppendStringKeyPrefix(&lo_key, *probe.like_prefix);
+    hi_key = IndexKeyPrefixUpperBound(lo_key);
+  } else if (probe.lo.has_value() || probe.hi.has_value()) {
+    // A range on the column after the equality prefix. An inclusive side
+    // must take every key whose *component* equals the bound, whatever
+    // the later components hold (a successor byte would miss a NULL
+    // continuation, which encodes as the very byte the successor appends)
+    // — hence the prefix-upper-bound of the component encoding. Absent
+    // bounds fall to the fences: above NULLs on the low side (SQL
+    // comparisons never match NULL), past every key with this prefix on
+    // the high side.
+    if (probe.lo.has_value()) {
+      lo_key = prefix + EncodeIndexKey(probe.lo->value);
+      if (!probe.lo->inclusive) lo_key = IndexKeyPrefixUpperBound(lo_key);
+    } else {
+      lo_key = prefix + IndexKeyLowestNonNull();
+    }
+    if (probe.hi.has_value()) {
+      hi_key = prefix + EncodeIndexKey(probe.hi->value);
+      if (probe.hi->inclusive) hi_key = IndexKeyPrefixUpperBound(hi_key);
+    } else {
+      hi_key = IndexKeyPrefixUpperBound(prefix);
+    }
+  } else {
+    // Pure prefix equality (or, with no equalities at all, a full-index
+    // scan). Unconstrained trailing columns may hold anything, NULLs
+    // included, so no low fence applies beyond the prefix itself.
+    lo_key = prefix;
+    hi_key = IndexKeyPrefixUpperBound(prefix);
+  }
+  return tree_->ScanRange(lo_key, hi_key, fn);
+}
+
+Result<std::vector<RowId>> SecondaryIndex::Find(
+    const IndexProbe& probe) const {
   std::vector<RowId> rows;
   BDBMS_RETURN_IF_ERROR(
-      tree_->ScanRange(lo_key, hi_key, [&](std::string_view, uint64_t row) {
+      ScanProbe(probe, [&](std::string_view, RowId row) {
         rows.push_back(row);
         return true;
       }));
   std::sort(rows.begin(), rows.end());
   return rows;
+}
+
+Result<std::vector<RowId>> SecondaryIndex::FindEqual(
+    const Value& probe) const {
+  if (probe.is_null()) return std::vector<RowId>{};
+  IndexProbe p;
+  p.eq.push_back(probe);
+  return Find(p);
+}
+
+Result<std::vector<RowId>> SecondaryIndex::FindRange(
+    const std::optional<IndexBound>& lo,
+    const std::optional<IndexBound>& hi) const {
+  if (!lo.has_value() && !hi.has_value()) {
+    // FindRange models `col <op> ...`, so it excludes NULLs even when
+    // unbounded on both sides (unlike a prefix-equality Find).
+    std::vector<RowId> rows;
+    BDBMS_RETURN_IF_ERROR(tree_->ScanRange(
+        IndexKeyLowestNonNull(), IndexKeyUpperFence(),
+        [&](std::string_view, uint64_t row) {
+          rows.push_back(row);
+          return true;
+        }));
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+  IndexProbe p;
+  p.lo = lo;
+  p.hi = hi;
+  return Find(p);
 }
 
 }  // namespace bdbms

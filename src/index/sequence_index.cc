@@ -1,0 +1,64 @@
+#include "index/sequence_index.h"
+
+#include <algorithm>
+
+namespace bdbms {
+
+Result<std::unique_ptr<SequenceIndex>> SequenceIndex::Create(std::string name,
+                                                             size_t column) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<SpGistTrie> trie,
+                         SpGistTrie::Create(TrieOps::Config{}));
+  return std::unique_ptr<SequenceIndex>(
+      new SequenceIndex(std::move(name), column, std::move(trie)));
+}
+
+Status SequenceIndex::Insert(const Value& cell, RowId row_id) {
+  if (cell.is_null()) return Status::Ok();  // NULLs are never probe-visible
+  if (!cell.is_string()) {
+    return Status::InvalidArgument("sequence index over a non-string value");
+  }
+  const std::string& text = cell.as_string();
+  if (text.find('\0') != std::string::npos) {
+    return Status::InvalidArgument(
+        "sequence index cannot store values with embedded NUL bytes");
+  }
+  return trie_->Insert(text, row_id);
+}
+
+Status SequenceIndex::Remove(const Value& cell, RowId row_id) {
+  if (cell.is_null()) return Status::Ok();
+  if (!cell.is_string()) {
+    return Status::InvalidArgument("sequence index over a non-string value");
+  }
+  BDBMS_ASSIGN_OR_RETURN(
+      bool removed,
+      trie_->Remove(TrieOps::Exact(cell.as_string()), row_id));
+  if (!removed) {
+    return Status::NotFound("sequence index entry not found");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<RowId>> SequenceIndex::Collect(
+    const TrieOps::Query& query) const {
+  std::vector<RowId> rows;
+  BDBMS_RETURN_IF_ERROR(
+      trie_->Search(query, [&](const TrieOps::Key&, uint64_t row) {
+        rows.push_back(row);
+        return true;
+      }));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Result<std::vector<RowId>> SequenceIndex::FindPrefix(
+    const std::string& prefix) const {
+  return Collect(TrieOps::Prefix(prefix));
+}
+
+Result<std::vector<RowId>> SequenceIndex::FindExact(
+    const std::string& text) const {
+  return Collect(TrieOps::Exact(text));
+}
+
+}  // namespace bdbms

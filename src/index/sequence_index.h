@@ -1,0 +1,63 @@
+#ifndef BDBMS_INDEX_SEQUENCE_INDEX_H_
+#define BDBMS_INDEX_SEQUENCE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "index/spgist/trie_ops.h"
+#include "table/table.h"
+
+namespace bdbms {
+
+// A sequence index: the SP-GiST disk-based trie (paper §7.1) registered as
+// a planner-visible secondary index over one string-typed column —
+// `CREATE SEQUENCE INDEX ... USING SPGIST`. The trie partitions keys by
+// next character, so prefix probes (`seq LIKE 'ACGT%'`) descend only the
+// matching subtrees instead of scanning the table; exact probes descend a
+// single path. Maintained by Table on every INSERT/UPDATE/DELETE (and so
+// by approval rollbacks), like the B+-tree secondary indexes.
+//
+// NULL cells are not indexed: no SQL comparison or LIKE predicate is ever
+// true on NULL, so probes could never return them. The trie reserves the
+// NUL byte as its end-of-key label, so values containing embedded NUL
+// bytes are rejected at maintenance time rather than silently dropped.
+class SequenceIndex {
+ public:
+  static Result<std::unique_ptr<SequenceIndex>> Create(std::string name,
+                                                       size_t column);
+
+  SequenceIndex(const SequenceIndex&) = delete;
+  SequenceIndex& operator=(const SequenceIndex&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t column() const { return column_; }
+  uint64_t entry_count() const { return trie_->size(); }
+
+  // --- maintenance (Table calls these with the cell's stored value) -------
+  Status Insert(const Value& cell, RowId row_id);
+  Status Remove(const Value& cell, RowId row_id);
+
+  // --- probes (planner/SpgistScan) ----------------------------------------
+  // RowIds whose cell starts with `prefix`, ascending.
+  Result<std::vector<RowId>> FindPrefix(const std::string& prefix) const;
+  // RowIds whose cell equals `text` exactly, ascending.
+  Result<std::vector<RowId>> FindExact(const std::string& text) const;
+
+ private:
+  SequenceIndex(std::string name, size_t column,
+                std::unique_ptr<SpGistTrie> trie)
+      : name_(std::move(name)), column_(column), trie_(std::move(trie)) {}
+
+  Result<std::vector<RowId>> Collect(const TrieOps::Query& query) const;
+
+  std::string name_;
+  size_t column_;
+  std::unique_ptr<SpGistTrie> trie_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_INDEX_SEQUENCE_INDEX_H_

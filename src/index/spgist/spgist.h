@@ -174,6 +174,41 @@ class SpGistIndex {
     return Status::Ok();
   }
 
+  // Removes one entry whose key is consistent with `query` (callers pass
+  // an exact-match query) and whose payload equals `payload`; returns
+  // whether an entry was removed. This is what lets table-level indexes
+  // built on SP-GiST stay maintained under UPDATE/DELETE (and approval
+  // rollbacks) instead of being bulk-rebuild-only.
+  Result<bool> Remove(const Query& query, uint64_t payload) {
+    std::vector<std::pair<uint64_t, State>> stack;
+    stack.emplace_back(0, Op::RootState(config_));
+    while (!stack.empty()) {
+      auto [node_id, state] = std::move(stack.back());
+      stack.pop_back();
+      BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(node_id));
+      if (node.leaf) {
+        for (auto it = node.entries.begin(); it != node.entries.end(); ++it) {
+          if (it->second == payload &&
+              Op::LeafConsistent(query, state, it->first)) {
+            node.entries.erase(it);
+            BDBMS_RETURN_IF_ERROR(WriteNode(node_id, node));
+            --size_;
+            return true;
+          }
+        }
+        continue;
+      }
+      std::vector<size_t> children;
+      Op::SearchChildren(node.inner, query, state, &children);
+      for (size_t slot : children) {
+        uint64_t child = node.inner.child(slot);
+        if (child == kSpGistNullNode) continue;
+        stack.emplace_back(child, Op::Descend(node.inner, slot, state));
+      }
+    }
+    return false;
+  }
+
   // k-nearest-neighbor search (best-first over partition lower bounds).
   // Only for operator classes with kSupportsKnn.
   Result<std::vector<std::pair<uint64_t, double>>> SearchKnn(double x,

@@ -71,6 +71,10 @@ double IndexScanCost(double table_rows, double matching_rows) {
   return IndexProbeCost(table_rows) + matching_rows * cost::kRandomFetch;
 }
 
+double IndexOnlyScanCost(double table_rows, double matching_rows) {
+  return IndexProbeCost(table_rows) + matching_rows * cost::kIndexKeyTuple;
+}
+
 double ClampRows(double rows, double input_rows) {
   if (input_rows <= 0.0) return 0.0;
   return std::max(rows, 1.0);

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "index/key_codec.h"
 #include "plan/expr_eval.h"
 #include "sql/ast_printer.h"
 
@@ -63,6 +64,29 @@ void DeduplicateTuples(std::vector<PlanTuple>* tuples) {
 // Scans
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Appends the synthesized `_outdated` annotations (paper §5) for the
+// outdated cells of `row_id`. Shared by every metadata-attaching scan so
+// the rendering cannot drift between access paths — it needs only the
+// RowId, which is why index-only scans keep it too.
+void AppendOutdatedAnnotations(
+    const ExecContext* ctx, const std::string& table_name, RowId row_id,
+    std::vector<std::vector<ResultAnnotation>>* anns) {
+  ColumnMask outdated = ctx->dependencies->OutdatedMask(table_name, row_id);
+  if (outdated == 0) return;
+  for (size_t col = 0; col < anns->size(); ++col) {
+    if (outdated & ColumnBit(col)) {
+      (*anns)[col].push_back(
+          {kOutdatedCategory, 0,
+           "<Outdated>value pending re-verification</Outdated>", "system",
+           0});
+    }
+  }
+}
+
+}  // namespace
+
 ScanNodeBase::ScanNodeBase(const ExecContext* ctx, Table* table,
                            std::string table_name, std::string qualifier,
                            std::vector<std::string> ann_names,
@@ -117,18 +141,7 @@ Result<bool> ScanNodeBase::Next(PlanTuple* out) {
         }
       }
     }
-    // Outdated cells are reported as synthesized annotations (paper §5).
-    ColumnMask outdated = ctx_->dependencies->OutdatedMask(table_name_, row_id);
-    if (outdated != 0) {
-      for (size_t col = 0; col < ncols; ++col) {
-        if (outdated & ColumnBit(col)) {
-          out->anns[col].push_back(
-              {kOutdatedCategory, 0,
-               "<Outdated>value pending re-verification</Outdated>", "system",
-               0});
-        }
-      }
-    }
+    AppendOutdatedAnnotations(ctx_, table_name_, row_id, &out->anns);
     return true;
   }
   return false;
@@ -157,13 +170,98 @@ std::string SeqScanNode::Describe() const {
 }
 
 Result<std::vector<RowId>> IndexScanNode::CollectCandidates() {
-  if (probe_.equal.has_value()) return index_->FindEqual(*probe_.equal);
-  return index_->FindRange(probe_.lo, probe_.hi);
+  return index_->Find(probe_);
 }
 
 std::string IndexScanNode::Describe() const {
-  // predicate_text_ is already parenthesized per conjunct.
-  return "IndexScan " + table_name_ + DescribeSuffix() + " USING " +
+  // predicate_text_ is already parenthesized per conjunct. A probe whose
+  // trailing constraint is a folded LIKE prefix announces itself as
+  // ScanPrefix — the access pattern differs (one contiguous key range
+  // under the prefix), and the goldens pin the distinction.
+  const char* label =
+      probe_.like_prefix.has_value() ? "ScanPrefix " : "IndexScan ";
+  return label + table_name_ + DescribeSuffix() + " USING " +
+         index_->name() + " " + predicate_text_;
+}
+
+IndexOnlyScanNode::IndexOnlyScanNode(const ExecContext* ctx, Table* table,
+                                     std::string table_name,
+                                     std::string qualifier,
+                                     bool attach_metadata,
+                                     const SecondaryIndex* index,
+                                     IndexProbe probe,
+                                     std::string predicate_text)
+    : ctx_(ctx),
+      table_(table),
+      table_name_(std::move(table_name)),
+      qualifier_(std::move(qualifier)),
+      attach_metadata_(attach_metadata),
+      index_(index),
+      probe_(std::move(probe)),
+      predicate_text_(std::move(predicate_text)) {
+  columns_ = QualifiedColumns(table_->schema(), qualifier_);
+  for (size_t c : index_->columns()) {
+    key_types_.push_back(table_->schema().column(c).type);
+  }
+}
+
+Status IndexOnlyScanNode::Open() {
+  rows_.clear();
+  pos_ = 0;
+  size_t ncols = table_->schema().num_columns();
+  Status decode_status = Status::Ok();
+  BDBMS_RETURN_IF_ERROR(
+      index_->ScanProbe(probe_, [&](std::string_view key, RowId row_id) {
+        auto values = DecodeCompositeKey(key, key_types_);
+        if (!values.ok()) {
+          decode_status = values.status();
+          return false;
+        }
+        Row row(ncols, Value::Null());
+        for (size_t i = 0; i < index_->columns().size(); ++i) {
+          row[index_->columns()[i]] = std::move((*values)[i]);
+        }
+        rows_.emplace_back(row_id, std::move(row));
+        return true;
+      }));
+  BDBMS_RETURN_IF_ERROR(decode_status);
+  std::sort(rows_.begin(), rows_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return Status::Ok();
+}
+
+Result<bool> IndexOnlyScanNode::Next(PlanTuple* out) {
+  size_t ncols = table_->schema().num_columns();
+  while (pos_ < rows_.size()) {
+    auto& [row_id, row] = rows_[pos_++];
+    if (!table_->Exists(row_id)) continue;  // stale candidate
+    out->values = std::move(row);
+    out->anns.assign(ncols, {});
+    out->source_row = row_id;
+    out->has_source = true;
+    if (attach_metadata_) {
+      AppendOutdatedAnnotations(ctx_, table_name_, row_id, &out->anns);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string IndexOnlyScanNode::Describe() const {
+  std::string out = "IndexOnlyScan " + table_name_;
+  if (qualifier_ != table_name_) out += " AS " + qualifier_;
+  out += " USING " + index_->name();
+  if (!predicate_text_.empty()) out += " " + predicate_text_;
+  return out;
+}
+
+Result<std::vector<RowId>> SpgistScanNode::CollectCandidates() {
+  return probe_.exact ? index_->FindExact(probe_.text)
+                      : index_->FindPrefix(probe_.text);
+}
+
+std::string SpgistScanNode::Describe() const {
+  return "SpgistScan " + table_name_ + DescribeSuffix() + " USING " +
          index_->name() + " " + predicate_text_;
 }
 

@@ -12,6 +12,7 @@
 #include "annot/annotation_table.h"
 #include "exec/exec_context.h"
 #include "index/secondary_index.h"
+#include "index/sequence_index.h"
 #include "plan/plan_tuple.h"
 #include "sql/ast.h"
 
@@ -118,21 +119,17 @@ class SeqScanNode : public ScanNodeBase {
   Result<std::vector<RowId>> CollectCandidates() override;
 };
 
-// B+-tree probe: equality or (half-)bounded range on one indexed column.
+// B+-tree probe: leading-column equalities plus at most one trailing
+// range or string-prefix constraint (IndexProbe, secondary_index.h).
 // Candidates come from the secondary index; output stays in RowId order.
+// A probe whose trailing constraint is a LIKE prefix renders as
+// `ScanPrefix` in EXPLAIN.
 class IndexScanNode : public ScanNodeBase {
  public:
-  struct Probe {
-    // Exactly one of `equal` or a bound set is used.
-    std::optional<Value> equal;
-    std::optional<IndexBound> lo;
-    std::optional<IndexBound> hi;
-  };
-
   IndexScanNode(const ExecContext* ctx, Table* table, std::string table_name,
                 std::string qualifier, std::vector<std::string> ann_names,
                 bool attach_metadata, const SecondaryIndex* index,
-                Probe probe, std::string predicate_text)
+                IndexProbe probe, std::string predicate_text)
       : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
                      std::move(ann_names), attach_metadata),
         index_(index),
@@ -146,6 +143,70 @@ class IndexScanNode : public ScanNodeBase {
 
  private:
   const SecondaryIndex* index_;
+  IndexProbe probe_;
+  std::string predicate_text_;
+};
+
+// Index-only scan: answers the query from the index's own keys, never
+// fetching base-table rows. Eligible when the index's key columns cover
+// every column the statement references (the planner checks); uncovered
+// columns are padded with NULL but are provably never read. Output tuples
+// stay full table width so the column space matches the other scans, and
+// stay in RowId order. Synthesized `_outdated` annotations still attach
+// (they need only the RowId); regular annotation attachment disqualifies
+// the path at planning time.
+class IndexOnlyScanNode : public PlanNode {
+ public:
+  IndexOnlyScanNode(const ExecContext* ctx, Table* table,
+                    std::string table_name, std::string qualifier,
+                    bool attach_metadata, const SecondaryIndex* index,
+                    IndexProbe probe, std::string predicate_text);
+
+  Status Open() override;
+  Result<bool> Next(PlanTuple* out) override;
+  std::string Describe() const override;
+
+ private:
+  const ExecContext* ctx_;
+  Table* table_;
+  std::string table_name_;
+  std::string qualifier_;
+  bool attach_metadata_;
+  const SecondaryIndex* index_;
+  IndexProbe probe_;
+  std::string predicate_text_;
+  std::vector<DataType> key_types_;      // declared types of the key columns
+  std::vector<std::pair<RowId, Row>> rows_;  // decoded, RowId-ascending
+  size_t pos_ = 0;
+};
+
+// SP-GiST trie probe over a sequence index: prefix (LIKE 'p%') or exact
+// match on one string column. Candidates come from the trie; output stays
+// in RowId order.
+class SpgistScanNode : public ScanNodeBase {
+ public:
+  struct Probe {
+    bool exact = false;  // false: prefix match
+    std::string text;
+  };
+
+  SpgistScanNode(const ExecContext* ctx, Table* table, std::string table_name,
+                 std::string qualifier, std::vector<std::string> ann_names,
+                 bool attach_metadata, const SequenceIndex* index,
+                 Probe probe, std::string predicate_text)
+      : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
+                     std::move(ann_names), attach_metadata),
+        index_(index),
+        probe_(std::move(probe)),
+        predicate_text_(std::move(predicate_text)) {}
+
+  std::string Describe() const override;
+
+ protected:
+  Result<std::vector<RowId>> CollectCandidates() override;
+
+ private:
+  const SequenceIndex* index_;
   Probe probe_;
   std::string predicate_text_;
 };

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "plan/cost_model.h"
@@ -55,10 +56,27 @@ struct ColumnComparison {
   const Expr* conjunct = nullptr;
 };
 
-// The probe the planner settled on for one scan, plus its estimates.
-struct IndexChoice {
+// One `column LIKE 'prefix...'` conjunct whose pattern starts with a
+// literal prefix, foldable into a ScanPrefix probe. When the pattern is
+// exactly `prefix%` the probe subsumes the predicate (`exact_tail`);
+// otherwise the probe is a superset and the conjunct stays as a residual
+// filter.
+struct LikeComparison {
+  size_t column = 0;
+  std::string prefix;
+  bool exact_tail = false;
+  const Expr* conjunct = nullptr;
+};
+
+// The access path the planner settled on for one scan, plus its
+// estimates: a B+-tree probe (`index`, possibly index-only) or an SP-GiST
+// sequence-index probe (`seq_index`).
+struct AccessChoice {
   const SecondaryIndex* index = nullptr;
-  IndexScanNode::Probe probe;
+  IndexProbe probe;
+  bool index_only = false;
+  const SequenceIndex* seq_index = nullptr;
+  SpgistScanNode::Probe seq_probe;
   std::string predicate_text;
   std::vector<const Expr*> consumed;
   double selectivity = 1.0;  // of the consumed conjuncts
@@ -113,91 +131,265 @@ const ColumnStats* ColumnStatsOf(const TableStats* stats, size_t column) {
   return &stats->columns[column];
 }
 
-// Enumerates the candidate index probes over the pushed conjuncts (every
-// indexed equality, plus folded range bounds per indexed column), costs
-// each alternative as scan + residual filter, and keeps the cheapest —
-// returning nullopt when the sequential scan wins or no probe exists.
-std::optional<IndexChoice> ChooseIndex(
+// Extracts `col LIKE 'prefix...'` from a conjunct: the column must be
+// string-typed, the pattern a string literal with a nonempty literal
+// prefix before the first wildcard.
+std::optional<LikeComparison> MatchLikePrefix(
+    const Expr* e, const std::vector<BoundColumn>& scan_columns,
+    const TableSchema& schema) {
+  if (e->kind != ExprKind::kBinary || e->bin_op != BinOp::kLike) {
+    return std::nullopt;
+  }
+  const Expr* col = e->left.get();
+  const Expr* lit = e->right.get();
+  if (col->kind != ExprKind::kColumnRef || lit->kind != ExprKind::kLiteral ||
+      !lit->literal.is_string()) {
+    return std::nullopt;
+  }
+  auto bound = BindColumn(scan_columns, col->qualifier, col->column);
+  if (!bound.ok()) return std::nullopt;
+  DataType type = schema.column(*bound).type;
+  if (type != DataType::kText && type != DataType::kSequence) {
+    return std::nullopt;
+  }
+  const std::string& pattern = lit->literal.as_string();
+  size_t wild = pattern.find_first_of("%_");
+  if (wild == 0) return std::nullopt;  // leading wildcard: nothing to probe
+  LikeComparison like;
+  like.column = *bound;
+  like.prefix =
+      wild == std::string::npos ? pattern : pattern.substr(0, wild);
+  like.exact_tail =
+      wild != std::string::npos && wild + 1 == pattern.size() &&
+      pattern[wild] == '%';
+  like.conjunct = e;
+  return like;
+}
+
+// Enumerates candidate access paths over the pushed conjuncts, costs each
+// alternative as scan + residual filter, and keeps the cheapest —
+// returning nullopt when the sequential scan wins or no candidate exists.
+//
+// Per B+-tree index (composite or not): equality conjuncts are matched to
+// the leading key columns; the first key column without an equality may
+// take the folded range bounds on it (tightest per side) or one LIKE
+// prefix instead. When `covering_columns` is given and the index's key
+// columns contain all of them, the candidate becomes an *index-only* scan
+// (answered from the keys, no base-table fetches) — even with no probe at
+// all, where it competes as a cheaper full pass over the index.
+//
+// Per SP-GiST sequence index: a LIKE-prefix or string-equality conjunct
+// on the indexed column becomes a trie descent (SpgistScan).
+std::optional<AccessChoice> ChooseAccessPath(
     const Table& table, const std::vector<BoundColumn>& scan_columns,
     const std::vector<const Expr*>& conjuncts, const TableStats* stats,
-    double table_rows) {
+    double table_rows, const std::vector<size_t>* covering_columns) {
   std::vector<ColumnComparison> comparisons;
+  std::vector<LikeComparison> likes;
   for (const Expr* e : conjuncts) {
-    auto cmp = MatchComparison(e, scan_columns, table.schema());
-    if (cmp.has_value()) comparisons.push_back(std::move(*cmp));
+    if (auto cmp = MatchComparison(e, scan_columns, table.schema())) {
+      comparisons.push_back(std::move(*cmp));
+    } else if (auto like = MatchLikePrefix(e, scan_columns,
+                                           table.schema())) {
+      likes.push_back(std::move(*like));
+    }
   }
-  std::vector<IndexChoice> candidates;
-  // Equality probes: one candidate per indexed equality conjunct.
-  for (const ColumnComparison& cmp : comparisons) {
-    if (cmp.op != BinOp::kEq) continue;
-    const SecondaryIndex* index = table.FindIndexOnColumn(cmp.column);
-    if (index == nullptr) continue;
-    IndexChoice choice;
+  std::vector<AccessChoice> candidates;
+  for (const auto& owned : table.indexes()) {
+    const SecondaryIndex* index = owned.get();
+    AccessChoice choice;
     choice.index = index;
-    choice.probe.equal = cmp.value;
-    choice.predicate_text = ExprToString(*cmp.conjunct);
-    choice.consumed = {cmp.conjunct};
-    choice.selectivity =
-        EqSelectivity(ColumnStatsOf(stats, cmp.column), cmp.value);
+    double sel = 1.0;
+    auto add_text = [&choice](const Expr* e) {
+      if (!choice.predicate_text.empty()) choice.predicate_text += " AND ";
+      choice.predicate_text += ExprToString(*e);
+    };
+    // Leading-prefix equalities, one per key column until the chain breaks.
+    size_t depth = 0;
+    for (; depth < index->columns().size(); ++depth) {
+      size_t col = index->columns()[depth];
+      const ColumnComparison* eq = nullptr;
+      for (const ColumnComparison& cmp : comparisons) {
+        if (cmp.column == col && cmp.op == BinOp::kEq) {
+          eq = &cmp;
+          break;
+        }
+      }
+      if (eq == nullptr) break;
+      choice.probe.eq.push_back(eq->value);
+      choice.consumed.push_back(eq->conjunct);
+      add_text(eq->conjunct);
+      sel *= EqSelectivity(ColumnStatsOf(stats, col), eq->value);
+    }
+    // One trailing constraint on the next key column: folded range bounds,
+    // or a LIKE prefix when no range applies.
+    if (depth < index->columns().size()) {
+      size_t col = index->columns()[depth];
+      bool ranged = false;
+      for (const ColumnComparison& cmp : comparisons) {
+        if (cmp.column != col || cmp.op == BinOp::kEq) continue;
+        ranged = true;
+        bool is_lower = cmp.op == BinOp::kGt || cmp.op == BinOp::kGe;
+        bool inclusive = cmp.op == BinOp::kGe || cmp.op == BinOp::kLe;
+        std::optional<IndexBound>& slot =
+            is_lower ? choice.probe.lo : choice.probe.hi;
+        IndexBound bound{cmp.value, inclusive};
+        if (!slot.has_value()) {
+          slot = std::move(bound);
+        } else {
+          // Keep the tighter bound; on equal values exclusive is tighter.
+          int c = bound.value.Compare(slot->value);
+          bool tighter = is_lower ? c > 0 : c < 0;
+          if (c == 0 && !bound.inclusive) tighter = true;
+          if (tighter) slot = std::move(bound);
+        }
+        add_text(cmp.conjunct);
+        choice.consumed.push_back(cmp.conjunct);
+      }
+      if (ranged) {
+        sel *= RangeSelectivity(ColumnStatsOf(stats, col), choice.probe.lo,
+                                choice.probe.hi);
+      } else {
+        for (const LikeComparison& like : likes) {
+          if (like.column != col) continue;
+          choice.probe.like_prefix = like.prefix;
+          add_text(like.conjunct);
+          // A pure `prefix%` pattern is subsumed by the probe; any other
+          // pattern keeps the conjunct as a residual filter over the
+          // probe's superset.
+          if (like.exact_tail) choice.consumed.push_back(like.conjunct);
+          sel *= cost::kDefaultLike;
+          break;
+        }
+      }
+    }
+    bool has_probe = !choice.probe.eq.empty() ||
+                     choice.probe.lo.has_value() ||
+                     choice.probe.hi.has_value() ||
+                     choice.probe.like_prefix.has_value();
+    bool covering = covering_columns != nullptr;
+    if (covering) {
+      for (size_t need : *covering_columns) {
+        if (std::count(index->columns().begin(), index->columns().end(),
+                       need) == 0) {
+          covering = false;
+          break;
+        }
+      }
+    }
+    if (!has_probe && !covering) continue;
+    choice.index_only = covering;
+    choice.selectivity = has_probe ? sel : 1.0;
     candidates.push_back(std::move(choice));
   }
-  // Range probes: one candidate per indexed column, folding every bound
-  // on that column (the tightest bound per side wins).
-  std::vector<size_t> range_columns;
-  for (const ColumnComparison& seed : comparisons) {
-    if (seed.op == BinOp::kEq) continue;
-    if (std::count(range_columns.begin(), range_columns.end(), seed.column)) {
-      continue;
+  for (const auto& owned : table.sequence_indexes()) {
+    const SequenceIndex* index = owned.get();
+    size_t col = index->column();
+    AccessChoice choice;
+    choice.seq_index = index;
+    bool built = false;
+    for (const LikeComparison& like : likes) {
+      if (like.column != col) continue;
+      choice.seq_probe = {/*exact=*/false, like.prefix};
+      choice.predicate_text = ExprToString(*like.conjunct);
+      if (like.exact_tail) choice.consumed.push_back(like.conjunct);
+      choice.selectivity = cost::kDefaultLike;
+      built = true;
+      break;
     }
-    range_columns.push_back(seed.column);
-    const SecondaryIndex* index = table.FindIndexOnColumn(seed.column);
-    if (index == nullptr) continue;
-    IndexChoice choice;
-    choice.index = index;
-    for (const ColumnComparison& cmp : comparisons) {
-      if (cmp.column != seed.column || cmp.op == BinOp::kEq) continue;
-      bool is_lower = cmp.op == BinOp::kGt || cmp.op == BinOp::kGe;
-      bool inclusive = cmp.op == BinOp::kGe || cmp.op == BinOp::kLe;
-      std::optional<IndexBound>& slot =
-          is_lower ? choice.probe.lo : choice.probe.hi;
-      IndexBound bound{cmp.value, inclusive};
-      if (!slot.has_value()) {
-        slot = std::move(bound);
-      } else {
-        // Keep the tighter bound; on equal values exclusive is tighter.
-        int c = bound.value.Compare(slot->value);
-        bool tighter = is_lower ? c > 0 : c < 0;
-        if (c == 0 && !bound.inclusive) tighter = true;
-        if (tighter) slot = std::move(bound);
+    if (!built) {
+      for (const ColumnComparison& cmp : comparisons) {
+        if (cmp.column != col || cmp.op != BinOp::kEq ||
+            !cmp.value.is_string()) {
+          continue;
+        }
+        choice.seq_probe = {/*exact=*/true, cmp.value.as_string()};
+        choice.predicate_text = ExprToString(*cmp.conjunct);
+        choice.consumed.push_back(cmp.conjunct);
+        choice.selectivity =
+            EqSelectivity(ColumnStatsOf(stats, col), cmp.value);
+        built = true;
+        break;
       }
-      if (!choice.predicate_text.empty()) choice.predicate_text += " AND ";
-      choice.predicate_text += ExprToString(*cmp.conjunct);
-      choice.consumed.push_back(cmp.conjunct);
     }
-    choice.selectivity = RangeSelectivity(ColumnStatsOf(stats, seed.column),
-                                          choice.probe.lo, choice.probe.hi);
+    if (!built) continue;
     candidates.push_back(std::move(choice));
   }
   if (candidates.empty()) return std::nullopt;
 
   // Rank full scan alternatives: access cost plus filtering whatever the
   // probe did not consume (each alternative filters a different residue).
+  // Ties keep the earliest candidate, so B+-tree probes win over an
+  // equally priced trie descent.
   double total = static_cast<double>(conjuncts.size());
   double seq_cost =
       SeqScanCost(table_rows) + table_rows * cost::kFilterTuple * total;
-  std::optional<IndexChoice> best;
-  for (IndexChoice& choice : candidates) {
+  std::optional<AccessChoice> best;
+  for (AccessChoice& choice : candidates) {
     double match = table_rows * choice.selectivity;
     double residual =
         total - static_cast<double>(choice.consumed.size());
-    choice.plan_cost = IndexScanCost(table_rows, match) +
-                       match * cost::kFilterTuple * residual;
+    double access = choice.index_only
+                        ? IndexOnlyScanCost(table_rows, match)
+                        : IndexScanCost(table_rows, match);
+    choice.plan_cost = access + match * cost::kFilterTuple * residual;
     if (choice.plan_cost >= seq_cost) continue;
     if (!best.has_value() || choice.plan_cost < best->plan_cost) {
       best = std::move(choice);
     }
   }
   return best;
+}
+
+// Collects the indices (within `columns`) of every column the statement
+// could read from its single scan's tuples; false when coverage cannot be
+// established (an unknown column disables the index-only path — the
+// binding error, if any, surfaces identically either way).
+bool ComputeRequiredColumns(const SelectStmt& stmt,
+                            const std::vector<BoundColumn>& columns,
+                            std::vector<size_t>* out) {
+  std::set<size_t> needed;
+  auto add_all = [&] {
+    for (size_t i = 0; i < columns.size(); ++i) needed.insert(i);
+  };
+  std::vector<const Expr*> refs;
+  if (stmt.star) {
+    add_all();
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      CollectColumnRefs(item.expr.get(), &refs);
+      for (const std::string& col : item.promote_columns) {
+        auto bound = BindColumn(columns, "", col);
+        if (!bound.ok()) return false;
+        needed.insert(*bound);
+      }
+    }
+  }
+  CollectColumnRefs(stmt.where.get(), &refs);
+  CollectColumnRefs(stmt.having.get(), &refs);
+  for (const Expr* ref : refs) {
+    if (ref->column == "*") {  // qualifier.* projection
+      add_all();
+      continue;
+    }
+    auto bound = BindColumn(columns, ref->qualifier, ref->column);
+    if (!bound.ok()) return false;
+    needed.insert(*bound);
+  }
+  for (const std::string& col : stmt.group_by) {
+    auto bound = BindColumn(columns, "", col);
+    if (!bound.ok()) return false;
+    needed.insert(*bound);
+  }
+  // ORDER BY binds against the projected output; a name that also binds
+  // here is a base column flowing through (include it), anything else is
+  // a projection alias the scan need not cover.
+  for (const auto& [col, desc] : stmt.order_by) {
+    auto bound = BindColumn(columns, "", col);
+    if (bound.ok()) needed.insert(*bound);
+  }
+  out->assign(needed.begin(), needed.end());
+  return true;
 }
 
 // Appends a Filter node for the given conjuncts (no-op when empty),
@@ -236,10 +428,10 @@ struct JoinPred {
 
 }  // namespace
 
-Result<PlanNodePtr> Planner::BuildScan(const TableRef& ref,
-                                       std::vector<const Expr*> conjuncts,
-                                       bool attach_metadata,
-                                       bool try_ann_interval) {
+Result<PlanNodePtr> Planner::BuildScan(
+    const TableRef& ref, std::vector<const Expr*> conjuncts,
+    bool attach_metadata, bool try_ann_interval,
+    const std::vector<size_t>* covering_columns) {
   if (!ctx_->catalog->HasTable(ref.table)) {
     return Status::NotFound("no table " + ref.table);
   }
@@ -268,8 +460,21 @@ Result<PlanNodePtr> Planner::BuildScan(const TableRef& ref,
                           ? static_cast<double>(stats->row_count)
                           : static_cast<double>(table->row_count());
 
-  std::optional<IndexChoice> choice =
-      ChooseIndex(*table, scan_columns, conjuncts, stats, table_rows);
+  // Index-only scans answer from index keys alone; requesting annotation
+  // propagation means fetching base rows anyway, so the path is off.
+  if (!ann_names.empty()) covering_columns = nullptr;
+  std::optional<AccessChoice> choice = ChooseAccessPath(
+      *table, scan_columns, conjuncts, stats, table_rows, covering_columns);
+  // A covering scan without any probe still reads every index entry; for
+  // an AWHERE query the annotation-interval scan visits only the (often
+  // far fewer) potentially annotated rows, so the probe-less pass must
+  // not displace it.
+  if (choice.has_value() && try_ann_interval && attach_metadata &&
+      choice->seq_index == nullptr && choice->probe.eq.empty() &&
+      !choice->probe.lo.has_value() && !choice->probe.hi.has_value() &&
+      !choice->probe.like_prefix.has_value()) {
+    choice.reset();
+  }
   PlanNodePtr scan;
   if (choice.has_value()) {
     // Drop the conjuncts the probe consumed; the rest filter above.
@@ -281,12 +486,27 @@ Result<PlanNodePtr> Planner::BuildScan(const TableRef& ref,
     }
     conjuncts = std::move(residual);
     double match = table_rows * choice->selectivity;
-    scan = std::make_unique<IndexScanNode>(
-        ctx_, table, ref.table, qualifier, std::move(ann_names),
-        attach_metadata, choice->index, std::move(choice->probe),
-        std::move(choice->predicate_text));
-    scan->SetEstimate(ClampRows(match, table_rows),
-                      IndexScanCost(table_rows, match));
+    if (choice->seq_index != nullptr) {
+      scan = std::make_unique<SpgistScanNode>(
+          ctx_, table, ref.table, qualifier, std::move(ann_names),
+          attach_metadata, choice->seq_index, std::move(choice->seq_probe),
+          std::move(choice->predicate_text));
+      scan->SetEstimate(ClampRows(match, table_rows),
+                        IndexScanCost(table_rows, match));
+    } else if (choice->index_only) {
+      scan = std::make_unique<IndexOnlyScanNode>(
+          ctx_, table, ref.table, qualifier, attach_metadata, choice->index,
+          std::move(choice->probe), std::move(choice->predicate_text));
+      scan->SetEstimate(ClampRows(match, table_rows),
+                        IndexOnlyScanCost(table_rows, match));
+    } else {
+      scan = std::make_unique<IndexScanNode>(
+          ctx_, table, ref.table, qualifier, std::move(ann_names),
+          attach_metadata, choice->index, std::move(choice->probe),
+          std::move(choice->predicate_text));
+      scan->SetEstimate(ClampRows(match, table_rows),
+                        IndexScanCost(table_rows, match));
+    }
   } else if (try_ann_interval && attach_metadata) {
     scan = std::make_unique<AnnIntervalScanNode>(ctx_, table, ref.table,
                                                  qualifier,
@@ -308,7 +528,8 @@ Result<PlanNodePtr> Planner::BuildScan(const TableRef& ref,
   return WrapFilter(std::move(scan), std::move(conjuncts), resolver);
 }
 
-Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt) {
+Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt,
+                                           bool allow_index_only) {
   if (stmt.from.empty()) {
     return Status::InvalidArgument("FROM clause is empty");
   }
@@ -408,13 +629,22 @@ Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt) {
   // candidates are exactly the potentially annotated rows.
   bool try_ann_interval = nscans == 1 && stmt.awhere != nullptr;
 
+  // Index-only eligibility: a single-table statement whose full
+  // referenced-column set is known. The join machinery reads arbitrary
+  // columns across the joined space, so joins keep fetching base rows.
+  std::vector<size_t> required_columns;
+  bool have_required =
+      allow_index_only && nscans == 1 &&
+      ComputeRequiredColumns(stmt, joined, &required_columns);
+
   std::vector<PlanNodePtr> scans(nscans);
   std::vector<double> scan_rows(nscans, 0.0);
   std::vector<size_t> widths(nscans, 0);
   for (size_t i = 0; i < nscans; ++i) {
     BDBMS_ASSIGN_OR_RETURN(
         scans[i], BuildScan(stmt.from[i], std::move(pushed[i]),
-                            /*attach_metadata=*/true, try_ann_interval));
+                            /*attach_metadata=*/true, try_ann_interval,
+                            have_required ? &required_columns : nullptr));
     scan_rows[i] = scans[i]->est_rows();
     widths[i] = scan_ranges[i].second - scan_ranges[i].first;
   }
@@ -583,7 +813,9 @@ Result<PlanNodePtr> Planner::PlanFromWhere(const SelectStmt& stmt) {
 }
 
 Result<PlanNodePtr> Planner::PlanTargetScan(const SelectStmt& stmt) {
-  return PlanFromWhere(stmt);
+  // Annotation commands address cells of the base rows; keep every scan
+  // row-fetching (no index-only shortcut).
+  return PlanFromWhere(stmt, /*allow_index_only=*/false);
 }
 
 Result<PlanNodePtr> Planner::PlanDmlScan(const std::string& table,
@@ -595,12 +827,14 @@ Result<PlanNodePtr> Planner::PlanDmlScan(const std::string& table,
   // Conjuncts that do not bind against the table stay residual so binding
   // errors surface at evaluation time, exactly like the WHERE filter.
   return BuildScan(ref, std::move(conjuncts), /*attach_metadata=*/false,
-                   /*try_ann_interval=*/false);
+                   /*try_ann_interval=*/false,
+                   /*covering_columns=*/nullptr);
 }
 
 Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
                                             bool as_set_rhs) {
-  BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanFromWhere(stmt));
+  BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                         PlanFromWhere(stmt, /*allow_index_only=*/true));
 
   // Estimate helper for the tuple-in/tuple-out nodes above the join.
   auto stacked = [](PlanNodePtr child, auto make, double rows,

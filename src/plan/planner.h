@@ -15,9 +15,14 @@ namespace bdbms {
 // statistics (src/plan/cost_model.*, docs/planner.md):
 //  * WHERE is split into AND-conjuncts; conjuncts touching exactly one
 //    FROM entry are pushed below the join onto that entry's scan;
-//  * every candidate index probe (equality or folded range over an
-//    indexed column) is costed against the sequential scan, and the
+//  * every candidate index probe — per-index leading-column equalities
+//    plus one trailing range or LIKE-prefix (ScanPrefix) constraint on
+//    B+-tree indexes, prefix/exact descents on SP-GiST sequence indexes
+//    (SpgistScan) — is costed against the sequential scan, and the
 //    cheapest alternative wins, consuming its conjuncts;
+//  * a single-table SELECT whose referenced columns are all key columns
+//    of an index answers from the index keys alone (IndexOnlyScan, no
+//    base-table fetches), with or without a probe;
 //  * equi-join conjuncts (`a.col = b.col`) become HashJoin keys; the
 //    join order is chosen greedily by estimated cardinality, with
 //    NestedLoopJoin kept for predicate-less (cross product) joins;
@@ -51,13 +56,18 @@ class Planner {
 
  private:
   // Scans + join + Filter + AWhere (steps shared by PlanSelect and
-  // PlanTargetScan).
-  Result<PlanNodePtr> PlanFromWhere(const SelectStmt& stmt);
+  // PlanTargetScan). `allow_index_only` gates the covering-index path
+  // (annotation commands and DML always fetch base rows).
+  Result<PlanNodePtr> PlanFromWhere(const SelectStmt& stmt,
+                                    bool allow_index_only);
 
   // One FROM entry with its pushed conjuncts; chooses the access path.
+  // `covering_columns` (nullable) is the statement's full referenced-
+  // column set; an index covering it may answer without row fetches.
   Result<PlanNodePtr> BuildScan(const TableRef& ref,
                                 std::vector<const Expr*> conjuncts,
-                                bool attach_metadata, bool try_ann_interval);
+                                bool attach_metadata, bool try_ann_interval,
+                                const std::vector<size_t>* covering_columns);
 
   // set-op recursion: rhs plans suppress their own LIMIT (it applies to
   // the combined result, like a trailing ORDER BY).

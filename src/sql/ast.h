@@ -135,12 +135,16 @@ struct DeleteStmt {
   ExprPtr where;
 };
 
-// CREATE INDEX name ON table (column) — registers a B+-tree secondary
-// index the planner may choose for equality/range predicates.
+// CREATE INDEX name ON table (col [, col ...]) — registers a B+-tree
+// secondary index (composite keys in column-list order) the planner may
+// choose for equality/range/LIKE-prefix predicates.
+// CREATE SEQUENCE INDEX name ON table (col) [USING SPGIST] — registers an
+// SP-GiST trie over one sequence/text column for prefix/pattern probes.
 struct CreateIndexStmt {
   std::string index;
   std::string table;
-  std::string column;
+  std::vector<std::string> columns;
+  bool spgist = false;
 };
 // DROP INDEX name ON table.
 struct DropIndexStmt {

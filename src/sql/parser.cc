@@ -180,17 +180,44 @@ class Parser {
       BDBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
       return Statement{CreateUserStmt{name, /*is_group=*/true}};
     }
+    bool sequence_index = false;
+    if (Cur().IsKeyword("SEQUENCE")) {
+      Advance();
+      if (!Cur().IsKeyword("INDEX")) return Err("expected INDEX");
+      sequence_index = true;
+    }
     if (Cur().IsKeyword("INDEX")) {
       Advance();
       CreateIndexStmt stmt;
+      stmt.spgist = sequence_index;
       BDBMS_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier());
       BDBMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
       BDBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
-      // Column in parentheses (standard) or bare.
+      // Column list in parentheses (standard) or one bare column.
       bool parens = Cur().IsSymbol("(");
       if (parens) Advance();
-      BDBMS_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier());
+      for (;;) {
+        BDBMS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.columns.push_back(std::move(col));
+        if (parens && Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
       if (parens) BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      // Optional access-method clause; SPGIST is implied by (and the only
+      // method of) CREATE SEQUENCE INDEX.
+      if (Cur().IsKeyword("USING")) {
+        Advance();
+        if (!Cur().IsKeyword("SPGIST")) {
+          return Err("expected SPGIST after USING");
+        }
+        Advance();
+        if (!sequence_index) {
+          return Err("USING SPGIST requires CREATE SEQUENCE INDEX");
+        }
+      }
       return Statement{std::move(stmt)};
     }
     if (Cur().IsKeyword("DEPENDENCY")) return ParseCreateDependency();

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "index/secondary_index.h"
+#include "index/sequence_index.h"
 
 namespace bdbms {
 
@@ -69,6 +70,7 @@ Result<std::pair<RowId, Row>> Table::DecodeRecord(std::string_view payload) {
 
 Result<RowId> Table::Insert(Row row) {
   BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  BDBMS_RETURN_IF_ERROR(CheckIndexable(validated));
   RowId row_id = next_row_id_++;
   BDBMS_ASSIGN_OR_RETURN(RecordId rid,
                          heap_->Insert(EncodeRecord(row_id, validated)));
@@ -83,6 +85,7 @@ Status Table::InsertWithRowId(RowId row_id, Row row) {
                                  " already exists");
   }
   BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
+  BDBMS_RETURN_IF_ERROR(CheckIndexable(validated));
   BDBMS_ASSIGN_OR_RETURN(RecordId rid,
                          heap_->Insert(EncodeRecord(row_id, validated)));
   rows_[row_id] = rid;
@@ -112,7 +115,8 @@ Status Table::Update(RowId row_id, Row row) {
                             std::to_string(row_id));
   }
   BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
-  if (!indexes_.empty()) {
+  BDBMS_RETURN_IF_ERROR(CheckIndexable(validated));
+  if (!indexes_.empty() || !seq_indexes_.empty()) {
     BDBMS_ASSIGN_OR_RETURN(Row old_row, Get(row_id));
     BDBMS_RETURN_IF_ERROR(IndexRemove(row_id, old_row));
   }
@@ -140,7 +144,7 @@ Status Table::Delete(RowId row_id) {
     return Status::NotFound("table " + schema_.name() + ": no row " +
                             std::to_string(row_id));
   }
-  if (!indexes_.empty()) {
+  if (!indexes_.empty() || !seq_indexes_.empty()) {
     BDBMS_ASSIGN_OR_RETURN(Row old_row, Get(row_id));
     BDBMS_RETURN_IF_ERROR(IndexRemove(row_id, old_row));
   }
@@ -186,20 +190,48 @@ std::vector<RowId> Table::RowIdsInRange(RowId begin, RowId end) const {
   return ids;
 }
 
-Status Table::CreateIndex(const std::string& name, size_t column) {
-  if (column >= schema_.num_columns()) {
-    return Status::OutOfRange("index column out of range");
+Status Table::CreateIndex(const std::string& name,
+                          std::vector<size_t> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
   }
-  if (FindIndex(name) != nullptr) {
+  for (size_t column : columns) {
+    if (column >= schema_.num_columns()) {
+      return Status::OutOfRange("index column out of range");
+    }
+  }
+  if (FindIndex(name) != nullptr || FindSequenceIndex(name) != nullptr) {
     return Status::AlreadyExists("index " + name + " already exists on " +
                                  schema_.name());
   }
   BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<SecondaryIndex> index,
-                         SecondaryIndex::Create(name, column));
+                         SecondaryIndex::Create(name, std::move(columns)));
+  BDBMS_RETURN_IF_ERROR(Scan([&](RowId row_id, const Row& row) {
+    return index->Insert(row, row_id);
+  }));
+  indexes_.push_back(std::move(index));
+  return Status::Ok();
+}
+
+Status Table::CreateSequenceIndex(const std::string& name, size_t column) {
+  if (column >= schema_.num_columns()) {
+    return Status::OutOfRange("index column out of range");
+  }
+  if (schema_.column(column).type != DataType::kText &&
+      schema_.column(column).type != DataType::kSequence) {
+    return Status::InvalidArgument(
+        "sequence index requires a TEXT or SEQUENCE column");
+  }
+  if (FindIndex(name) != nullptr || FindSequenceIndex(name) != nullptr) {
+    return Status::AlreadyExists("index " + name + " already exists on " +
+                                 schema_.name());
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<SequenceIndex> index,
+                         SequenceIndex::Create(name, column));
   BDBMS_RETURN_IF_ERROR(Scan([&](RowId row_id, const Row& row) {
     return index->Insert(row[column], row_id);
   }));
-  indexes_.push_back(std::move(index));
+  seq_indexes_.push_back(std::move(index));
   return Status::Ok();
 }
 
@@ -207,6 +239,12 @@ Status Table::DropIndex(const std::string& name) {
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if ((*it)->name() == name) {
       indexes_.erase(it);
+      return Status::Ok();
+    }
+  }
+  for (auto it = seq_indexes_.begin(); it != seq_indexes_.end(); ++it) {
+    if ((*it)->name() == name) {
+      seq_indexes_.erase(it);
       return Status::Ok();
     }
   }
@@ -220,15 +258,31 @@ const SecondaryIndex* Table::FindIndex(const std::string& name) const {
   return nullptr;
 }
 
-const SecondaryIndex* Table::FindIndexOnColumn(size_t column) const {
-  for (const auto& index : indexes_) {
-    if (index->column() == column) return index.get();
+const SequenceIndex* Table::FindSequenceIndex(const std::string& name) const {
+  for (const auto& index : seq_indexes_) {
+    if (index->name() == name) return index.get();
   }
   return nullptr;
 }
 
+Status Table::CheckIndexable(const Row& row) const {
+  for (const auto& index : seq_indexes_) {
+    const Value& cell = row[index->column()];
+    if (cell.is_null()) continue;
+    if (cell.as_string().find('\0') != std::string::npos) {
+      return Status::InvalidArgument(
+          "sequence index " + index->name() +
+          " cannot store values with embedded NUL bytes");
+    }
+  }
+  return Status::Ok();
+}
+
 Status Table::IndexInsert(RowId row_id, const Row& row) {
   for (const auto& index : indexes_) {
+    BDBMS_RETURN_IF_ERROR(index->Insert(row, row_id));
+  }
+  for (const auto& index : seq_indexes_) {
     BDBMS_RETURN_IF_ERROR(index->Insert(row[index->column()], row_id));
   }
   return Status::Ok();
@@ -236,6 +290,9 @@ Status Table::IndexInsert(RowId row_id, const Row& row) {
 
 Status Table::IndexRemove(RowId row_id, const Row& row) {
   for (const auto& index : indexes_) {
+    BDBMS_RETURN_IF_ERROR(index->Remove(row, row_id));
+  }
+  for (const auto& index : seq_indexes_) {
     BDBMS_RETURN_IF_ERROR(index->Remove(row[index->column()], row_id));
   }
   return Status::Ok();

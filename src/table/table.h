@@ -15,6 +15,7 @@
 namespace bdbms {
 
 class SecondaryIndex;
+class SequenceIndex;
 
 // Logical row identifier: assigned densely in insertion order and never
 // reused. The paper models a relation as a 2-D space (columns × tuples,
@@ -83,16 +84,32 @@ class Table {
   std::vector<RowId> RowIdsInRange(RowId begin, RowId end) const;
 
   // --- secondary indexes ---------------------------------------------------
-  // Builds a B+-tree index named `name` over column `column` from the
-  // current rows; maintained by every subsequent Insert/Update/Delete.
-  Status CreateIndex(const std::string& name, size_t column);
+  // Builds a B+-tree index named `name` over the given columns (composite
+  // keys in column-list order) from the current rows; maintained by every
+  // subsequent Insert/Update/Delete.
+  Status CreateIndex(const std::string& name, std::vector<size_t> columns);
+  Status CreateIndex(const std::string& name, size_t column) {
+    return CreateIndex(name, std::vector<size_t>{column});
+  }
 
+  // Builds an SP-GiST trie sequence index named `name` over one
+  // string-typed column; maintained like the B+-tree indexes.
+  Status CreateSequenceIndex(const std::string& name, size_t column);
+
+  // Drops a B+-tree or sequence index by name.
   Status DropIndex(const std::string& name);
 
   const SecondaryIndex* FindIndex(const std::string& name) const;
+  const SequenceIndex* FindSequenceIndex(const std::string& name) const;
 
-  // The first index whose key is `column` (nullptr if none).
-  const SecondaryIndex* FindIndexOnColumn(size_t column) const;
+  // All indexes, in creation order (the planner's candidate sets).
+  const std::vector<std::unique_ptr<SecondaryIndex>>& indexes() const {
+    return indexes_;
+  }
+  const std::vector<std::unique_ptr<SequenceIndex>>& sequence_indexes()
+      const {
+    return seq_indexes_;
+  }
 
   uint64_t row_count() const { return rows_.size(); }
 
@@ -119,6 +136,12 @@ class Table {
   static std::string EncodeRecord(RowId row_id, const Row& row);
   static Result<std::pair<RowId, Row>> DecodeRecord(std::string_view payload);
 
+  // Rejects rows a sequence index could not store (embedded NUL bytes)
+  // BEFORE any mutation: a failure halfway through IndexInsert would
+  // leave the index families divergent — and the row undeletable, since
+  // the trie never received the entry IndexRemove would look for.
+  Status CheckIndexable(const Row& row) const;
+
   // Adds/removes `row`'s entries in every secondary index.
   Status IndexInsert(RowId row_id, const Row& row);
   Status IndexRemove(RowId row_id, const Row& row);
@@ -127,6 +150,7 @@ class Table {
   std::unique_ptr<HeapFile> heap_;
   std::map<RowId, RecordId> rows_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+  std::vector<std::unique_ptr<SequenceIndex>> seq_indexes_;
   RowId next_row_id_ = 0;
 };
 

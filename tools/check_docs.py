@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validates the documentation link graph.
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+1. every relative markdown link ``[text](target)`` resolves to a file
+   that exists in the repository (anchors are stripped; absolute URLs
+   and pure in-page ``#anchor`` links are skipped);
+2. every file under ``docs/`` is reachable from ``README.md`` by
+   following those links — no orphaned chapters.
+
+Fenced code blocks are ignored, so EXPLAIN output and SQL snippets
+cannot produce false links. Exit status: 0 = clean, 1 = at least one
+broken link or unreachable doc, 2 = usage error. Run from anywhere;
+paths resolve against the repository root (the parent of ``tools/``).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — non-greedy text, target up to the first ')' or space
+# (markdown titles in links are not used in this repo).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def extract_links(path: pathlib.Path):
+    """Yields link targets in `path`, skipping fenced code blocks."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from LINK_RE.findall(line)
+
+
+def is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:"))
+
+
+def main() -> int:
+    readme = REPO_ROOT / "README.md"
+    docs_dir = REPO_ROOT / "docs"
+    if not readme.is_file() or not docs_dir.is_dir():
+        print(f"error: {readme} or {docs_dir} missing", file=sys.stderr)
+        return 2
+
+    sources = [readme] + sorted(docs_dir.glob("*.md"))
+    errors = []
+    # Link graph over repository-relative file paths, for reachability.
+    edges = {}
+    for source in sources:
+        targets = set()
+        for raw in extract_links(source):
+            if is_external(raw):
+                continue
+            target, _, _anchor = raw.partition("#")
+            if not target:  # pure in-page anchor
+                continue
+            resolved = (source.parent / target).resolve()
+            if not resolved.exists():
+                rel = source.relative_to(REPO_ROOT)
+                errors.append(f"{rel}: broken link -> {raw}")
+                continue
+            targets.add(resolved)
+        edges[source.resolve()] = targets
+
+    # BFS from README over markdown-to-markdown edges.
+    reachable = set()
+    frontier = [readme.resolve()]
+    while frontier:
+        node = frontier.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        for target in edges.get(node, ()):
+            if target.suffix == ".md" and target not in reachable:
+                frontier.append(target)
+
+    for doc in sorted(docs_dir.glob("*.md")):
+        if doc.resolve() not in reachable:
+            rel = doc.relative_to(REPO_ROOT)
+            errors.append(f"{rel}: not reachable from README.md")
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    n_docs = len(list(docs_dir.glob("*.md")))
+    print(f"check_docs: OK ({len(sources)} files, {n_docs} docs reachable)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
