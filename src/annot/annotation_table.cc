@@ -65,6 +65,25 @@ Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
   return id;
 }
 
+Status AnnotationTable::RestoreAnnotation(const AnnotationMeta& meta,
+                                          const std::string& body) {
+  if (meta.id == 0 || meta.regions.empty()) {
+    return Status::InvalidArgument("malformed annotation meta");
+  }
+  if (metas_.count(meta.id)) {
+    return Status::AlreadyExists("annotation " + std::to_string(meta.id) +
+                                 " already present");
+  }
+  BDBMS_ASSIGN_OR_RETURN(RecordId rid, heap_->Insert(EncodeRecord(meta, body)));
+  for (const Region& r : meta.regions) {
+    index_.Insert(r.row_begin, r.row_end, meta.id);
+  }
+  records_[meta.id] = rid;
+  metas_[meta.id] = meta;
+  if (meta.id >= next_id_) next_id_ = meta.id + 1;
+  return Status::Ok();
+}
+
 std::vector<AnnotationId> AnnotationTable::IdsForCell(RowId row,
                                                       size_t col) const {
   return IdsForRow(row, ColumnBit(col));

@@ -72,6 +72,16 @@ class AnnotationTable {
   void ForEach(bool include_archived,
                const std::function<void(const AnnotationMeta&)>& fn) const;
 
+  // Re-inserts an annotation under its original id/timestamp/archived
+  // state — the checkpoint-recovery inverse of ForEach+Body. The id must
+  // be unused; next_id() advances past it.
+  Status RestoreAnnotation(const AnnotationMeta& meta,
+                           const std::string& body);
+
+  // The id the next Add() will assign (serialized with checkpoints so ids
+  // stay unique across recoveries).
+  AnnotationId next_id() const { return next_id_; }
+
   uint64_t count() const { return metas_.size(); }
   uint64_t live_count() const;
   uint64_t SizeBytes() const { return heap_->SizeBytes(); }

@@ -64,6 +64,17 @@ class AccessControl {
   Status Check(const std::string& user, const std::string& table,
                Privilege privilege) const;
 
+  // --- state enumeration (checkpoint serialization) -----------------------
+  const std::set<std::string>& users() const { return users_; }
+  const std::set<std::string>& superusers() const { return superusers_; }
+  const std::map<std::string, std::set<std::string>>& group_members() const {
+    return groups_;
+  }
+  const std::map<std::pair<std::string, std::string>, std::set<Privilege>>&
+  grants() const {
+    return grants_;
+  }
+
  private:
   std::set<std::string> users_;
   std::set<std::string> superusers_;

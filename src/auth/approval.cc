@@ -139,6 +139,18 @@ Result<uint64_t> ApprovalManager::LogOperation(OpType type,
   return id;
 }
 
+Status ApprovalManager::RestoreOperation(LoggedOperation op) {
+  if (op.op_id == 0) return Status::InvalidArgument("op_id 0 is reserved");
+  if (log_.count(op.op_id)) {
+    return Status::AlreadyExists("operation " + std::to_string(op.op_id) +
+                                 " already present");
+  }
+  if (op.op_id >= next_op_id_) next_op_id_ = op.op_id + 1;
+  uint64_t id = op.op_id;
+  log_[id] = std::move(op);
+  return Status::Ok();
+}
+
 Result<const LoggedOperation*> ApprovalManager::GetOperation(
     uint64_t op_id) const {
   auto it = log_.find(op_id);

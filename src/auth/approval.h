@@ -106,6 +106,27 @@ class ApprovalManager {
 
   uint64_t log_size() const { return log_.size(); }
 
+  // --- checkpoint serialization -------------------------------------------
+  // Full state enumeration: configs (including switched-off ones, which
+  // keep their column/approver fields) and the complete operation log,
+  // settled entries included — GetOperation() can still be asked about
+  // them after recovery.
+  const std::map<std::string, ApprovalConfig>& configs() const {
+    return configs_;
+  }
+  const std::map<uint64_t, LoggedOperation>& log() const { return log_; }
+  uint64_t next_op_id() const { return next_op_id_; }
+
+  // Recovery inverses. RestoreOperation keeps next_op_id_ past every
+  // restored id; RestoreConfig overwrites whatever is there.
+  void RestoreConfig(const std::string& table, ApprovalConfig config) {
+    configs_[table] = std::move(config);
+  }
+  Status RestoreOperation(LoggedOperation op);
+  void RestoreNextOpId(uint64_t next) {
+    if (next > next_op_id_) next_op_id_ = next;
+  }
+
  private:
   Status CheckApprover(const LoggedOperation& op,
                        const std::string& principal) const;

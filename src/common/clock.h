@@ -24,6 +24,11 @@ class LogicalClock {
     if (ts >= next_) next_ = ts + 1;
   }
 
+  // Sets the next tick exactly. WAL replay restores each statement's
+  // recorded clock value before re-executing it, so every timestamp the
+  // replayed run hands out matches the original run bit for bit.
+  void Reset(uint64_t next) { next_ = next; }
+
  private:
   uint64_t next_;
 };

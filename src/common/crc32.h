@@ -1,0 +1,17 @@
+#ifndef BDBMS_COMMON_CRC32_H_
+#define BDBMS_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace bdbms {
+
+// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320), used to frame WAL
+// records and checkpoint payloads so recovery can tell a torn or corrupted
+// tail from valid data. Incremental: feed the previous result back in as
+// `seed` to checksum data in chunks.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_COMMON_CRC32_H_

@@ -1,6 +1,9 @@
 #include "core/database.h"
 
+#include <variant>
+
 #include "sql/parser.h"
+#include "wal/checkpoint.h"
 
 namespace bdbms {
 
@@ -9,6 +12,18 @@ Database::Database()
       provenance_(&annotations_),
       dependencies_(&catalog_, &procedures_),
       approvals_(&catalog_, &access_, &clock_) {}
+
+Database::~Database() {
+  if (dur_ && dur_->wal) {
+    // Best-effort: a destructor cannot report a failed fsync. Call
+    // Close() before destruction when the error matters.
+    (void)dur_->wal->Sync();
+  }
+}
+
+std::string Database::Durable::WalPath() const {
+  return dir + "/" + kWalFileName;
+}
 
 Result<Table*> Database::GetTable(const std::string& name) {
   auto it = tables_.find(name);
@@ -61,8 +76,250 @@ ExecContext Database::MakeContext() {
 Result<QueryResult> Database::Execute(std::string_view sql,
                                       const std::string& user) {
   BDBMS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+
+  // CHECKPOINT is handled here, not in the executor: it operates on the
+  // WAL/checkpoint files the facade owns, and must never itself be
+  // journaled (replaying it would re-truncate the log mid-recovery).
+  if (std::holds_alternative<CheckpointStmt>(stmt.node)) {
+    if (!access_.IsSuperuser(user)) {
+      return Status::PermissionDenied("only superusers may checkpoint");
+    }
+    if (!dur_) {
+      Executor executor(MakeContext(), user);
+      return executor.Execute(stmt);  // deliberate no-op + message
+    }
+    BDBMS_RETURN_IF_ERROR(Checkpoint());
+    QueryResult result;
+    result.message = "CHECKPOINT complete (lsn " +
+                     std::to_string(dur_->last_lsn) + ")";
+    return result;
+  }
+
+  const bool mutating = StatementMutatesState(stmt);
+  if (mutating && dur_ && !dur_->wal) {
+    // The latch must refuse BEFORE execution: applying the statement in
+    // memory and then reporting FailedPrecondition would let a retrying
+    // caller stack up unjournaled in-memory effects.
+    return Status::FailedPrecondition(
+        "durable store is unusable after a write failure; reopen");
+  }
+  const uint64_t clock_before = clock_.Peek();
   Executor executor(MakeContext(), user);
-  return executor.Execute(stmt);
+  BDBMS_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(stmt));
+  if (mutating && dur_) {
+    BDBMS_RETURN_IF_ERROR(LogCommitted(sql, user, clock_before));
+  }
+  return result;
+}
+
+Status Database::LogCommitted(std::string_view sql, const std::string& user,
+                              uint64_t clock_before) {
+  if (!dur_->wal) {
+    // Unreachable via Execute (the latch refuses before execution);
+    // kept as defense for future direct callers.
+    return Status::FailedPrecondition(
+        "durable store is unusable after a write failure; reopen");
+  }
+  WalRecord rec;
+  rec.lsn = dur_->last_lsn + 1;
+  rec.clock = clock_before;
+  rec.user = user;
+  rec.sql = std::string(sql);
+  Status appended = dur_->wal->Append(rec);
+  if (!appended.ok()) {
+    // The log may now end in a torn record. Latch the writer dead: a
+    // later commit appended after torn bytes would be fsync-acked yet
+    // silently discarded by recovery (the scan stops at the tear).
+    TearDownWal();
+    return appended;
+  }
+  dur_->last_lsn = rec.lsn;
+  uint64_t interval = dur_->options.group_commit_interval;
+  if (interval == 0) interval = 1;
+  if (dur_->wal->unsynced() >= interval) {
+    Status synced = dur_->wal->Sync();
+    if (!synced.ok()) {
+      // After a failed fsync the kernel may have dropped the dirty
+      // pages; nothing appended afterwards could be trusted either.
+      TearDownWal();
+      return synced;
+    }
+  }
+  ++dur_->statements_since_checkpoint;
+  if (dur_->options.checkpoint_interval > 0 &&
+      dur_->statements_since_checkpoint >= dur_->options.checkpoint_interval) {
+    // The statement IS durably committed at this point; a failed
+    // auto-checkpoint must not report it as failed (a retrying caller
+    // would double-apply it). The log is still intact, so durability is
+    // unaffected — record the failure and retry at the next statement.
+    // (If the failure tore the writer down, the latch above reports it
+    // on the next commit.)
+    Status ckpt = Checkpoint();
+    if (!ckpt.ok()) {
+      ++dur_->checkpoint_failures;
+    }
+  }
+  return Status::Ok();
+}
+
+void Database::TearDownWal() {
+  if (!dur_ || !dur_->wal) return;
+  // Fold the dying writer's counters into the running totals so
+  // durability_stats() never goes backwards after a write failure.
+  dur_->wal_bytes_total += dur_->wal->bytes_appended();
+  dur_->wal_syncs_total += dur_->wal->syncs();
+  dur_->wal.reset();
+}
+
+Status Database::Checkpoint() {
+  if (!dur_) {
+    return Status::FailedPrecondition("not a durable database");
+  }
+  if (!dur_->wal) {
+    return Status::FailedPrecondition(
+        "durable store is unusable after a failed checkpoint; reopen");
+  }
+  // Commit everything the snapshot will claim to cover. A failed fsync
+  // poisons the log the same way it does in LogCommitted — the kernel
+  // may have dropped the dirty pages — so the writer must latch dead
+  // rather than let later appends be acked over a hole.
+  Status synced = dur_->wal->Sync();
+  if (!synced.ok()) {
+    TearDownWal();
+    return synced;
+  }
+  BDBMS_ASSIGN_OR_RETURN(std::string payload,
+                         SerializeSnapshot(dur_->last_lsn));
+  BDBMS_RETURN_IF_ERROR(WriteCheckpointFile(dur_->env, dur_->dir, payload));
+  // The rename above is the commit point; only now is it safe to drop the
+  // log. A crash in between leaves records with lsn <= the checkpoint's,
+  // which recovery skips by lsn.
+  dur_->wal_bytes_total += dur_->wal->bytes_appended();
+  dur_->wal_syncs_total += dur_->wal->syncs();
+  dur_->wal.reset();
+  BDBMS_RETURN_IF_ERROR(dur_->env->TruncateFile(dur_->WalPath(), 0));
+  BDBMS_ASSIGN_OR_RETURN(dur_->wal,
+                         WalWriter::Open(dur_->env, dur_->WalPath()));
+  dur_->statements_since_checkpoint = 0;
+  ++dur_->checkpoints_taken;
+  return Status::Ok();
+}
+
+Status Database::Close() {
+  if (!dur_) return Status::Ok();
+  Status s = Status::Ok();
+  if (dur_->wal) {
+    s = dur_->wal->Sync();
+    TearDownWal();
+  }
+  // The store stays latched (dur_ alive, writer gone): a mutation after
+  // Close must refuse rather than silently run memory-only with no
+  // journaling. Only the dir lock is released, so the directory can be
+  // reopened — including after a failed sync, where reopening is how
+  // the caller recovers (the torn tail is trimmed).
+  dur_->lock.reset();
+  return s;
+}
+
+DurabilityStats Database::durability_stats() const {
+  DurabilityStats stats;
+  if (!dur_) return stats;
+  stats.last_lsn = dur_->last_lsn;
+  stats.replayed_on_open = dur_->replayed_on_open;
+  stats.checkpoints_taken = dur_->checkpoints_taken;
+  stats.checkpoint_failures = dur_->checkpoint_failures;
+  stats.wal_bytes_appended =
+      dur_->wal_bytes_total + (dur_->wal ? dur_->wal->bytes_appended() : 0);
+  stats.wal_syncs = dur_->wal_syncs_total + (dur_->wal ? dur_->wal->syncs() : 0);
+  stats.statements_since_checkpoint = dur_->statements_since_checkpoint;
+  return stats;
+}
+
+Status Database::ReplayRecord(const WalRecord& rec) {
+  auto parsed = ParseStatement(rec.sql);
+  if (!parsed.ok()) {
+    return Status::Corruption("WAL replay: lsn " + std::to_string(rec.lsn) +
+                              " does not parse: " + parsed.status().message());
+  }
+  // Restore the exact clock value the statement originally saw, so every
+  // timestamp/id handed out during replay matches the original run.
+  clock_.Reset(rec.clock);
+  Executor executor(MakeContext(), rec.user);
+  auto result = executor.Execute(*parsed);
+  if (!result.ok()) {
+    return Status::Corruption(
+        "WAL replay diverged at lsn " + std::to_string(rec.lsn) + " (" +
+        rec.sql + "): " + result.status().message() +
+        " — if the statement is CREATE DEPENDENCY, the procedure registry "
+        "must be re-populated via DurabilityOptions::bootstrap");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 DurabilityOptions options) {
+  WalEnv* env = options.env ? options.env : WalEnv::Default();
+  BDBMS_RETURN_IF_ERROR(env->CreateDir(dir));
+  // Exclusive dir lock for the Database's lifetime: a second simultaneous
+  // open would interleave O_APPEND frames into wal.log and corrupt
+  // acknowledged commits. flock-based, so a crashed holder self-clears.
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<DirLock> lock, env->LockDir(dir));
+
+  auto db = std::unique_ptr<Database>(new Database());
+  if (options.bootstrap) {
+    BDBMS_RETURN_IF_ERROR(options.bootstrap(*db));
+  }
+
+  const std::string wal_path = dir + "/" + kWalFileName;
+  const std::string ckpt_path = dir + "/" + kCheckpointFileName;
+  const std::string tmp_path = dir + "/" + kCheckpointTmpFileName;
+
+  // A leftover .tmp is a checkpoint that never reached its rename commit
+  // point: the previous checkpoint + full log are authoritative.
+  if (env->FileExists(tmp_path)) {
+    BDBMS_RETURN_IF_ERROR(env->RemoveFile(tmp_path));
+  }
+
+  uint64_t last_lsn = 0;
+  if (env->FileExists(ckpt_path)) {
+    BDBMS_ASSIGN_OR_RETURN(std::string payload, ReadCheckpointFile(dir));
+    BDBMS_RETURN_IF_ERROR(db->LoadSnapshot(payload, &last_lsn));
+  }
+
+  uint64_t replayed = 0;
+  if (env->FileExists(wal_path)) {
+    BDBMS_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(wal_path));
+    BDBMS_ASSIGN_OR_RETURN(WalScan scan, ScanWal(data));
+    for (const WalRecord& rec : scan.records) {
+      if (rec.lsn <= last_lsn) continue;  // already in the checkpoint
+      BDBMS_RETURN_IF_ERROR(db->ReplayRecord(rec));
+      last_lsn = rec.lsn;
+      ++replayed;
+    }
+    if (scan.tail_discarded) {
+      // Cut the torn/corrupt tail so future appends extend valid data.
+      BDBMS_RETURN_IF_ERROR(env->TruncateFile(wal_path, scan.valid_bytes));
+    }
+  }
+
+  auto dur = std::make_unique<Durable>();
+  dur->dir = dir;
+  dur->options = std::move(options);
+  dur->env = env;
+  dur->lock = std::move(lock);
+  dur->last_lsn = last_lsn;
+  dur->replayed_on_open = replayed;
+  const bool wal_existed = env->FileExists(wal_path);
+  BDBMS_ASSIGN_OR_RETURN(dur->wal, WalWriter::Open(env, wal_path));
+  if (!wal_existed) {
+    // The wal.log dirent itself must be durable before any fsync-acked
+    // commit relies on it: file data survives a power cut only if the
+    // directory entry does too (the LevelDB/SQLite create-then-sync-dir
+    // pattern).
+    BDBMS_RETURN_IF_ERROR(env->SyncDir(dir));
+  }
+  db->dur_ = std::move(dur);
+  return db;
 }
 
 }  // namespace bdbms

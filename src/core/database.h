@@ -1,6 +1,7 @@
 #ifndef BDBMS_CORE_DATABASE_H_
 #define BDBMS_CORE_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,8 +19,51 @@
 #include "exec/query_result.h"
 #include "prov/provenance.h"
 #include "table/table.h"
+#include "wal/wal.h"
+#include "wal/wal_env.h"
 
 namespace bdbms {
+
+class Database;
+
+// Tuning and wiring for a durable database (Database::Open).
+struct DurabilityOptions {
+  // fsync the WAL after this many committed statements. 1 (the default)
+  // is per-statement durability: Execute() returns only once the
+  // statement is on stable storage. Larger values batch fsyncs (group
+  // commit): up to interval-1 recently committed statements may be lost
+  // on a crash, but throughput rises by roughly the same factor
+  // (bench/bench_wal.cc).
+  uint64_t group_commit_interval = 1;
+
+  // Take an automatic CHECKPOINT after this many logged statements,
+  // bounding both log length and recovery replay time. 0 disables
+  // auto-checkpointing (CHECKPOINT can still be issued manually).
+  uint64_t checkpoint_interval = 1024;
+
+  // Filesystem the WAL and checkpoint-commit steps go through. Null means
+  // the default POSIX environment; the crash-injection tests inject a
+  // fault-wrapping environment here.
+  WalEnv* env = nullptr;
+
+  // Run on the freshly constructed engine before any recovery. Procedures
+  // (ProcedureRegistry) and provenance system agents are registered
+  // programmatically, not via SQL, so a database whose log contains
+  // CREATE DEPENDENCY statements must re-register the procedures here or
+  // recovery fails with the underlying validation error.
+  std::function<Status(Database&)> bootstrap;
+};
+
+// Counters describing the durability subsystem, for tests and benches.
+struct DurabilityStats {
+  uint64_t last_lsn = 0;             // newest committed statement's lsn
+  uint64_t replayed_on_open = 0;     // WAL records replayed by Open()
+  uint64_t checkpoints_taken = 0;    // by this instance (manual + auto)
+  uint64_t checkpoint_failures = 0;  // failed auto-checkpoints (retried)
+  uint64_t wal_bytes_appended = 0;   // by this instance
+  uint64_t wal_syncs = 0;            // fsyncs issued on the log
+  uint64_t statements_since_checkpoint = 0;
+};
 
 // The bdbms engine facade — the public API of the library.
 //
@@ -35,17 +79,56 @@ namespace bdbms {
 // manager, dependency manager and authorization manager of the paper's
 // architecture (Figure: Section 2) over the paged storage engine.
 // Single-threaded, like the CIDR'07 prototype.
+//
+// A default-constructed Database is memory-only and evaporates with the
+// process. Database::Open(dir) attaches a durable store: every committed
+// mutating statement is journaled to a CRC-framed write-ahead log before
+// Execute() returns, checkpoints bound replay, and Open() recovers the
+// full engine state — tables, annotations, dependencies, approvals,
+// grants — from the newest valid checkpoint plus the log tail
+// (docs/durability.md).
 class Database {
  public:
   Database();
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  // Opens (creating if needed) a durable database rooted at directory
+  // `dir` (layout: dir/wal.log + dir/checkpoint.bdb). Recovers state from
+  // the newest valid checkpoint and the committed prefix of the log; a
+  // torn or corrupted log tail is discarded (that is the expected crash
+  // shape), while a corrupted checkpoint fails the open with Corruption —
+  // silently dropping a checkpoint would lose acknowledged commits.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                DurabilityOptions options = {});
+
   // Parses and executes one A-SQL statement as `user`. "admin" is the
-  // built-in superuser.
+  // built-in superuser. On a durable database, a successful mutating
+  // statement is appended to the WAL and fsynced per
+  // DurabilityOptions::group_commit_interval before this returns; an
+  // error from the journaling path is the caller's signal that the
+  // statement may not survive a crash.
   Result<QueryResult> Execute(std::string_view sql,
                               const std::string& user = "admin");
+
+  // Snapshots the entire engine state to checkpoint.bdb (write-temp +
+  // fsync + atomic rename + directory fsync) and truncates the WAL. Also
+  // available as the A-SQL statement CHECKPOINT.
+  Status Checkpoint();
+
+  // Flushes pending group-commit WAL records, releases the directory
+  // lock, and latches the instance: later mutating statements fail with
+  // FailedPrecondition instead of silently running memory-only. The
+  // error-reporting counterpart of the destructor, which can only sync
+  // best-effort; a sync failure is reported by the first Close call
+  // only (the instance is latched either way, and reopening the
+  // directory is how the caller recovers).
+  Status Close();
+
+  bool is_durable() const { return dur_ != nullptr; }
+  DurabilityStats durability_stats() const;
 
   // --- programmatic access to the managers (examples, tests, benches) ----
   Catalog& catalog() { return catalog_; }
@@ -75,6 +158,43 @@ class Database {
  private:
   ExecContext MakeContext();
 
+  // Journals one committed statement and drives the fsync / auto-
+  // checkpoint cadence.
+  Status LogCommitted(std::string_view sql, const std::string& user,
+                      uint64_t clock_before);
+
+  // Latches the durable store unusable after a write-path failure left
+  // the log in an untrustworthy state; every later commit fails with
+  // FailedPrecondition until the database is reopened (recovery trims
+  // the torn tail).
+  void TearDownWal();
+
+  // Re-executes one WAL record with its recorded user and clock value.
+  Status ReplayRecord(const WalRecord& rec);
+
+  // Checkpoint payload (de)serialization over the full engine state;
+  // defined in src/wal/checkpoint.cc next to the file format.
+  Result<std::string> SerializeSnapshot(uint64_t last_lsn) const;
+  Status LoadSnapshot(std::string_view payload, uint64_t* last_lsn);
+
+  // Durable-mode state; null for memory-only databases.
+  struct Durable {
+    std::string dir;
+    DurabilityOptions options;
+    WalEnv* env = nullptr;
+    std::unique_ptr<DirLock> lock;  // exclusive dir/LOCK, lifetime-held
+    std::unique_ptr<WalWriter> wal;
+    uint64_t last_lsn = 0;
+    uint64_t replayed_on_open = 0;
+    uint64_t checkpoints_taken = 0;
+    uint64_t checkpoint_failures = 0;
+    uint64_t statements_since_checkpoint = 0;
+    uint64_t wal_bytes_total = 0;  // across WalWriter reopens
+    uint64_t wal_syncs_total = 0;
+
+    std::string WalPath() const;
+  };
+
   LogicalClock clock_;
   Catalog catalog_;
   AnnotationManager annotations_;
@@ -85,6 +205,7 @@ class Database {
   ApprovalManager approvals_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::vector<DeletionLogEntry>> deletion_log_;
+  std::unique_ptr<Durable> dur_;
 };
 
 }  // namespace bdbms

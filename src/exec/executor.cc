@@ -48,6 +48,13 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
           return ExecExplain(node);
         } else if constexpr (std::is_same_v<T, AnalyzeStmt>) {
           return ExecAnalyze(node);
+        } else if constexpr (std::is_same_v<T, CheckpointStmt>) {
+          // The Database facade intercepts CHECKPOINT before dispatch (it
+          // owns the WAL); reaching the executor means there is no durable
+          // store attached, and the statement is a deliberate no-op.
+          QueryResult result;
+          result.message = "CHECKPOINT: no durable store attached (no-op)";
+          return result;
         } else if constexpr (std::is_same_v<T, CreateAnnTableStmt>) {
           return ExecCreateAnnTable(node);
         } else if constexpr (std::is_same_v<T, DropAnnTableStmt>) {

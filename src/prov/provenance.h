@@ -54,6 +54,10 @@ class ProvenanceManager {
   bool IsSystemAgent(const std::string& agent) const {
     return system_agents_.count(agent) > 0;
   }
+  // Checkpoint serialization: every registered writer principal.
+  const std::set<std::string>& system_agents() const {
+    return system_agents_;
+  }
 
   // Writes `record` over `regions` into the provenance annotation table
   // `ann_name` of `table`. Fails with PermissionDenied unless `principal`

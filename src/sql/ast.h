@@ -166,6 +166,11 @@ struct AnalyzeStmt {
   std::string table;  // empty = all tables
 };
 
+// CHECKPOINT — snapshots the full engine state to the durable store and
+// truncates the statement WAL (docs/durability.md). A no-op on in-memory
+// databases, so durable and in-memory runs of one script stay comparable.
+struct CheckpointStmt {};
+
 // ---------------------------------------------------------------------------
 // A-SQL annotation commands (Figures 4 and 6)
 // ---------------------------------------------------------------------------
@@ -252,15 +257,26 @@ struct DropDependencyStmt {
 using StatementVariant =
     std::variant<SelectStmt, CreateTableStmt, DropTableStmt, InsertStmt,
                  UpdateStmt, DeleteStmt, CreateIndexStmt, DropIndexStmt,
-                 ExplainStmt, AnalyzeStmt, CreateAnnTableStmt, DropAnnTableStmt,
-                 AddAnnotationStmt, ArchiveAnnotationStmt, GrantStmt,
-                 CreateUserStmt, AddUserToGroupStmt, StartApprovalStmt,
-                 StopApprovalStmt, ApproveStmt, ShowPendingStmt,
-                 CreateDependencyStmt, DropDependencyStmt>;
+                 ExplainStmt, AnalyzeStmt, CheckpointStmt, CreateAnnTableStmt,
+                 DropAnnTableStmt, AddAnnotationStmt, ArchiveAnnotationStmt,
+                 GrantStmt, CreateUserStmt, AddUserToGroupStmt,
+                 StartApprovalStmt, StopApprovalStmt, ApproveStmt,
+                 ShowPendingStmt, CreateDependencyStmt, DropDependencyStmt>;
 
 struct Statement {
   StatementVariant node;
 };
+
+// True for statements whose successful execution changes engine state —
+// the set the durable Database journals in its write-ahead log. SELECT,
+// EXPLAIN and SHOW PENDING only read; CHECKPOINT manages the log itself
+// and must never be replayed from it.
+inline bool StatementMutatesState(const Statement& stmt) {
+  return !(std::holds_alternative<SelectStmt>(stmt.node) ||
+           std::holds_alternative<ExplainStmt>(stmt.node) ||
+           std::holds_alternative<ShowPendingStmt>(stmt.node) ||
+           std::holds_alternative<CheckpointStmt>(stmt.node));
+}
 
 }  // namespace bdbms
 

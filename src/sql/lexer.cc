@@ -23,7 +23,7 @@ const std::set<std::string>& Keywords() {
       "OPERATION", "PENDING", "SHOW",    "DEPENDENCY", "USING",    "JOIN",
       "PROVENANCE", "INT",   "INTEGER",  "DOUBLE",    "TEXT",      "SEQUENCE",
       "ALL",       "INDEX",  "EXPLAIN",  "LIMIT",     "ANALYZE",
-      "SPGIST",
+      "SPGIST",    "CHECKPOINT",
   };
   return *kw;
 }

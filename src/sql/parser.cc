@@ -133,6 +133,10 @@ class Parser {
       }
       return Statement{std::move(stmt)};
     }
+    if (Cur().IsKeyword("CHECKPOINT")) {
+      Advance();
+      return Statement{CheckpointStmt{}};
+    }
     return Err("expected a statement, got '" + Cur().text + "'");
   }
 

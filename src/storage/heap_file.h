@@ -51,8 +51,16 @@ class HeapFile {
   Status ForEach(
       const std::function<Status(RecordId, std::string_view)>& fn) const;
 
-  // Flushes the buffer pool to the pager.
+  // Flushes the buffer pool to the pager. Write errors propagate: a dirty
+  // page that cannot be written back must fail the flush, not vanish.
   Status Flush() { return pool_->FlushAll(); }
+
+  // Flush + fsync: after an OK return every record written so far is on
+  // stable storage, not just in the OS page cache.
+  Status Sync() {
+    BDBMS_RETURN_IF_ERROR(pool_->FlushAll());
+    return pager_->Sync();
+  }
 
   uint64_t record_count() const { return record_count_; }
 

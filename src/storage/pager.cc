@@ -9,6 +9,33 @@
 
 namespace bdbms {
 
+namespace {
+
+// pwrite may legally write fewer bytes than asked (quota, signals, some
+// filesystems); a short write that is not retried would leave a torn page
+// on disk with no error surfaced. Loop until everything is down or the
+// kernel reports a real error.
+Status PwriteFully(int fd, const uint8_t* buf, size_t len, off_t offset,
+                   const char* what) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, buf + done, len - done,
+                         offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string(what) + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError(std::string(what) + ": pwrite wrote 0 bytes");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Pager::Pager() = default;
 
 Pager::Pager(int fd, uint32_t page_count) : fd_(fd), page_count_(page_count) {}
@@ -49,13 +76,24 @@ Result<PageId> Pager::AllocatePage() {
   } else {
     Page zero;
     zero.Zero();
-    ssize_t n = ::pwrite(fd_, zero.bytes(), kPageSize,
-                         static_cast<off_t>(id) * kPageSize);
-    if (n != static_cast<ssize_t>(kPageSize)) {
-      return Status::IoError("pwrite (allocate): " +
-                             std::string(std::strerror(errno)));
-    }
+    BDBMS_RETURN_IF_ERROR(PwriteFully(fd_, zero.bytes(), kPageSize,
+                                      static_cast<off_t>(id) * kPageSize,
+                                      "pwrite (allocate)"));
     ++stats_.page_writes;
+  }
+  return id;
+}
+
+Result<PageId> Pager::AppendPage(const Page& page) {
+  PageId id = page_count_++;
+  ++stats_.pages_allocated;
+  ++stats_.page_writes;
+  if (fd_ < 0) {
+    mem_pages_.push_back(std::make_unique<Page>(page));
+  } else {
+    BDBMS_RETURN_IF_ERROR(PwriteFully(fd_, page.bytes(), kPageSize,
+                                      static_cast<off_t>(id) * kPageSize,
+                                      "pwrite (append)"));
   }
   return id;
 }
@@ -88,11 +126,15 @@ Status Pager::WritePage(PageId id, const Page& page) {
     *mem_pages_[id] = page;
     return Status::Ok();
   }
-  ssize_t n = ::pwrite(fd_, page.bytes(), kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pwrite page " + std::to_string(id) + ": " +
-                           std::string(std::strerror(errno)));
+  return PwriteFully(fd_, page.bytes(), kPageSize,
+                     static_cast<off_t>(id) * kPageSize, "pwrite page");
+}
+
+Status Pager::Sync() {
+  ++stats_.fsyncs;
+  if (fd_ < 0) return Status::Ok();
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync: " + std::string(std::strerror(errno)));
   }
   return Status::Ok();
 }

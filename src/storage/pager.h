@@ -18,6 +18,7 @@ struct IoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t pages_allocated = 0;
+  uint64_t fsyncs = 0;
 
   void Reset() { *this = IoStats(); }
 };
@@ -46,11 +47,21 @@ class Pager {
   // Appends a zeroed page, returning its id.
   Result<PageId> AllocatePage();
 
+  // Appends `page` as the next page in one write (no allocate-zero /
+  // overwrite double I/O) — the bulk-write primitive of the checkpoint
+  // writer, which fills a fresh file front to back.
+  Result<PageId> AppendPage(const Page& page);
+
   // Reads page `id` into `out`.
   Status ReadPage(PageId id, Page* out);
 
   // Writes `page` at `id`.
   Status WritePage(PageId id, const Page& page);
+
+  // Forces written pages to stable storage (fsync). In-memory pagers count
+  // the call but have nothing to sync. This is the durability point of the
+  // checkpoint path: WritePage alone only reaches the OS page cache.
+  Status Sync();
 
   uint32_t page_count() const { return page_count_; }
 

@@ -122,6 +122,14 @@ class Table {
   // One past the largest RowId ever assigned (the tuple-axis extent).
   RowId next_row_id() const { return next_row_id_; }
 
+  // Recovery: restores the tuple-axis extent recorded in a checkpoint.
+  // max(live RowId)+1 underestimates it when the newest rows were deleted;
+  // reusing their RowIds would re-attach their old annotations, outdated
+  // bits and pending approvals to unrelated new rows.
+  void AdvanceNextRowId(RowId next) {
+    if (next > next_row_id_) next_row_id_ = next;
+  }
+
   uint64_t SizeBytes() const { return heap_->SizeBytes(); }
   const IoStats& io_stats() const { return heap_->io_stats(); }
   IoStats& io_stats() { return heap_->io_stats(); }

@@ -1,0 +1,81 @@
+#ifndef BDBMS_WAL_WAL_H_
+#define BDBMS_WAL_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/wal_env.h"
+
+namespace bdbms {
+
+// One committed mutating A-SQL statement, as journaled. Replaying records
+// in lsn order with the recorded user and logical-clock value rebuilds the
+// entire engine state deterministically: every timestamp, annotation id
+// and approval op-id the engine hands out comes from sequential counters
+// seeded by the clock and the statement order.
+struct WalRecord {
+  uint64_t lsn = 0;    // strictly increasing, 1-based
+  uint64_t clock = 0;  // LogicalClock::Peek() before the statement ran
+  std::string user;    // issuing principal
+  std::string sql;     // original statement text, re-parsed on replay
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+// On-disk framing of one record:
+//
+//   u32 crc   CRC-32 of the len field + payload
+//   u32 len   payload length in bytes
+//   payload   u64 lsn, u64 clock, str user, str sql   (serializer.h)
+//
+// The crc covers len, so a torn length prefix is indistinguishable from a
+// torn payload: both fail the checksum and recovery cuts the log there.
+std::string EncodeWalRecord(const WalRecord& rec);
+
+// What a log scan found. `records` is the longest prefix of intact
+// records; `valid_bytes` is where that prefix ends in the file. Anything
+// after it (a torn append, a corrupted record) is reported via
+// `tail_discarded` and must be truncated away before appending again.
+struct WalScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  bool tail_discarded = false;
+};
+
+// Decodes `data` (a whole WAL file) into the longest valid record prefix.
+// Never fails on torn/corrupt tails — that is the expected crash shape —
+// but does fail on non-monotonic LSNs, which indicate a mixed-up file
+// rather than a crash.
+Result<WalScan> ScanWal(std::string_view data);
+
+// Appends CRC-framed statement records to the log file. Append() hands the
+// bytes to the OS; Sync() is the commit point. The Database layer decides
+// the fsync cadence (every statement, or batched group commit).
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(WalEnv* env,
+                                                 const std::string& path);
+
+  Status Append(const WalRecord& rec);
+  Status Sync();
+
+  // Statements appended since the last successful Sync().
+  uint64_t unsynced() const { return unsynced_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  explicit WalWriter(std::unique_ptr<AppendFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<AppendFile> file_;
+  uint64_t unsynced_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_WAL_WAL_H_

@@ -1,0 +1,156 @@
+#include "wal/wal_env.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace bdbms {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+class PosixAppendFile : public AppendFile {
+ public:
+  explicit PosixAppendFile(int fd) : fd_(fd) {}
+  ~PosixAppendFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("append");
+      }
+      if (n == 0) {
+        // A zero-byte write for a nonzero count must surface, not spin.
+        return Status::IoError("append: write wrote 0 bytes");
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync");
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixDirLock : public DirLock {
+ public:
+  explicit PosixDirLock(int fd) : fd_(fd) {}
+  ~PosixDirLock() override {
+    // flock drops with the descriptor; explicit for clarity.
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AppendFile>> WalEnv::OpenAppend(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open " + path);
+  return std::unique_ptr<AppendFile>(new PosixAppendFile(fd));
+}
+
+Result<std::string> WalEnv::ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open " + path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read " + path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool WalEnv::FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status WalEnv::TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate " + path);
+  }
+  return Status::Ok();
+}
+
+Status WalEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename " + from + " -> " + to);
+  }
+  return Status::Ok();
+}
+
+Status WalEnv::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return Errno("unlink " + path);
+  return Status::Ok();
+}
+
+Status WalEnv::CreateDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir " + dir);
+  }
+  return Status::Ok();
+}
+
+Status WalEnv::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir " + dir);
+  Status s = Status::Ok();
+  if (::fsync(fd) != 0) s = Errno("fsync dir " + dir);
+  ::close(fd);
+  return s;
+}
+
+Result<std::unique_ptr<DirLock>> WalEnv::LockDir(const std::string& dir) {
+  const std::string path = dir + "/LOCK";
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Errno("open " + path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      return Status::FailedPrecondition(
+          dir + " is already open in another Database instance");
+    }
+    return Status::IoError("flock " + path + ": " + std::strerror(err));
+  }
+  return std::unique_ptr<DirLock>(new PosixDirLock(fd));
+}
+
+WalEnv* WalEnv::Default() {
+  static WalEnv* env = new WalEnv();
+  return env;
+}
+
+}  // namespace bdbms

@@ -1,0 +1,80 @@
+#ifndef BDBMS_WAL_WAL_ENV_H_
+#define BDBMS_WAL_WAL_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace bdbms {
+
+// Append-only file handle used by the WAL writer. Virtual so tests can
+// interpose a fault-injecting wrapper (short writes, failing fsyncs,
+// simulated loss of unsynced data) without touching the engine.
+class AppendFile {
+ public:
+  virtual ~AppendFile() = default;
+
+  // Appends `data` at the end of the file. The bytes reach the OS page
+  // cache; they are durable only after Sync().
+  virtual Status Append(std::string_view data) = 0;
+
+  // fsync: everything appended so far survives a crash after OK.
+  virtual Status Sync() = 0;
+};
+
+// Exclusive advisory lock on a database directory (dir/LOCK + flock),
+// held for the lifetime of the owning Database. Two simultaneous opens
+// of one durable directory would interleave O_APPEND frames in wal.log
+// and corrupt acknowledged commits.
+class DirLock {
+ public:
+  virtual ~DirLock() = default;
+};
+
+// Minimal filesystem surface the durability subsystem needs. One default
+// POSIX implementation; the crash-injection tests subclass it to inject
+// faults at precise points.
+class WalEnv {
+ public:
+  virtual ~WalEnv() = default;
+
+  // Opens `path` for appending, creating it if needed.
+  virtual Result<std::unique_ptr<AppendFile>> OpenAppend(
+      const std::string& path);
+
+  // Reads the whole file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path);
+
+  virtual bool FileExists(const std::string& path);
+
+  // Truncates `path` to `size` bytes (used to cut a torn WAL tail and to
+  // reset the log after a checkpoint).
+  virtual Status TruncateFile(const std::string& path, uint64_t size);
+
+  // Atomically replaces `to` with `from` (the checkpoint commit point).
+  virtual Status RenameFile(const std::string& from, const std::string& to);
+
+  virtual Status RemoveFile(const std::string& path);
+
+  // Creates `dir` (and missing parents are NOT created; one level only).
+  // OK if it already exists.
+  virtual Status CreateDir(const std::string& dir);
+
+  // fsyncs the directory so a rename/creation inside it is durable.
+  virtual Status SyncDir(const std::string& dir);
+
+  // Takes the exclusive lock on `dir` (non-blocking); FailedPrecondition
+  // when another live Database already holds it. Released by destroying
+  // the returned lock. flock-based, so a crashed process's lock clears
+  // itself.
+  virtual Result<std::unique_ptr<DirLock>> LockDir(const std::string& dir);
+
+  // Shared default POSIX environment.
+  static WalEnv* Default();
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_WAL_WAL_ENV_H_

@@ -1,0 +1,74 @@
+#ifndef BDBMS_TESTS_FAULT_FS_H_
+#define BDBMS_TESTS_FAULT_FS_H_
+
+// Fault-injecting WalEnv for the crash tests: short writes that tear a
+// record mid-append, fsync calls that start failing, and a
+// hold-unsynced mode that models the OS page cache — appended bytes stay
+// in memory until Sync() and are destroyed by Crash(), which is how a
+// power failure treats data that was written but never fsynced.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wal/wal_env.h"
+
+namespace bdbms {
+namespace testutil {
+
+class FaultAppendFile;
+
+class FaultEnv : public WalEnv {
+ public:
+  // -1 = unlimited. When a single Append would exceed the remaining
+  // budget, only the in-budget prefix reaches storage and the call
+  // returns IoError — a torn record, exactly what a crash mid-write
+  // leaves behind.
+  int64_t append_budget = -1;
+
+  // -1 = never fail. Otherwise the number of Sync() calls that still
+  // succeed; once spent, every Sync returns IoError (dying disk /
+  // full filesystem).
+  int64_t sync_budget = -1;
+
+  // Model the page cache: Append buffers in memory, Sync flushes the
+  // buffer to the real file and fsyncs it. Without this, appends reach
+  // the file immediately (only Crash()-truncation tests need realism
+  // beyond that).
+  bool hold_unsynced = false;
+
+  // Simulated power failure: every buffered-but-unsynced byte is gone and
+  // all handles go dead (subsequent Append/Sync fail, which the Database
+  // destructor ignores — a crashed process does not get to flush).
+  void Crash();
+
+  bool crashed() const { return crashed_; }
+
+  Result<std::unique_ptr<AppendFile>> OpenAppend(
+      const std::string& path) override;
+
+ private:
+  friend class FaultAppendFile;
+  std::vector<FaultAppendFile*> open_files_;
+  bool crashed_ = false;
+};
+
+class FaultAppendFile : public AppendFile {
+ public:
+  FaultAppendFile(FaultEnv* env, std::unique_ptr<AppendFile> real);
+  ~FaultAppendFile() override;
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+
+ private:
+  friend class FaultEnv;
+  FaultEnv* env_;
+  std::unique_ptr<AppendFile> real_;
+  std::string buffer_;  // unsynced bytes in hold_unsynced mode
+};
+
+}  // namespace testutil
+}  // namespace bdbms
+
+#endif  // BDBMS_TESTS_FAULT_FS_H_

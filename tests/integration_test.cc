@@ -158,7 +158,10 @@ TEST(IntegrationTest, EndToEndStateStaysConsistentUnderMixedWorkload) {
   Rng rng(2027);
   std::map<std::string, int64_t> truth;
   for (int step = 0; step < 300; ++step) {
-    std::string key = "k" + std::to_string(rng.Uniform(40));
+    // Built stepwise: inline "k" + std::to_string(...) trips GCC 12's
+    // -Wrestrict false positive (PR105329) at -O2 under -Werror.
+    std::string key = "k";
+    key += std::to_string(rng.Uniform(40));
     double dice = rng.UniformDouble();
     if (dice < 0.5) {
       int64_t v = rng.UniformInt(0, 1000);
