@@ -1,6 +1,17 @@
 # Opt-in ASan+UBSan instrumentation (BDBMS_SANITIZE=ON), used by the CI
 # sanitizer job so pager/buffer-pool memory bugs surface immediately.
+if(BDBMS_SANITIZE AND BDBMS_TSAN)
+  message(FATAL_ERROR "BDBMS_SANITIZE and BDBMS_TSAN are mutually exclusive "
+                      "(ASan and TSan cannot be combined)")
+endif()
 if(BDBMS_SANITIZE)
   add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
   add_link_options(-fsanitize=address,undefined)
+endif()
+
+# Opt-in ThreadSanitizer (BDBMS_TSAN=ON), used by the CI concurrency job
+# to prove the socket front end and engine lock race-free.
+if(BDBMS_TSAN)
+  add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=thread)
 endif()

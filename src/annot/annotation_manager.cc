@@ -1,6 +1,13 @@
 #include "annot/annotation_manager.h"
 
+#include "txn/undo_log.h"
+
 namespace bdbms {
+
+void AnnotationManager::set_undo_log(UndoLog* undo) {
+  undo_ = undo;
+  for (auto& [key, at] : tables_) at->set_undo_log(undo);
+}
 
 Status AnnotationManager::CreateAnnotationTable(const std::string& table,
                                                 const std::string& ann_name) {
@@ -11,16 +18,32 @@ Status AnnotationManager::CreateAnnotationTable(const std::string& table,
   }
   BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<AnnotationTable> at,
                          AnnotationTable::CreateInMemory(ann_name, clock_));
+  at->set_undo_log(undo_);
   tables_[key] = std::move(at);
+  if (undo_ && undo_->recording()) {
+    undo_->Record("create annotation table " + key,
+                  [this, key] { tables_.erase(key); });
+  }
   return Status::Ok();
 }
 
+// Dropped annotation tables are not destroyed while an undo log records:
+// the storage object moves into the compensation closure and moves back
+// on rollback, annotations intact. Commit frees it.
 Status AnnotationManager::DropAnnotationTable(const std::string& table,
                                               const std::string& ann_name) {
   auto it = tables_.find(Key(table, ann_name));
   if (it == tables_.end()) {
     return Status::NotFound("no annotation table " + ann_name + " on " +
                             table);
+  }
+  if (undo_ && undo_->recording()) {
+    std::string key = it->first;
+    auto held = std::make_shared<std::unique_ptr<AnnotationTable>>(
+        std::move(it->second));
+    undo_->Record("drop annotation table " + key, [this, key, held] {
+      tables_[key] = std::move(*held);
+    });
   }
   tables_.erase(it);
   return Status::Ok();
@@ -30,6 +53,14 @@ void AnnotationManager::DropAllFor(const std::string& table) {
   std::string prefix = table + ".";
   for (auto it = tables_.begin(); it != tables_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      if (undo_ && undo_->recording()) {
+        std::string key = it->first;
+        auto held = std::make_shared<std::unique_ptr<AnnotationTable>>(
+            std::move(it->second));
+        undo_->Record("drop annotation table " + key, [this, key, held] {
+          tables_[key] = std::move(*held);
+        });
+      }
       it = tables_.erase(it);
     } else {
       ++it;

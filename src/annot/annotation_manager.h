@@ -44,6 +44,11 @@ class AnnotationManager {
   // All annotation table names attached to `table`.
   std::vector<std::string> ListFor(const std::string& table) const;
 
+  // Transactions: wires `undo` into this manager and every owned
+  // AnnotationTable (current and future), so creates/drops and annotation
+  // mutations all record compensations.
+  void set_undo_log(UndoLog* undo);
+
   // Aggregates the non-archived bodies covering `row`∩`mask` across the
   // given annotation tables (or all tables of `table` if `ann_names` is
   // empty) — the propagation primitive behind the A-SQL SELECT
@@ -59,6 +64,7 @@ class AnnotationManager {
 
   LogicalClock* clock_;
   std::map<std::string, std::unique_ptr<AnnotationTable>> tables_;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace bdbms

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/xml.h"
+#include "txn/undo_log.h"
 
 namespace bdbms {
 
@@ -48,6 +49,7 @@ Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
   BDBMS_RETURN_IF_ERROR(Xml::Parse(xml_body).status());
 
   AnnotationMeta meta;
+  AnnotationId next_before = next_id_;
   meta.id = next_id_++;
   meta.timestamp = clock_->Tick();
   meta.archived = false;
@@ -62,7 +64,25 @@ Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
   records_[meta.id] = rid;
   AnnotationId id = meta.id;
   metas_[id] = std::move(meta);
+  if (undo_ && undo_->recording()) {
+    undo_->Record("add annotation " + std::to_string(id),
+                  [this, id, next_before] {
+                    EraseAnnotation(id, next_before);
+                  });
+  }
   return id;
+}
+
+void AnnotationTable::EraseAnnotation(AnnotationId id,
+                                      AnnotationId next_before) {
+  auto rec = records_.find(id);
+  if (rec != records_.end()) {
+    (void)heap_->Delete(rec->second);
+    records_.erase(rec);
+  }
+  metas_.erase(id);
+  index_.Erase(id);
+  next_id_ = next_before;
 }
 
 Status AnnotationTable::RestoreAnnotation(const AnnotationMeta& meta,
@@ -160,7 +180,13 @@ Status AnnotationTable::SetArchived(AnnotationId id, bool archived) {
   if (it->second.archived == archived) return Status::Ok();
   BDBMS_ASSIGN_OR_RETURN(std::string body, Body(id));
   it->second.archived = archived;
-  return Rewrite(id, body);
+  BDBMS_RETURN_IF_ERROR(Rewrite(id, body));
+  if (undo_ && undo_->recording()) {
+    bool was = !archived;
+    undo_->Record("set archived " + std::to_string(id),
+                  [this, id, was] { (void)SetArchived(id, was); });
+  }
+  return Status::Ok();
 }
 
 Status AnnotationTable::Rewrite(AnnotationId id, const std::string& body) {

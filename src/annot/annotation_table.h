@@ -14,6 +14,8 @@
 
 namespace bdbms {
 
+class UndoLog;
+
 // One annotation table (paper §3.1): a named, categorized store of
 // annotations over a single user relation, using the compact
 // rectangle-region scheme of Figure 5. Each annotation is one heap record
@@ -88,6 +90,10 @@ class AnnotationTable {
   const IoStats& io_stats() const { return heap_->io_stats(); }
   IoStats& io_stats() { return heap_->io_stats(); }
 
+  // Transactions: while `undo` records, Add and archive-state flips push
+  // compensation records that erase/restore the annotation exactly.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
  private:
   AnnotationTable(std::string name, LogicalClock* clock,
                   std::unique_ptr<HeapFile> heap)
@@ -101,6 +107,10 @@ class AnnotationTable {
 
   Status SetArchived(AnnotationId id, bool archived);
 
+  // Compensation for Add(): removes the annotation and rewinds next_id_
+  // so a replay hands out the same id again.
+  void EraseAnnotation(AnnotationId id, AnnotationId next_before);
+
   std::string name_;
   LogicalClock* clock_;
   std::unique_ptr<HeapFile> heap_;
@@ -108,6 +118,7 @@ class AnnotationTable {
   std::map<AnnotationId, RecordId> records_;
   IntervalIndex index_;  // row intervals of all regions, payload = id
   AnnotationId next_id_ = 1;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace bdbms

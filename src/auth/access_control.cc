@@ -1,5 +1,7 @@
 #include "auth/access_control.h"
 
+#include "txn/undo_log.h"
+
 namespace bdbms {
 
 std::string_view PrivilegeName(Privilege p) {
@@ -21,6 +23,10 @@ Status AccessControl::CreateUser(const std::string& user) {
   if (!users_.insert(user).second) {
     return Status::AlreadyExists("user " + user + " already exists");
   }
+  if (undo_ && undo_->recording()) {
+    undo_->Record("create user " + user,
+                  [this, user] { users_.erase(user); });
+  }
   return Status::Ok();
 }
 
@@ -30,6 +36,10 @@ Status AccessControl::CreateGroup(const std::string& group) {
     return Status::AlreadyExists("group " + group + " already exists");
   }
   groups_[group] = {};
+  if (undo_ && undo_->recording()) {
+    undo_->Record("create group " + group,
+                  [this, group] { groups_.erase(group); });
+  }
   return Status::Ok();
 }
 
@@ -37,7 +47,13 @@ Status AccessControl::AddToGroup(const std::string& user,
                                  const std::string& group) {
   auto it = groups_.find(group);
   if (it == groups_.end()) return Status::NotFound("no group " + group);
-  it->second.insert(user);
+  bool inserted = it->second.insert(user).second;
+  if (inserted && undo_ && undo_->recording()) {
+    undo_->Record("add " + user + " to group " + group, [this, user, group] {
+      auto g = groups_.find(group);
+      if (g != groups_.end()) g->second.erase(user);
+    });
+  }
   return Status::Ok();
 }
 
@@ -54,7 +70,15 @@ bool AccessControl::MatchesPrincipal(const std::string& principal,
 
 Status AccessControl::Grant(const std::string& principal,
                             const std::string& table, Privilege privilege) {
-  grants_[{principal, table}].insert(privilege);
+  bool inserted = grants_[{principal, table}].insert(privilege).second;
+  if (inserted && undo_ && undo_->recording()) {
+    undo_->Record("grant on " + table, [this, principal, table, privilege] {
+      auto it = grants_.find({principal, table});
+      if (it == grants_.end()) return;
+      it->second.erase(privilege);
+      if (it->second.empty()) grants_.erase(it);
+    });
+  }
   return Status::Ok();
 }
 
@@ -63,6 +87,11 @@ Status AccessControl::Revoke(const std::string& principal,
   auto it = grants_.find({principal, table});
   if (it == grants_.end() || it->second.erase(privilege) == 0) {
     return Status::NotFound("no such grant to revoke");
+  }
+  if (undo_ && undo_->recording()) {
+    undo_->Record("revoke on " + table, [this, principal, table, privilege] {
+      grants_[{principal, table}].insert(privilege);
+    });
   }
   return Status::Ok();
 }

@@ -22,6 +22,8 @@ enum class Privilege : uint8_t {
 
 std::string_view PrivilegeName(Privilege p);
 
+class UndoLog;
+
 // Identity-based access control: users, groups, per-table grants.
 // Superusers (the database owner, lab administrators) bypass grants.
 class AccessControl {
@@ -30,6 +32,10 @@ class AccessControl {
 
   AccessControl(const AccessControl&) = delete;
   AccessControl& operator=(const AccessControl&) = delete;
+
+  // Transactions: while `undo` records, principal/grant mutations push
+  // compensations that restore the prior membership state exactly.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
 
   // --- principals ---------------------------------------------------------
   Status CreateUser(const std::string& user);
@@ -81,6 +87,7 @@ class AccessControl {
   std::map<std::string, std::set<std::string>> groups_;  // group -> members
   // (principal, table) -> privileges
   std::map<std::pair<std::string, std::string>, std::set<Privilege>> grants_;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace bdbms

@@ -1,5 +1,7 @@
 #include "auth/approval.h"
 
+#include "txn/undo_log.h"
+
 namespace bdbms {
 
 std::string_view OpTypeName(OpType t) {
@@ -42,11 +44,25 @@ Status ApprovalManager::StartContentApproval(
       mask |= ColumnBit(idx);
     }
   }
+  RecordConfigUndo(table);
   ApprovalConfig& cfg = configs_[table];
   cfg.enabled = true;
   cfg.columns |= mask;
   cfg.approver = approver;
   return Status::Ok();
+}
+
+void ApprovalManager::RecordConfigUndo(const std::string& table) {
+  if (!undo_ || !undo_->recording()) return;
+  auto it = configs_.find(table);
+  if (it == configs_.end()) {
+    undo_->Record("approval config " + table,
+                  [this, table] { configs_.erase(table); });
+  } else {
+    ApprovalConfig prior = it->second;
+    undo_->Record("approval config " + table,
+                  [this, table, prior] { configs_[table] = prior; });
+  }
 }
 
 Status ApprovalManager::StopContentApproval(
@@ -57,10 +73,12 @@ Status ApprovalManager::StopContentApproval(
                                       table);
   }
   if (columns.empty()) {
+    RecordConfigUndo(table);
     configs_.erase(it);
     return Status::Ok();
   }
   BDBMS_ASSIGN_OR_RETURN(TableSchema schema, catalog_->GetSchema(table));
+  RecordConfigUndo(table);
   for (const std::string& c : columns) {
     BDBMS_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(c));
     it->second.columns &= ~ColumnBit(idx);
@@ -136,6 +154,14 @@ Result<uint64_t> ApprovalManager::LogOperation(OpType type,
                          BuildInverseSql(type, table, row, op.old_row));
   uint64_t id = op.op_id;
   log_[id] = std::move(op);
+  if (undo_ && undo_->recording()) {
+    uint64_t next_before = id;  // op_id was next_op_id_ before the bump
+    undo_->Record("log operation " + std::to_string(id),
+                  [this, id, next_before] {
+                    log_.erase(id);
+                    next_op_id_ = next_before;
+                  });
+  }
   return id;
 }
 
@@ -200,6 +226,12 @@ Status ApprovalManager::Approve(uint64_t op_id, const std::string& principal) {
   }
   BDBMS_RETURN_IF_ERROR(CheckApprover(op, principal));
   op.state = OpState::kApproved;
+  if (undo_ && undo_->recording()) {
+    undo_->Record("approve " + std::to_string(op_id), [this, op_id] {
+      auto entry = log_.find(op_id);
+      if (entry != log_.end()) entry->second.state = OpState::kPending;
+    });
+  }
   return Status::Ok();
 }
 
@@ -229,6 +261,14 @@ Result<LoggedOperation> ApprovalManager::Disapprove(
       break;
   }
   op.state = OpState::kDisapproved;
+  // The inverse-DML effects above were captured by the Table's own undo
+  // hooks; only the settle-state flip needs its own compensation.
+  if (undo_ && undo_->recording()) {
+    undo_->Record("disapprove " + std::to_string(op_id), [this, op_id] {
+      auto entry = log_.find(op_id);
+      if (entry != log_.end()) entry->second.state = OpState::kPending;
+    });
+  }
   return op;
 }
 

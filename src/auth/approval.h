@@ -52,6 +52,8 @@ struct LoggedOperation {
   std::string inverse_sql;
 };
 
+class UndoLog;
+
 // The approval log + configuration store.
 class ApprovalManager {
  public:
@@ -63,6 +65,10 @@ class ApprovalManager {
 
   ApprovalManager(const ApprovalManager&) = delete;
   ApprovalManager& operator=(const ApprovalManager&) = delete;
+
+  // Transactions: while `undo` records, config changes, log appends and
+  // settle-state flips push compensations restoring the prior state.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
 
   // START CONTENT APPROVAL ON t [COLUMNS c...] APPROVED BY who.
   // Empty `columns` monitors the whole table.
@@ -135,12 +141,17 @@ class ApprovalManager {
   Result<std::string> BuildInverseSql(OpType type, const std::string& table,
                                       RowId row, const Row& old_row) const;
 
+  // Records a compensation restoring `table`'s config entry (or its
+  // absence) as of the call.
+  void RecordConfigUndo(const std::string& table);
+
   Catalog* catalog_;
   AccessControl* access_;
   LogicalClock* clock_;
   std::map<std::string, ApprovalConfig> configs_;
   std::map<uint64_t, LoggedOperation> log_;
   uint64_t next_op_id_ = 1;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace bdbms

@@ -1,5 +1,9 @@
 #include "catalog/catalog.h"
 
+#include <memory>
+
+#include "txn/undo_log.h"
+
 namespace bdbms {
 
 Status Catalog::CreateTable(const TableSchema& schema) {
@@ -14,6 +18,11 @@ Status Catalog::CreateTable(const TableSchema& schema) {
     return Status::AlreadyExists("table " + schema.name() + " already exists");
   }
   tables_[schema.name()] = schema;
+  if (undo_ && undo_->recording()) {
+    std::string name = schema.name();
+    undo_->Record("create table " + name,
+                  [this, name] { tables_.erase(name); });
+  }
   return Status::Ok();
 }
 
@@ -21,6 +30,33 @@ Status Catalog::DropTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table " + name);
+  }
+  // The drop cascades over four maps; the compensation restores every
+  // erased entry, so capture them before touching anything.
+  if (undo_ && undo_->recording()) {
+    TableSchema schema = it->second;
+    std::map<std::string, AnnotationTableInfo> anns;
+    for (const auto& [key, info] : annotation_tables_) {
+      if (info.on_table == name) anns[key] = info;
+    }
+    std::map<std::string, IndexInfo> idxs;
+    for (const auto& [key, info] : indexes_) {
+      if (info.on_table == name) idxs[key] = info;
+    }
+    auto stats = std::make_shared<std::map<std::string, TableStats>>();
+    auto stats_it = stats_.find(name);
+    if (stats_it != stats_.end()) (*stats)[name] = stats_it->second;
+    undo_->Record("drop table " + name,
+                  [this, schema, anns, idxs, stats] {
+                    tables_[schema.name()] = schema;
+                    for (const auto& [key, info] : anns) {
+                      annotation_tables_[key] = info;
+                    }
+                    for (const auto& [key, info] : idxs) {
+                      indexes_[key] = info;
+                    }
+                    for (const auto& [key, st] : *stats) stats_[key] = st;
+                  });
   }
   tables_.erase(it);
   // Drop dependent annotation tables.
@@ -74,6 +110,10 @@ Status Catalog::CreateAnnotationTable(const std::string& on_table,
     return Status::AlreadyExists("annotation table " + key + " already exists");
   }
   annotation_tables_[key] = {ann_name, on_table, is_provenance};
+  if (undo_ && undo_->recording()) {
+    undo_->Record("create annotation table " + key,
+                  [this, key] { annotation_tables_.erase(key); });
+  }
   return Status::Ok();
 }
 
@@ -83,6 +123,13 @@ Status Catalog::DropAnnotationTable(const std::string& on_table,
   if (it == annotation_tables_.end()) {
     return Status::NotFound("no annotation table " + ann_name + " on " +
                             on_table);
+  }
+  if (undo_ && undo_->recording()) {
+    std::string key = it->first;
+    AnnotationTableInfo info = it->second;
+    undo_->Record("drop annotation table " + key, [this, key, info] {
+      annotation_tables_[key] = info;
+    });
   }
   annotation_tables_.erase(it);
   return Status::Ok();
@@ -152,6 +199,10 @@ Status Catalog::CreateIndex(const std::string& on_table,
                                  on_table);
   }
   indexes_[key] = {index_name, on_table, columns.front(), columns, kind};
+  if (undo_ && undo_->recording()) {
+    undo_->Record("create index " + key,
+                  [this, key] { indexes_.erase(key); });
+  }
   return Status::Ok();
 }
 
@@ -160,6 +211,12 @@ Status Catalog::DropIndex(const std::string& on_table,
   auto it = indexes_.find(AnnKey(on_table, index_name));
   if (it == indexes_.end()) {
     return Status::NotFound("no index " + index_name + " on " + on_table);
+  }
+  if (undo_ && undo_->recording()) {
+    std::string key = it->first;
+    IndexInfo info = it->second;
+    undo_->Record("drop index " + key,
+                  [this, key, info] { indexes_[key] = info; });
   }
   indexes_.erase(it);
   return Status::Ok();
@@ -181,6 +238,18 @@ std::vector<IndexInfo> Catalog::ListIndexes(const std::string& on_table) const {
 Status Catalog::SetStats(const std::string& table, TableStats stats) {
   if (!tables_.count(table)) {
     return Status::NotFound("no table " + table);
+  }
+  if (undo_ && undo_->recording()) {
+    auto it = stats_.find(table);
+    if (it == stats_.end()) {
+      undo_->Record("analyze " + table,
+                    [this, table] { stats_.erase(table); });
+    } else {
+      auto prior = std::make_shared<TableStats>(it->second);
+      undo_->Record("analyze " + table, [this, table, prior] {
+        stats_[table] = *prior;
+      });
+    }
   }
   stats_[table] = std::move(stats);
   return Status::Ok();

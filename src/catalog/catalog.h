@@ -37,6 +37,8 @@ struct IndexInfo {
   IndexKind kind = IndexKind::kBTree;
 };
 
+class UndoLog;
+
 // System catalog: user tables and their annotation tables. Dependency
 // rules live in DependencyManager, ACL/approval state in
 // AuthorizationManager; the catalog is the name authority all of them
@@ -46,6 +48,10 @@ class Catalog {
   Catalog() = default;
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
+
+  // Transactions: while `undo` records, every catalog mutation pushes a
+  // compensation that restores the prior entry (or absence) exactly.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
 
   // --- user tables -------------------------------------------------------
   Status CreateTable(const TableSchema& schema);
@@ -111,6 +117,7 @@ class Catalog {
   // Keyed by "tbl.index".
   std::map<std::string, IndexInfo> indexes_;
   std::map<std::string, TableStats> stats_;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace bdbms

@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <algorithm>
+#include <mutex>
 #include <variant>
 
 #include "sql/parser.h"
@@ -11,7 +13,15 @@ Database::Database()
     : annotations_(&clock_),
       provenance_(&annotations_),
       dependencies_(&catalog_, &procedures_),
-      approvals_(&catalog_, &access_, &clock_) {}
+      approvals_(&catalog_, &access_, &clock_) {
+  // Every manager records its compensations into the shared undo log, so
+  // a statement or transaction rollback unwinds the whole engine state.
+  catalog_.set_undo_log(&undo_);
+  annotations_.set_undo_log(&undo_);
+  dependencies_.set_undo_log(&undo_);
+  access_.set_undo_log(&undo_);
+  approvals_.set_undo_log(&undo_);
+}
 
 Database::~Database() {
   if (dur_ && dur_->wal) {
@@ -60,22 +70,53 @@ ExecContext Database::MakeContext() {
   ctx.create_table = [this](const TableSchema& schema) -> Status {
     BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<Table> t,
                            Table::CreateInMemory(schema));
+    t->set_undo_log(&undo_);
+    if (undo_.recording()) {
+      undo_.Record("create table storage " + schema.name(),
+                   [this, name = schema.name()] { tables_.erase(name); });
+    }
     tables_[schema.name()] = std::move(t);
     return Status::Ok();
   };
   ctx.drop_table = [this](const std::string& name) -> Status {
-    if (tables_.erase(name) == 0) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
       return Status::NotFound("no table storage for " + name);
     }
+    if (undo_.recording()) {
+      // Park the storage object instead of destroying it: ROLLBACK
+      // re-inserts it wholesale, rows and indexes intact, no rebuild.
+      auto held =
+          std::make_shared<std::unique_ptr<Table>>(std::move(it->second));
+      undo_.Record("drop table storage " + name,
+                   [this, name, held] { tables_[name] = std::move(*held); });
+    }
+    tables_.erase(it);
     return Status::Ok();
   };
   ctx.deletion_log = &deletion_log_;
+  ctx.undo = &undo_;
   return ctx;
 }
 
 Result<QueryResult> Database::Execute(std::string_view sql,
-                                      const std::string& user) {
+                                      const std::string& user,
+                                      const void* session) {
+  const void* token = session ? session : static_cast<const void*>(this);
   BDBMS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+
+  if (const auto* txn = std::get_if<TxnStmt>(&stmt.node)) {
+    switch (txn->kind) {
+      case TxnStmt::Kind::kBegin:
+        return BeginTxn(token);
+      case TxnStmt::Kind::kCommit:
+        return CommitTxn(token);
+      case TxnStmt::Kind::kRollback:
+        return RollbackTxn(token);
+    }
+  }
+
+  const bool owns_txn = InTransaction(session);
 
   // CHECKPOINT is handled here, not in the executor: it operates on the
   // WAL/checkpoint files the facade owns, and must never itself be
@@ -84,19 +125,42 @@ Result<QueryResult> Database::Execute(std::string_view sql,
     if (!access_.IsSuperuser(user)) {
       return Status::PermissionDenied("only superusers may checkpoint");
     }
+    if (owns_txn) {
+      // A checkpoint snapshots committed state; uncommitted transaction
+      // effects must never reach the checkpoint file.
+      return Status::FailedPrecondition(
+          "CHECKPOINT cannot run inside a transaction");
+    }
+    std::unique_lock<std::shared_mutex> lock(engine_mu_);
     if (!dur_) {
       Executor executor(MakeContext(), user);
       return executor.Execute(stmt);  // deliberate no-op + message
     }
-    BDBMS_RETURN_IF_ERROR(Checkpoint());
+    BDBMS_RETURN_IF_ERROR(CheckpointLocked());
     QueryResult result;
-    result.message = "CHECKPOINT complete (lsn " +
-                     std::to_string(dur_->last_lsn) + ")";
+    result.message =
+        "CHECKPOINT complete (lsn " + std::to_string(dur_->last_lsn) + ")";
     return result;
   }
 
   const bool mutating = StatementMutatesState(stmt);
-  if (mutating && dur_ && !dur_->wal) {
+
+  if (owns_txn) {
+    // The session's BEGIN already holds the exclusive engine lock.
+    return ExecuteInTxn(stmt, sql, user, mutating);
+  }
+
+  if (!mutating) {
+    // Read-only statements run concurrently under the shared lock.
+    std::shared_lock<std::shared_mutex> lock(engine_mu_);
+    Executor executor(MakeContext(), user);
+    return executor.Execute(stmt);
+  }
+
+  // Autocommit: the statement is its own transaction — executed under
+  // the exclusive lock with rollback protection, journaled on success.
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (dur_ && !dur_->wal) {
     // The latch must refuse BEFORE execution: applying the statement in
     // memory and then reporting FailedPrecondition would let a retrying
     // caller stack up unjournaled in-memory effects.
@@ -104,10 +168,108 @@ Result<QueryResult> Database::Execute(std::string_view sql,
         "durable store is unusable after a write failure; reopen");
   }
   const uint64_t clock_before = clock_.Peek();
+  undo_.Begin();
   Executor executor(MakeContext(), user);
-  BDBMS_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(stmt));
-  if (mutating && dur_) {
+  auto result = executor.Execute(stmt);
+  if (!result.ok()) {
+    // Mid-statement failure: compensate every partial effect, newest
+    // first, then restore the clock so the failed attempt is invisible.
+    undo_.RollbackAll();
+    clock_.Reset(clock_before);
+    return result.status();
+  }
+  undo_.Stop();
+  if (dur_) {
     BDBMS_RETURN_IF_ERROR(LogCommitted(sql, user, clock_before));
+  }
+  return result;
+}
+
+Result<QueryResult> Database::BeginTxn(const void* token) {
+  if (txn_owner_.load(std::memory_order_acquire) == token) {
+    return Status::FailedPrecondition("transaction already in progress");
+  }
+  // Blocks until every reader and any other session's transaction has
+  // drained: one writer at a time, and it sees no interleaved state.
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (dur_ && !dur_->wal) {
+    return Status::FailedPrecondition(
+        "durable store is unusable after a write failure; reopen");
+  }
+  txn_ = std::make_unique<Txn>();
+  txn_->lock = std::move(lock);
+  txn_->clock_at_begin = clock_.Peek();
+  undo_.Begin();
+  txn_owner_.store(token, std::memory_order_release);
+  QueryResult result;
+  result.message = "BEGIN";
+  return result;
+}
+
+Result<QueryResult> Database::CommitTxn(const void* token) {
+  if (txn_owner_.load(std::memory_order_acquire) != token) {
+    return Status::FailedPrecondition("no transaction in progress");
+  }
+  const size_t statements = txn_->pending.size();
+  if (dur_ && !txn_->pending.empty()) {
+    Status logged = LogTxnCommitted();
+    if (!logged.ok()) {
+      // The journal rejected the transaction, so it must not commit in
+      // memory either: unwind everything and report the failure.
+      undo_.RollbackAll();
+      clock_.Reset(txn_->clock_at_begin);
+      EndTxn();
+      return logged;
+    }
+  }
+  undo_.Stop();
+  EndTxn();
+  QueryResult result;
+  result.message = "COMMIT (" + std::to_string(statements) +
+                   (statements == 1 ? " statement)" : " statements)");
+  return result;
+}
+
+Result<QueryResult> Database::RollbackTxn(const void* token) {
+  if (txn_owner_.load(std::memory_order_acquire) != token) {
+    return Status::FailedPrecondition("no transaction in progress");
+  }
+  undo_.RollbackAll();
+  clock_.Reset(txn_->clock_at_begin);
+  EndTxn();
+  QueryResult result;
+  result.message = "ROLLBACK";
+  return result;
+}
+
+void Database::EndTxn() {
+  txn_owner_.store(nullptr, std::memory_order_release);
+  std::unique_ptr<Txn> finished = std::move(txn_);
+  // finished->lock releases the engine on destruction, after the owner
+  // slot is already clear.
+}
+
+Result<QueryResult> Database::ExecuteInTxn(const Statement& stmt,
+                                           std::string_view sql,
+                                           const std::string& user,
+                                           bool mutating) {
+  if (mutating && dur_ && !dur_->wal) {
+    return Status::FailedPrecondition(
+        "durable store is unusable after a write failure; reopen");
+  }
+  const uint64_t clock_before = clock_.Peek();
+  const UndoLog::Mark mark = undo_.MarkPoint();
+  Executor executor(MakeContext(), user);
+  auto result = executor.Execute(stmt);
+  if (!result.ok()) {
+    // Statement-level savepoint: undo this statement's effects only; the
+    // transaction stays open.
+    undo_.RollbackTo(mark);
+    clock_.Reset(clock_before);
+    return result.status();
+  }
+  if (mutating && dur_) {
+    txn_->pending.push_back({user, std::string(sql), clock_before});
   }
   return result;
 }
@@ -154,7 +316,59 @@ Status Database::LogCommitted(std::string_view sql, const std::string& user,
     // unaffected — record the failure and retry at the next statement.
     // (If the failure tore the writer down, the latch above reports it
     // on the next commit.)
-    Status ckpt = Checkpoint();
+    Status ckpt = CheckpointLocked();
+    if (!ckpt.ok()) {
+      ++dur_->checkpoint_failures;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::LogTxnCommitted() {
+  if (!dur_->wal) {
+    return Status::FailedPrecondition(
+        "durable store is unusable after a write failure; reopen");
+  }
+  uint64_t lsn = dur_->last_lsn;
+  auto append = [&](WalRecordKind kind, uint64_t clk, const std::string& user,
+                    const std::string& sql) -> Status {
+    WalRecord rec;
+    rec.lsn = ++lsn;
+    rec.clock = clk;
+    rec.kind = kind;
+    rec.user = user;
+    rec.sql = sql;
+    Status appended = dur_->wal->Append(rec);
+    if (!appended.ok()) {
+      // Same latch discipline as LogCommitted. A partially appended
+      // group is harmless on its own — recovery discards any begin
+      // marker without a commit marker — but nothing appended after the
+      // tear could be trusted.
+      TearDownWal();
+    }
+    return appended;
+  };
+  BDBMS_RETURN_IF_ERROR(
+      append(WalRecordKind::kTxnBegin, txn_->clock_at_begin, "", ""));
+  for (const PendingStatement& p : txn_->pending) {
+    BDBMS_RETURN_IF_ERROR(
+        append(WalRecordKind::kStatement, p.clock_before, p.user, p.sql));
+  }
+  BDBMS_RETURN_IF_ERROR(
+      append(WalRecordKind::kTxnCommit, clock_.Peek(), "", ""));
+  // One fsync covers the whole group: the transaction is durable exactly
+  // when its commit marker is. group_commit_interval batches autocommit
+  // statements, never transactions.
+  Status synced = dur_->wal->Sync();
+  if (!synced.ok()) {
+    TearDownWal();
+    return synced;
+  }
+  dur_->last_lsn = lsn;
+  dur_->statements_since_checkpoint += txn_->pending.size();
+  if (dur_->options.checkpoint_interval > 0 &&
+      dur_->statements_since_checkpoint >= dur_->options.checkpoint_interval) {
+    Status ckpt = CheckpointLocked();
     if (!ckpt.ok()) {
       ++dur_->checkpoint_failures;
     }
@@ -172,6 +386,11 @@ void Database::TearDownWal() {
 }
 
 Status Database::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
   if (!dur_) {
     return Status::FailedPrecondition("not a durable database");
   }
@@ -206,6 +425,7 @@ Status Database::Checkpoint() {
 }
 
 Status Database::Close() {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
   if (!dur_) return Status::Ok();
   Status s = Status::Ok();
   if (dur_->wal) {
@@ -230,7 +450,8 @@ DurabilityStats Database::durability_stats() const {
   stats.checkpoint_failures = dur_->checkpoint_failures;
   stats.wal_bytes_appended =
       dur_->wal_bytes_total + (dur_->wal ? dur_->wal->bytes_appended() : 0);
-  stats.wal_syncs = dur_->wal_syncs_total + (dur_->wal ? dur_->wal->syncs() : 0);
+  stats.wal_syncs =
+      dur_->wal_syncs_total + (dur_->wal ? dur_->wal->syncs() : 0);
   stats.statements_since_checkpoint = dur_->statements_since_checkpoint;
   return stats;
 }
@@ -284,19 +505,63 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   if (env->FileExists(ckpt_path)) {
     BDBMS_ASSIGN_OR_RETURN(std::string payload, ReadCheckpointFile(dir));
     BDBMS_RETURN_IF_ERROR(db->LoadSnapshot(payload, &last_lsn));
+    // Snapshot-loaded tables must record compensations like freshly
+    // created ones, or transactions after reopen could not roll back.
+    for (auto& [name, table] : db->tables_) {
+      table->set_undo_log(&db->undo_);
+    }
   }
 
   uint64_t replayed = 0;
   if (env->FileExists(wal_path)) {
     BDBMS_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(wal_path));
     BDBMS_ASSIGN_OR_RETURN(WalScan scan, ScanWal(data));
-    for (const WalRecord& rec : scan.records) {
-      if (rec.lsn <= last_lsn) continue;  // already in the checkpoint
-      BDBMS_RETURN_IF_ERROR(db->ReplayRecord(rec));
-      last_lsn = rec.lsn;
-      ++replayed;
+    bool dangling = false;
+    uint64_t truncate_at = 0;
+    const size_t n = scan.records.size();
+    size_t i = 0;
+    while (i < n) {
+      const WalRecord& rec = scan.records[i];
+      if (rec.kind == WalRecordKind::kStatement) {
+        if (rec.lsn > last_lsn) {  // else already in the checkpoint
+          BDBMS_RETURN_IF_ERROR(db->ReplayRecord(rec));
+          last_lsn = rec.lsn;
+          ++replayed;
+        }
+        ++i;
+        continue;
+      }
+      if (rec.kind == WalRecordKind::kTxnCommit) {
+        return Status::Corruption(
+            "WAL: commit marker without an open transaction at lsn " +
+            std::to_string(rec.lsn));
+      }
+      // kTxnBegin: the group counts only if its commit marker made it
+      // into the valid prefix. A dangling group is the expected shape of
+      // a crash mid-commit — discard it, and everything after it, by
+      // truncating at the begin marker's byte offset (later appends must
+      // extend the last record recovery acknowledged).
+      size_t end = i + 1;
+      while (end < n && scan.records[end].kind == WalRecordKind::kStatement) {
+        ++end;
+      }
+      if (end == n || scan.records[end].kind != WalRecordKind::kTxnCommit) {
+        dangling = true;
+        truncate_at = scan.record_offsets[i];
+        break;
+      }
+      for (size_t k = i + 1; k < end; ++k) {
+        const WalRecord& member = scan.records[k];
+        if (member.lsn <= last_lsn) continue;
+        BDBMS_RETURN_IF_ERROR(db->ReplayRecord(member));
+        ++replayed;
+      }
+      last_lsn = std::max(last_lsn, scan.records[end].lsn);
+      i = end + 1;
     }
-    if (scan.tail_discarded) {
+    if (dangling) {
+      BDBMS_RETURN_IF_ERROR(env->TruncateFile(wal_path, truncate_at));
+    } else if (scan.tail_discarded) {
       // Cut the torn/corrupt tail so future appends extend valid data.
       BDBMS_RETURN_IF_ERROR(env->TruncateFile(wal_path, scan.valid_bytes));
     }

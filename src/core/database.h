@@ -1,9 +1,11 @@
 #ifndef BDBMS_CORE_DATABASE_H_
 #define BDBMS_CORE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "exec/query_result.h"
 #include "prov/provenance.h"
 #include "table/table.h"
+#include "txn/undo_log.h"
 #include "wal/wal.h"
 #include "wal/wal_env.h"
 
@@ -87,6 +90,14 @@ struct DurabilityStats {
 // full engine state — tables, annotations, dependencies, approvals,
 // grants — from the newest valid checkpoint plus the log tail
 // (docs/durability.md).
+//
+// Concurrency: Execute() is safe to call from multiple threads. A coarse
+// reader/writer lock admits read-only statements concurrently and
+// serializes mutating statements (docs/transactions.md). BEGIN acquires
+// the writer side and holds it until COMMIT/ROLLBACK, so at most one
+// transaction is open at a time and it observes no interleaved writes.
+// The programmatic manager accessors below bypass the lock and remain
+// single-threaded, like the CIDR'07 prototype.
 class Database {
  public:
   Database();
@@ -110,8 +121,25 @@ class Database {
   // DurabilityOptions::group_commit_interval before this returns; an
   // error from the journaling path is the caller's signal that the
   // statement may not survive a crash.
+  //
+  // Every statement is atomic: a mid-statement failure rolls back all of
+  // its partial effects via the undo log before the error returns.
+  //
+  // `session` identifies the issuing session for transaction ownership
+  // (BEGIN/COMMIT/ROLLBACK); callers without a Session object share one
+  // implicit session. A session with an open transaction must issue all
+  // of its statements from the thread that executed BEGIN (the writer
+  // lock is thread-owned); other sessions block until it ends.
   Result<QueryResult> Execute(std::string_view sql,
-                              const std::string& user = "admin");
+                              const std::string& user = "admin",
+                              const void* session = nullptr);
+
+  // True when `session` (nullptr = the implicit session) holds the open
+  // transaction.
+  bool InTransaction(const void* session = nullptr) const {
+    return txn_owner_.load(std::memory_order_acquire) ==
+           (session ? session : static_cast<const void*>(this));
+  }
 
   // Snapshots the entire engine state to checkpoint.bdb (write-temp +
   // fsync + atomic rename + directory fsync) and truncates the WAL. Also
@@ -156,12 +184,49 @@ class Database {
       const std::string& table, RowId row, size_t col);
 
  private:
+  // One buffered statement of an open transaction, journaled only at
+  // COMMIT (the WAL never sees uncommitted work).
+  struct PendingStatement {
+    std::string user;
+    std::string sql;
+    uint64_t clock_before = 0;
+  };
+
+  // State of the (single) open transaction. Owning the struct implies
+  // owning the exclusive engine lock.
+  struct Txn {
+    std::unique_lock<std::shared_mutex> lock;
+    uint64_t clock_at_begin = 0;
+    std::vector<PendingStatement> pending;
+  };
+
   ExecContext MakeContext();
+
+  Result<QueryResult> BeginTxn(const void* token);
+  Result<QueryResult> CommitTxn(const void* token);
+  Result<QueryResult> RollbackTxn(const void* token);
+  // Clears ownership, then releases the exclusive lock (that order, so a
+  // waiter that wins the lock never sees a stale owner).
+  void EndTxn();
+
+  // Executes one statement inside the open transaction, under a
+  // per-statement savepoint: on failure the statement's effects are
+  // undone and the transaction stays alive.
+  Result<QueryResult> ExecuteInTxn(const Statement& stmt,
+                                   std::string_view sql,
+                                   const std::string& user, bool mutating);
 
   // Journals one committed statement and drives the fsync / auto-
   // checkpoint cadence.
   Status LogCommitted(std::string_view sql, const std::string& user,
                       uint64_t clock_before);
+
+  // Journals the open transaction as one BEGIN-framed group (begin
+  // marker, buffered statements, commit marker) with a single fsync.
+  Status LogTxnCommitted();
+
+  // Checkpoint body; the caller holds the exclusive engine lock.
+  Status CheckpointLocked();
 
   // Latches the durable store unusable after a write-path failure left
   // the log in an untrustworthy state; every later commit fails with
@@ -206,6 +271,23 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::vector<DeletionLogEntry>> deletion_log_;
   std::unique_ptr<Durable> dur_;
+
+  // Compensation log for the statement/transaction currently executing
+  // under rollback protection. Mutation paths across the engine record
+  // their logical inverses here (docs/transactions.md).
+  UndoLog undo_;
+
+  // Coarse engine lock: shared for read-only statements, exclusive for
+  // mutating ones and for the whole span of an open transaction.
+  // Declared before txn_ so the transaction's unique_lock is destroyed
+  // (and released) before the mutex itself.
+  std::shared_mutex engine_mu_;
+
+  // Owner token of the open transaction, or nullptr. Atomic so a session
+  // can ask "is this mine?" without touching the engine lock it may be
+  // about to block on.
+  std::atomic<const void*> txn_owner_{nullptr};
+  std::unique_ptr<Txn> txn_;  // non-null iff a transaction is open
 };
 
 }  // namespace bdbms

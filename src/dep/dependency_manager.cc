@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "txn/undo_log.h"
+
 namespace bdbms {
 
 namespace {
@@ -75,21 +77,46 @@ Status DependencyManager::AddRule(DependencyRule rule) {
         rule.target.ToString());
   }
 
+  uint64_t next_before = next_rule_id_;
   if (rule.name.empty()) {
     rule.name = "rule_" + std::to_string(next_rule_id_++);
   }
   if (rules_.count(rule.name)) {
+    next_rule_id_ = next_before;
     return Status::AlreadyExists("rule " + rule.name + " already exists");
   }
-  rules_[rule.name] = std::move(rule);
+  std::string name = rule.name;
+  rules_[name] = std::move(rule);
+  if (undo_ && undo_->recording()) {
+    undo_->Record("add rule " + name, [this, name, next_before] {
+      rules_.erase(name);
+      next_rule_id_ = next_before;
+    });
+  }
   return Status::Ok();
 }
 
 Status DependencyManager::RemoveRule(const std::string& name) {
-  if (rules_.erase(name) == 0) {
+  auto it = rules_.find(name);
+  if (it == rules_.end()) {
     return Status::NotFound("no rule " + name);
   }
+  if (undo_ && undo_->recording()) {
+    DependencyRule rule = it->second;
+    undo_->Record("remove rule " + name,
+                  [this, name, rule] { rules_[name] = rule; });
+  }
+  rules_.erase(it);
   return Status::Ok();
+}
+
+void DependencyManager::RecordMarkUndo(const std::string& table, RowId row,
+                                       size_t col) {
+  if (!undo_ || !undo_->recording()) return;
+  undo_->Record("mark outdated " + table, [this, table, row, col] {
+    auto it = bitmaps_.find(table);
+    if (it != bitmaps_.end()) it->second.Clear(row, col);
+  });
 }
 
 Result<const DependencyRule*> DependencyManager::GetRule(
@@ -329,6 +356,7 @@ Status DependencyManager::Propagate(std::deque<WorkItem> work,
                                  BitmapFor(rule.target.table));
           if (!bm->IsOutdated(t_row, dst_col)) {
             bm->Mark(t_row, dst_col);
+            RecordMarkUndo(rule.target.table, t_row, dst_col);
             report->outdated.push_back(cell);
           }
           valid_next = false;
@@ -379,6 +407,7 @@ DependencyManager::OnProcedureChanged(const std::string& procedure,
                                BitmapFor(rule.target.table));
         if (!bm->IsOutdated(t_row, dst_col)) {
           bm->Mark(t_row, dst_col);
+          RecordMarkUndo(rule.target.table, t_row, dst_col);
           report.outdated.push_back(cell);
         }
         work.push_back({rule.target, t_row, false});
@@ -420,6 +449,7 @@ Result<DependencyManager::PropagationReport> DependencyManager::OnRowErased(
       BDBMS_ASSIGN_OR_RETURN(OutdatedBitmap * bm, BitmapFor(rule.target.table));
       if (!bm->IsOutdated(t_row, dst_col)) {
         bm->Mark(t_row, dst_col);
+        RecordMarkUndo(rule.target.table, t_row, dst_col);
         report.outdated.push_back({rule.target.table, t_row, dst_col});
       }
       work.push_back({rule.target, t_row, /*upstream_valid=*/false});

@@ -63,6 +63,11 @@ class DependencyManager {
   DependencyManager(const DependencyManager&) = delete;
   DependencyManager& operator=(const DependencyManager&) = delete;
 
+  // Transactions: while `undo` records, rule changes and newly set
+  // outdated bits push compensations. Propagation's cell rewrites are
+  // captured by the Table's own undo hooks.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
   // --- rule management ---------------------------------------------------
   // Validates tables/columns/procedure/join and rejects rules that would
   // create a cycle in the column dependency graph (paper: "detect
@@ -155,11 +160,15 @@ class DependencyManager {
   std::multimap<ColumnRef, ColumnRef> BuildEdges(
       const DependencyRule* extra = nullptr) const;
 
+  // Records a compensation clearing a bit Mark() just set.
+  void RecordMarkUndo(const std::string& table, RowId row, size_t col);
+
   Catalog* catalog_;
   ProcedureRegistry* procedures_;
   std::map<std::string, DependencyRule> rules_;
   std::map<std::string, OutdatedBitmap> bitmaps_;
   uint64_t next_rule_id_ = 1;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace bdbms

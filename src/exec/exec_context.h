@@ -14,6 +14,7 @@
 #include "dep/dependency_manager.h"
 #include "prov/provenance.h"
 #include "table/table.h"
+#include "txn/undo_log.h"
 
 namespace bdbms {
 
@@ -42,6 +43,10 @@ struct ExecContext {
   std::function<Status(const TableSchema&)> create_table;
   std::function<Status(const std::string&)> drop_table;
   std::map<std::string, std::vector<DeletionLogEntry>>* deletion_log = nullptr;
+  // Set by the Database facade while a statement runs under rollback
+  // protection; mutation paths that live in the executor itself (the
+  // deletion log) record their compensations here.
+  UndoLog* undo = nullptr;
 };
 
 }  // namespace bdbms

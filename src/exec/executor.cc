@@ -55,6 +55,14 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
           QueryResult result;
           result.message = "CHECKPOINT: no durable store attached (no-op)";
           return result;
+        } else if constexpr (std::is_same_v<T, TxnStmt>) {
+          // Transaction control lives in the Database facade (it owns the
+          // undo log, WAL and engine lock). Reaching the executor means
+          // the statement arrived through a path with no transaction
+          // support wired up.
+          (void)node;
+          return Status::FailedPrecondition(
+              "transaction control requires the Database facade");
         } else if constexpr (std::is_same_v<T, CreateAnnTableStmt>) {
           return ExecCreateAnnTable(node);
         } else if constexpr (std::is_same_v<T, DropAnnTableStmt>) {
@@ -450,6 +458,16 @@ Result<QueryResult> Executor::ExecDelete(const DeleteStmt& stmt,
     if (!annotation_body.empty() && ctx_.deletion_log != nullptr) {
       (*ctx_.deletion_log)[stmt.table].push_back(
           {rid, old_row, annotation_body, user_, ctx_.clock->Tick()});
+      if (ctx_.undo && ctx_.undo->recording()) {
+        auto* log = ctx_.deletion_log;
+        std::string table = stmt.table;
+        ctx_.undo->Record("deletion log " + table, [log, table] {
+          auto it = log->find(table);
+          if (it == log->end() || it->second.empty()) return;
+          it->second.pop_back();
+          if (it->second.empty()) log->erase(it);
+        });
+      }
     }
     BDBMS_RETURN_IF_ERROR(t->Delete(rid));
     BDBMS_RETURN_IF_ERROR(

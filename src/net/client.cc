@@ -1,0 +1,64 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/wire.h"
+
+namespace bdbms {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                const std::string& user) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IoError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  // Statements are latency-bound small frames; see server.cc.
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Status hello = WriteFrame(fd, user);
+  if (!hello.ok()) {
+    ::close(fd);
+    return hello;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Client::Response> Client::Execute(std::string_view sql) {
+  BDBMS_RETURN_IF_ERROR(WriteFrame(fd_, sql));
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  const std::string& payload = *frame;
+  if (payload.empty()) {
+    return Status::Corruption("empty response frame");
+  }
+  Response response;
+  response.ok = static_cast<uint8_t>(payload[0]) == kWireOk;
+  response.text = payload.substr(1);
+  return response;
+}
+
+}  // namespace bdbms

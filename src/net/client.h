@@ -1,0 +1,43 @@
+#ifndef BDBMS_NET_CLIENT_H_
+#define BDBMS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace bdbms {
+
+// Blocking client for the bdbms wire protocol (net/wire.h). One
+// connection is one server-side Session: statements run as the user
+// given at Connect, and BEGIN/COMMIT/ROLLBACK scope to this connection.
+class Client {
+ public:
+  // A statement's outcome as reported by the server. Transport failures
+  // surface as the Result's Status instead.
+  struct Response {
+    bool ok = false;
+    std::string text;  // rendered result, or the server's error message
+  };
+
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 const std::string& user);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Result<Response> Execute(std::string_view sql);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_NET_CLIENT_H_

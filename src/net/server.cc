@@ -1,0 +1,144 @@
+#include "net/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/session.h"
+#include "net/wire.h"
+
+namespace bdbms {
+
+Server::Server(Database* db, Options options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (listen_fd_.load(std::memory_order_acquire) >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status s = Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    Status s = Status::IoError(std::string("getsockname: ") +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  int listener = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listener < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() unblocks the accept(2) in flight; close alone does not on
+  // all platforms.
+  ::shutdown(listener, SHUT_RDWR);
+  ::close(listener);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  // The accept loop is dead, so conn_threads_ can no longer grow; each
+  // handler notices its dead socket, rolls back, and exits.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;  // Stop() already closed the listener
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed (Stop) or fatal error either way: stop accepting.
+      return;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Request/response traffic is latency-bound small frames; without
+    // TCP_NODELAY every response can stall ~40ms behind a delayed ACK.
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { Serve(fd); });
+  }
+}
+
+void Server::Serve(int fd) {
+  // Hello frame carries the user; everything after is one statement per
+  // frame, answered in order.
+  auto hello = ReadFrame(fd);
+  if (hello.ok()) {
+    Session session(db_, *hello);
+    for (;;) {
+      auto request = ReadFrame(fd);
+      if (!request.ok()) break;  // disconnect rolls back via ~Session
+      std::string response;
+      auto result = session.Execute(*request);
+      if (result.ok()) {
+        response.push_back(static_cast<char>(kWireOk));
+        response += result->ToString();
+      } else {
+        response.push_back(static_cast<char>(kWireError));
+        response += result.status().ToString();
+      }
+      if (!WriteFrame(fd, response).ok()) break;
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(fd);
+}
+
+}  // namespace bdbms

@@ -1,0 +1,78 @@
+#ifndef BDBMS_NET_SERVER_H_
+#define BDBMS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace bdbms {
+
+// Thread-per-connection TCP front end over one Database. Each accepted
+// connection gets a Session (user identity + transaction ownership) and a
+// dedicated thread, which matters beyond simplicity: the engine's
+// reader/writer lock must be released by the thread that acquired it, so
+// a session's BEGIN..COMMIT span has to stay on one thread.
+//
+// Protocol: see net/wire.h. Dropping a connection rolls back its open
+// transaction (Session destructor), so a crashed client never wedges the
+// single-writer engine.
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral; read the bound port from port()
+  };
+
+  explicit Server(Database* db) : Server(db, Options()) {}
+  Server(Database* db, Options options);
+  ~Server();  // implies Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and spawns the accept thread. After an OK return,
+  // port() is the bound port.
+  Status Start();
+
+  // Closes the listener, shuts down every live connection, and joins all
+  // threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  // Connections accepted over the server's lifetime (tests).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd);
+
+  Database* db_;
+  Options options_;
+  // Written by Start()/Stop() and read by the accept thread each loop
+  // iteration, hence atomic; -1 means not listening.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+
+  // Live connection fds, so Stop() can shut them down and unblock their
+  // reads; threads are joined after the accept loop exits.
+  std::mutex conn_mu_;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace bdbms
+
+#endif  // BDBMS_NET_SERVER_H_

@@ -1,0 +1,92 @@
+#include "net/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace bdbms {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket write: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Reads exactly `len` bytes. `at_boundary` distinguishes a clean close
+// (EOF before any byte of this read) from a torn frame.
+Status ReadAll(int fd, char* data, size_t len, bool at_boundary) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::read(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket read: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      if (at_boundary && done == 0) {
+        return Status::NotFound("peer closed");
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds kMaxFrameBytes");
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  // One write() per frame: a separate header write would let Nagle's
+  // algorithm hold the payload back until the header's (delayed) ACK,
+  // costing tens of milliseconds per request on an otherwise-idle
+  // connection.
+  std::string frame;
+  frame.reserve(sizeof(len) + payload.size());
+  frame.push_back(static_cast<char>(len & 0xff));
+  frame.push_back(static_cast<char>((len >> 8) & 0xff));
+  frame.push_back(static_cast<char>((len >> 16) & 0xff));
+  frame.push_back(static_cast<char>((len >> 24) & 0xff));
+  frame.append(payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[4];
+  BDBMS_RETURN_IF_ERROR(
+      ReadAll(fd, header, sizeof(header), /*at_boundary=*/true));
+  uint32_t len = static_cast<uint32_t>(static_cast<unsigned char>(header[0])) |
+                 static_cast<uint32_t>(static_cast<unsigned char>(header[1]))
+                     << 8 |
+                 static_cast<uint32_t>(static_cast<unsigned char>(header[2]))
+                     << 16 |
+                 static_cast<uint32_t>(static_cast<unsigned char>(header[3]))
+                     << 24;
+  if (len > kMaxFrameBytes) {
+    return Status::Corruption("frame length " + std::to_string(len) +
+                              " exceeds protocol maximum");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    BDBMS_RETURN_IF_ERROR(
+        ReadAll(fd, payload.data(), len, /*at_boundary=*/false));
+  }
+  return payload;
+}
+
+}  // namespace bdbms

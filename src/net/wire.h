@@ -1,0 +1,40 @@
+#ifndef BDBMS_NET_WIRE_H_
+#define BDBMS_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace bdbms {
+
+// Length-prefixed framing over a stream socket (docs/transactions.md):
+//
+//   frame   := u32 length (little-endian) | length bytes of payload
+//
+// The conversation is strictly request/response:
+//
+//   client -> server   hello frame: the user name
+//   client -> server   one A-SQL statement per frame
+//   server -> client   response frame: u8 status (0 = ok, 1 = error)
+//                      followed by the rendered result or error message
+//
+// A frame larger than kMaxFrameBytes is a protocol violation and closes
+// the connection — it is far more likely a desynchronized or malicious
+// peer than a 64 MiB statement.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+inline constexpr uint8_t kWireOk = 0;
+inline constexpr uint8_t kWireError = 1;
+
+// Writes one frame, retrying on short writes and EINTR.
+Status WriteFrame(int fd, std::string_view payload);
+
+// Reads one frame. A clean EOF at a frame boundary returns NotFound
+// ("peer closed"); EOF mid-frame or a read error returns IoError.
+Result<std::string> ReadFrame(int fd);
+
+}  // namespace bdbms
+
+#endif  // BDBMS_NET_WIRE_H_

@@ -171,6 +171,15 @@ struct AnalyzeStmt {
 // databases, so durable and in-memory runs of one script stay comparable.
 struct CheckpointStmt {};
 
+// BEGIN [TRANSACTION] / COMMIT / ROLLBACK — explicit multi-statement
+// transaction control (docs/transactions.md). Handled by the Database
+// facade, not the executor: transaction state lives above statement
+// execution.
+struct TxnStmt {
+  enum class Kind { kBegin, kCommit, kRollback };
+  Kind kind = Kind::kBegin;
+};
+
 // ---------------------------------------------------------------------------
 // A-SQL annotation commands (Figures 4 and 6)
 // ---------------------------------------------------------------------------
@@ -257,7 +266,8 @@ struct DropDependencyStmt {
 using StatementVariant =
     std::variant<SelectStmt, CreateTableStmt, DropTableStmt, InsertStmt,
                  UpdateStmt, DeleteStmt, CreateIndexStmt, DropIndexStmt,
-                 ExplainStmt, AnalyzeStmt, CheckpointStmt, CreateAnnTableStmt,
+                 ExplainStmt, AnalyzeStmt, CheckpointStmt, TxnStmt,
+                 CreateAnnTableStmt,
                  DropAnnTableStmt, AddAnnotationStmt, ArchiveAnnotationStmt,
                  GrantStmt, CreateUserStmt, AddUserToGroupStmt,
                  StartApprovalStmt, StopApprovalStmt, ApproveStmt,
@@ -270,12 +280,14 @@ struct Statement {
 // True for statements whose successful execution changes engine state —
 // the set the durable Database journals in its write-ahead log. SELECT,
 // EXPLAIN and SHOW PENDING only read; CHECKPOINT manages the log itself
-// and must never be replayed from it.
+// and must never be replayed from it; BEGIN/COMMIT/ROLLBACK are journaled
+// as their own framing records, not as statements.
 inline bool StatementMutatesState(const Statement& stmt) {
   return !(std::holds_alternative<SelectStmt>(stmt.node) ||
            std::holds_alternative<ExplainStmt>(stmt.node) ||
            std::holds_alternative<ShowPendingStmt>(stmt.node) ||
-           std::holds_alternative<CheckpointStmt>(stmt.node));
+           std::holds_alternative<CheckpointStmt>(stmt.node) ||
+           std::holds_alternative<TxnStmt>(stmt.node));
 }
 
 }  // namespace bdbms

@@ -23,7 +23,8 @@ const std::set<std::string>& Keywords() {
       "OPERATION", "PENDING", "SHOW",    "DEPENDENCY", "USING",    "JOIN",
       "PROVENANCE", "INT",   "INTEGER",  "DOUBLE",    "TEXT",      "SEQUENCE",
       "ALL",       "INDEX",  "EXPLAIN",  "LIMIT",     "ANALYZE",
-      "SPGIST",    "CHECKPOINT",
+      "SPGIST",    "CHECKPOINT", "BEGIN", "COMMIT",   "ROLLBACK",
+      "TRANSACTION",
   };
   return *kw;
 }

@@ -137,6 +137,21 @@ class Parser {
       Advance();
       return Statement{CheckpointStmt{}};
     }
+    if (Cur().IsKeyword("BEGIN")) {
+      Advance();
+      if (Cur().IsKeyword("TRANSACTION")) Advance();
+      return Statement{TxnStmt{TxnStmt::Kind::kBegin}};
+    }
+    if (Cur().IsKeyword("COMMIT")) {
+      Advance();
+      if (Cur().IsKeyword("TRANSACTION")) Advance();
+      return Statement{TxnStmt{TxnStmt::Kind::kCommit}};
+    }
+    if (Cur().IsKeyword("ROLLBACK")) {
+      Advance();
+      if (Cur().IsKeyword("TRANSACTION")) Advance();
+      return Statement{TxnStmt{TxnStmt::Kind::kRollback}};
+    }
     return Err("expected a statement, got '" + Cur().text + "'");
   }
 

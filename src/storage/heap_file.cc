@@ -229,6 +229,7 @@ Status HeapFile::FreeOverflowChain(PageId first) {
 }
 
 Result<RecordId> HeapFile::Insert(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   bool overflow = payload.size() > kMaxInlinePayload;
   uint32_t cell_len =
       overflow ? kOverflowStubSize : static_cast<uint32_t>(payload.size());
@@ -283,6 +284,11 @@ Result<RecordId> HeapFile::Insert(std::string_view payload) {
 }
 
 Result<std::string> HeapFile::Read(RecordId rid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadInternal(rid);
+}
+
+Result<std::string> HeapFile::ReadInternal(RecordId rid) const {
   BDBMS_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
   const Page& p = *h.page();
   if (p.ReadAt<uint8_t>(0) != kHeapPage) {
@@ -305,6 +311,7 @@ Result<std::string> HeapFile::Read(RecordId rid) const {
 }
 
 Status HeapFile::Delete(RecordId rid) {
+  std::lock_guard<std::mutex> lock(mu_);
   BDBMS_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
   Page* p = h.page();
   if (p->ReadAt<uint8_t>(0) != kHeapPage) {
@@ -332,6 +339,7 @@ Status HeapFile::Delete(RecordId rid) {
 
 Status HeapFile::ForEach(
     const std::function<Status(RecordId, std::string_view)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (PageId id = 0; id < pager_->page_count(); ++id) {
     uint16_t n;
     {
@@ -342,7 +350,7 @@ Status HeapFile::ForEach(
     }
     for (uint16_t i = 0; i < n; ++i) {
       RecordId rid{id, i};
-      auto payload = Read(rid);
+      auto payload = ReadInternal(rid);
       if (!payload.ok()) {
         if (payload.status().IsNotFound()) continue;  // tombstone
         return payload.status();

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,11 +54,15 @@ class HeapFile {
 
   // Flushes the buffer pool to the pager. Write errors propagate: a dirty
   // page that cannot be written back must fail the flush, not vanish.
-  Status Flush() { return pool_->FlushAll(); }
+  Status Flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pool_->FlushAll();
+  }
 
   // Flush + fsync: after an OK return every record written so far is on
   // stable storage, not just in the OS page cache.
   Status Sync() {
+    std::lock_guard<std::mutex> lock(mu_);
     BDBMS_RETURN_IF_ERROR(pool_->FlushAll());
     return pager_->Sync();
   }
@@ -81,6 +86,9 @@ class HeapFile {
   Result<PageId> FindPageWithSpace(uint32_t needed);
   Result<PageId> AllocateOverflowPage();
 
+  // Read() body without taking mu_ (for callers already holding it).
+  Result<std::string> ReadInternal(RecordId rid) const;
+
   // Writes `payload` into an overflow chain, returning the first page id.
   Result<PageId> WriteOverflowChain(std::string_view payload);
   Result<std::string> ReadOverflowChain(PageId first, uint64_t total_len) const;
@@ -91,6 +99,10 @@ class HeapFile {
   std::map<PageId, uint32_t> free_space_;  // heap pages -> free bytes
   std::vector<PageId> overflow_free_;      // recycled overflow pages
   uint64_t record_count_ = 0;
+  // Serializes access to the buffer pool's replacement state, which
+  // mutates even on reads. Lets the engine's reader/writer lock admit
+  // concurrent read-only statements over one table safely.
+  mutable std::mutex mu_;
 };
 
 }  // namespace bdbms

@@ -6,6 +6,7 @@
 
 #include "index/secondary_index.h"
 #include "index/sequence_index.h"
+#include "txn/undo_log.h"
 
 namespace bdbms {
 
@@ -76,6 +77,12 @@ Result<RowId> Table::Insert(Row row) {
                          heap_->Insert(EncodeRecord(row_id, validated)));
   rows_[row_id] = rid;
   BDBMS_RETURN_IF_ERROR(IndexInsert(row_id, validated));
+  if (undo_ && undo_->recording()) {
+    undo_->Record("insert " + schema_.name(), [this, row_id] {
+      (void)Delete(row_id);
+      next_row_id_ = row_id;  // replay must hand out the same id again
+    });
+  }
   return row_id;
 }
 
@@ -86,11 +93,18 @@ Status Table::InsertWithRowId(RowId row_id, Row row) {
   }
   BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
   BDBMS_RETURN_IF_ERROR(CheckIndexable(validated));
+  RowId next_before = next_row_id_;
   BDBMS_ASSIGN_OR_RETURN(RecordId rid,
                          heap_->Insert(EncodeRecord(row_id, validated)));
   rows_[row_id] = rid;
   if (row_id >= next_row_id_) next_row_id_ = row_id + 1;
   BDBMS_RETURN_IF_ERROR(IndexInsert(row_id, validated));
+  if (undo_ && undo_->recording()) {
+    undo_->Record("reinsert " + schema_.name(), [this, row_id, next_before] {
+      (void)Delete(row_id);
+      next_row_id_ = next_before;
+    });
+  }
   return Status::Ok();
 }
 
@@ -116,8 +130,13 @@ Status Table::Update(RowId row_id, Row row) {
   }
   BDBMS_ASSIGN_OR_RETURN(Row validated, schema_.ValidateRow(std::move(row)));
   BDBMS_RETURN_IF_ERROR(CheckIndexable(validated));
-  if (!indexes_.empty() || !seq_indexes_.empty()) {
-    BDBMS_ASSIGN_OR_RETURN(Row old_row, Get(row_id));
+  bool capture = undo_ && undo_->recording();
+  bool has_indexes = !indexes_.empty() || !seq_indexes_.empty();
+  Row old_row;
+  if (capture || has_indexes) {
+    BDBMS_ASSIGN_OR_RETURN(old_row, Get(row_id));
+  }
+  if (has_indexes) {
     BDBMS_RETURN_IF_ERROR(IndexRemove(row_id, old_row));
   }
   BDBMS_RETURN_IF_ERROR(heap_->Delete(it->second));
@@ -125,6 +144,12 @@ Status Table::Update(RowId row_id, Row row) {
                          heap_->Insert(EncodeRecord(row_id, validated)));
   it->second = rid;
   BDBMS_RETURN_IF_ERROR(IndexInsert(row_id, validated));
+  if (capture) {
+    undo_->Record("update " + schema_.name(),
+                  [this, row_id, old = std::move(old_row)] {
+                    (void)Update(row_id, old);
+                  });
+  }
   return Status::Ok();
 }
 
@@ -144,12 +169,23 @@ Status Table::Delete(RowId row_id) {
     return Status::NotFound("table " + schema_.name() + ": no row " +
                             std::to_string(row_id));
   }
-  if (!indexes_.empty() || !seq_indexes_.empty()) {
-    BDBMS_ASSIGN_OR_RETURN(Row old_row, Get(row_id));
+  bool capture = undo_ && undo_->recording();
+  bool has_indexes = !indexes_.empty() || !seq_indexes_.empty();
+  Row old_row;
+  if (capture || has_indexes) {
+    BDBMS_ASSIGN_OR_RETURN(old_row, Get(row_id));
+  }
+  if (has_indexes) {
     BDBMS_RETURN_IF_ERROR(IndexRemove(row_id, old_row));
   }
   BDBMS_RETURN_IF_ERROR(heap_->Delete(it->second));
   rows_.erase(it);
+  if (capture) {
+    undo_->Record("delete " + schema_.name(),
+                  [this, row_id, old = std::move(old_row)] {
+                    (void)InsertWithRowId(row_id, old);
+                  });
+  }
   return Status::Ok();
 }
 
@@ -210,6 +246,10 @@ Status Table::CreateIndex(const std::string& name,
     return index->Insert(row, row_id);
   }));
   indexes_.push_back(std::move(index));
+  if (undo_ && undo_->recording()) {
+    undo_->Record("create index " + name,
+                  [this, name] { (void)DropIndex(name); });
+  }
   return Status::Ok();
 }
 
@@ -232,18 +272,49 @@ Status Table::CreateSequenceIndex(const std::string& name, size_t column) {
     return index->Insert(row[column], row_id);
   }));
   seq_indexes_.push_back(std::move(index));
+  if (undo_ && undo_->recording()) {
+    undo_->Record("create sequence index " + name,
+                  [this, name] { (void)DropIndex(name); });
+  }
   return Status::Ok();
 }
 
+// A dropped index is not destroyed while an undo log records: the built
+// object itself moves into the compensation closure (wrapped shared_ptr —
+// std::function requires copyable captures) and moves back on rollback,
+// so ROLLBACK never pays a full re-build scan. Commit discards the
+// closure, which finally frees the index.
 Status Table::DropIndex(const std::string& name) {
+  bool capture = undo_ && undo_->recording();
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if ((*it)->name() == name) {
+      if (capture) {
+        auto held = std::make_shared<std::unique_ptr<SecondaryIndex>>(
+            std::move(*it));
+        size_t pos = static_cast<size_t>(it - indexes_.begin());
+        undo_->Record("drop index " + name, [this, held, pos] {
+          size_t at = std::min(pos, indexes_.size());
+          indexes_.insert(indexes_.begin() + static_cast<ptrdiff_t>(at),
+                          std::move(*held));
+        });
+      }
       indexes_.erase(it);
       return Status::Ok();
     }
   }
   for (auto it = seq_indexes_.begin(); it != seq_indexes_.end(); ++it) {
     if ((*it)->name() == name) {
+      if (capture) {
+        auto held = std::make_shared<std::unique_ptr<SequenceIndex>>(
+            std::move(*it));
+        size_t pos = static_cast<size_t>(it - seq_indexes_.begin());
+        undo_->Record("drop sequence index " + name, [this, held, pos] {
+          size_t at = std::min(pos, seq_indexes_.size());
+          seq_indexes_.insert(
+              seq_indexes_.begin() + static_cast<ptrdiff_t>(at),
+              std::move(*held));
+        });
+      }
       seq_indexes_.erase(it);
       return Status::Ok();
     }

@@ -16,6 +16,7 @@ namespace bdbms {
 
 class SecondaryIndex;
 class SequenceIndex;
+class UndoLog;
 
 // Logical row identifier: assigned densely in insertion order and never
 // reused. The paper models a relation as a 2-D space (columns × tuples,
@@ -135,6 +136,11 @@ class Table {
   IoStats& io_stats() { return heap_->io_stats(); }
   Status Flush() { return heap_->Flush(); }
 
+  // Transactions: while `undo` is recording, every mutation pushes a
+  // logical compensation record. Compensations run through the same
+  // public mutators, so all index families are restored for free.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
  private:
   Table(TableSchema schema, std::unique_ptr<HeapFile> heap);
 
@@ -160,6 +166,7 @@ class Table {
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   std::vector<std::unique_ptr<SequenceIndex>> seq_indexes_;
   RowId next_row_id_ = 0;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace bdbms

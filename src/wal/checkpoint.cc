@@ -88,8 +88,8 @@ Result<std::string> ReadCheckpointFile(const std::string& dir) {
   }
   std::string payload;
   payload.reserve(payload_len);
-  for (PageId pid = 1; pid < pager->page_count() && payload.size() < payload_len;
-       ++pid) {
+  for (PageId pid = 1;
+       pid < pager->page_count() && payload.size() < payload_len; ++pid) {
     BDBMS_RETURN_IF_ERROR(pager->ReadPage(pid, &page));
     size_t n = std::min<uint64_t>(kPageSize, payload_len - payload.size());
     payload.append(reinterpret_cast<const char*>(page.bytes()), n);

@@ -16,6 +16,7 @@ std::string EncodeWalRecord(const WalRecord& rec) {
   BinaryWriter w(&payload);
   w.U64(rec.lsn);
   w.U64(rec.clock);
+  w.U8(static_cast<uint8_t>(rec.kind));
   w.Str(rec.user);
   w.Str(rec.sql);
 
@@ -49,6 +50,12 @@ Result<WalScan> ScanWal(std::string_view data) {
     WalRecord rec;
     BDBMS_ASSIGN_OR_RETURN(rec.lsn, r.U64());
     BDBMS_ASSIGN_OR_RETURN(rec.clock, r.U64());
+    BDBMS_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+    if (kind > static_cast<uint8_t>(WalRecordKind::kTxnCommit)) {
+      return Status::Corruption("WAL record kind out of range: " +
+                                std::to_string(kind));
+    }
+    rec.kind = static_cast<WalRecordKind>(kind);
     BDBMS_ASSIGN_OR_RETURN(rec.user, r.Str());
     BDBMS_ASSIGN_OR_RETURN(rec.sql, r.Str());
     if (rec.lsn <= prev_lsn) {
@@ -57,6 +64,7 @@ Result<WalScan> ScanWal(std::string_view data) {
                                 std::to_string(prev_lsn));
     }
     prev_lsn = rec.lsn;
+    scan.record_offsets.push_back(pos);
     pos += kFrameHeader + len;
     scan.records.push_back(std::move(rec));
     scan.valid_bytes = pos;

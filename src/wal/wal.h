@@ -10,6 +10,18 @@
 
 namespace bdbms {
 
+// What a WAL record journals. Autocommit statements are kStatement
+// records; an explicit transaction is framed as kTxnBegin, its statement
+// records, then kTxnCommit — all appended together at COMMIT, so the
+// begin marker never hits the log before the transaction's outcome is
+// decided. Recovery replays a framed group only when its commit marker
+// made it into the valid prefix.
+enum class WalRecordKind : uint8_t {
+  kStatement = 0,
+  kTxnBegin = 1,
+  kTxnCommit = 2,
+};
+
 // One committed mutating A-SQL statement, as journaled. Replaying records
 // in lsn order with the recorded user and logical-clock value rebuilds the
 // entire engine state deterministically: every timestamp, annotation id
@@ -20,6 +32,7 @@ struct WalRecord {
   uint64_t clock = 0;  // LogicalClock::Peek() before the statement ran
   std::string user;    // issuing principal
   std::string sql;     // original statement text, re-parsed on replay
+  WalRecordKind kind = WalRecordKind::kStatement;
 
   bool operator==(const WalRecord&) const = default;
 };
@@ -28,7 +41,8 @@ struct WalRecord {
 //
 //   u32 crc   CRC-32 of the len field + payload
 //   u32 len   payload length in bytes
-//   payload   u64 lsn, u64 clock, str user, str sql   (serializer.h)
+//   payload   u64 lsn, u64 clock, u8 kind, str user, str sql
+//             (serializer.h)
 //
 // The crc covers len, so a torn length prefix is indistinguishable from a
 // torn payload: both fail the checksum and recovery cuts the log there.
@@ -38,8 +52,12 @@ std::string EncodeWalRecord(const WalRecord& rec);
 // records; `valid_bytes` is where that prefix ends in the file. Anything
 // after it (a torn append, a corrupted record) is reported via
 // `tail_discarded` and must be truncated away before appending again.
+// `record_offsets[i]` is the byte offset of records[i]'s frame, so
+// recovery can also truncate at a record boundary — e.g. at a kTxnBegin
+// whose commit marker never made it to disk.
 struct WalScan {
   std::vector<WalRecord> records;
+  std::vector<uint64_t> record_offsets;
   uint64_t valid_bytes = 0;
   bool tail_discarded = false;
 };

@@ -175,6 +175,199 @@ TEST(CrashInjectionTest, CorruptedByteAnywhereStillRecoversAPrefix) {
   }
 }
 
+// --- transactions under crash ----------------------------------------------
+
+// Statement index ranges of the transactional crash workload: statements
+// [kTxnFrom, kTxnTo) of the standard workload run inside one BEGIN/COMMIT,
+// the rest autocommit.
+constexpr size_t kTxnFrom = 10;
+constexpr size_t kTxnTo = 18;
+
+// Runs the standard workload with [kTxnFrom, kTxnTo) wrapped in a
+// transaction, leaving a WAL whose middle is a BEGIN-framed group.
+void RunWorkloadWithTxn(Database& db) {
+  auto statements = StandardWorkload();
+  auto exec = [&](size_t i) {
+    auto r = db.Execute(statements[i].second, statements[i].first);
+    ASSERT_TRUE(r.ok()) << statements[i].second << "\n-> "
+                        << r.status().ToString();
+  };
+  for (size_t i = 0; i < kTxnFrom; ++i) exec(i);
+  ASSERT_TRUE(db.Execute("BEGIN").ok());
+  for (size_t i = kTxnFrom; i < kTxnTo; ++i) exec(i);
+  ASSERT_TRUE(db.Execute("COMMIT").ok());
+  for (size_t i = kTxnTo; i < statements.size(); ++i) exec(i);
+}
+
+// How many workload statements survive recovery when the first `n`
+// records of the log are intact: statements in a begin-framed group count
+// only once the group's commit marker is inside the prefix.
+size_t VisibleStatements(const std::vector<WalRecord>& records, size_t n) {
+  size_t visible = 0;
+  size_t in_group = 0;
+  bool group_open = false;
+  for (size_t i = 0; i < n; ++i) {
+    switch (records[i].kind) {
+      case WalRecordKind::kStatement:
+        if (group_open) {
+          ++in_group;
+        } else {
+          ++visible;
+        }
+        break;
+      case WalRecordKind::kTxnBegin:
+        group_open = true;
+        in_group = 0;
+        break;
+      case WalRecordKind::kTxnCommit:
+        visible += in_group;
+        group_open = false;
+        break;
+    }
+  }
+  return visible;
+}
+
+TEST(CrashInjectionTest, EveryOffsetAcrossTxnGroupIsAllOrNothing) {
+  std::string src = FreshDir("crash_txn_src");
+  {
+    auto db = Database::Open(src, DurableOpts());
+    ASSERT_TRUE(db.ok());
+    RunWorkloadWithTxn(**db);
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  std::string log = ReadFile(src + "/" + kWalFileName);
+  auto scan = ScanWal(log);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_FALSE(scan->tail_discarded);
+  // The whole workload plus the two transaction markers.
+  ASSERT_EQ(scan->records.size(), StandardWorkload().size() + 2);
+  std::vector<size_t> boundaries = RecordBoundaries(log);
+
+  std::vector<std::string> refs(StandardWorkload().size() + 1);
+  for (size_t n = 0; n < refs.size(); ++n) refs[n] = ReferenceFingerprint(n);
+
+  std::string dir = FreshDir("crash_txn_work");
+  size_t prev_visible = SIZE_MAX;
+  for (size_t cut = 0; cut <= log.size(); ++cut) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    WriteFile(dir + "/" + kWalFileName, std::string_view(log).substr(0, cut));
+
+    auto db = Database::Open(dir, DurableOpts());
+    ASSERT_TRUE(db.ok()) << "crash at offset " << cut << ": "
+                         << db.status().ToString();
+    size_t complete = CompleteRecordsAt(boundaries, cut);
+    size_t visible = VisibleStatements(scan->records, complete);
+    ASSERT_EQ((*db)->durability_stats().replayed_on_open, visible)
+        << "crash at offset " << cut;
+    ASSERT_EQ(Fingerprint(**db), refs[visible])
+        << "crash at offset " << cut
+        << " leaked or lost transaction statements";
+    if (visible != prev_visible) {
+      VerifyIndexConsistency(**db);
+      prev_visible = visible;
+    }
+    // Where recovery had to discard a dangling group, the WAL was
+    // truncated at the begin marker. Prove the log is appendable again:
+    // commit a statement, reopen, and expect it on top of the prefix —
+    // an un-truncated dangling group would break LSN monotonicity here.
+    // Records 0..kTxnFrom-1 are the autocommit prefix, record kTxnFrom
+    // is the begin marker, and the commit marker is record kTxnTo + 1.
+    const bool dangled = complete > kTxnFrom && complete < kTxnTo + 2;
+    if (dangled && cut % 50 == 0) {
+      ASSERT_TRUE((*db)->Execute("CREATE USER survivor").ok())
+          << "crash at offset " << cut;
+      ASSERT_TRUE((*db)->Close().ok());
+      auto reopened = Database::Open(dir, DurableOpts());
+      ASSERT_TRUE(reopened.ok())
+          << "append after dangling-group truncation broke recovery at "
+          << cut << ": " << reopened.status().ToString();
+      ASSERT_EQ((*reopened)->durability_stats().replayed_on_open,
+                visible + 1);
+    }
+  }
+}
+
+TEST(CrashInjectionTest, OpenTxnAtCrashIsInvisibleAfterRecovery) {
+  std::string dir = FreshDir("crash_open_txn");
+  FaultEnv fault;
+  fault.hold_unsynced = true;
+  DurabilityOptions opts = DurableOpts();
+  opts.env = &fault;
+  {
+    auto db = Database::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    RunStandardWorkload(**db, kTxnFrom);
+    ASSERT_TRUE((*db)->Execute("BEGIN").ok());
+    auto statements = StandardWorkload();
+    for (size_t i = kTxnFrom; i < kTxnTo; ++i) {
+      auto r = (*db)->Execute(statements[i].second, statements[i].first);
+      ASSERT_TRUE(r.ok()) << statements[i].second;
+    }
+    // Crash with the transaction open: its statements were never
+    // journaled (the WAL sees a transaction only at COMMIT).
+    fault.Crash();
+  }
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->durability_stats().replayed_on_open, kTxnFrom);
+  EXPECT_EQ(Fingerprint(**db), ReferenceFingerprint(kTxnFrom));
+  VerifyIndexConsistency(**db);
+}
+
+TEST(CrashInjectionTest, TornCommitRollsBackMemoryAndRecoveryDropsGroup) {
+  // Let the commit-time append tear inside the transaction's group: the
+  // file ends in a begin marker plus partial statements, no commit
+  // marker. COMMIT must report the failure and roll back in memory;
+  // recovery must discard the dangling group and stay appendable.
+  std::string clean = FreshDir("crash_torn_commit_clean");
+  {
+    auto db = Database::Open(clean, DurableOpts());
+    ASSERT_TRUE(db.ok());
+    RunWorkloadWithTxn(**db);
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  std::vector<size_t> boundaries =
+      RecordBoundaries(ReadFile(clean + "/" + kWalFileName));
+  // Allow the prefix statements plus the begin marker, two group members
+  // and 7 bytes of the third.
+  const size_t budget = boundaries[kTxnFrom + 2] + 7;
+
+  std::string dir = FreshDir("crash_torn_commit");
+  FaultEnv fault;
+  fault.append_budget = static_cast<int64_t>(budget);
+  DurabilityOptions opts = DurableOpts();
+  opts.env = &fault;
+  {
+    auto db = Database::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    RunStandardWorkload(**db, kTxnFrom);
+    ASSERT_TRUE((*db)->Execute("BEGIN").ok());
+    auto statements = StandardWorkload();
+    for (size_t i = kTxnFrom; i < kTxnTo; ++i) {
+      auto r = (*db)->Execute(statements[i].second, statements[i].first);
+      ASSERT_TRUE(r.ok()) << statements[i].second;
+    }
+    auto commit = (*db)->Execute("COMMIT");
+    ASSERT_FALSE(commit.ok());
+    EXPECT_TRUE(commit.status().IsIoError()) << commit.status().ToString();
+    // The failed commit rolled the transaction back in memory.
+    EXPECT_EQ(Fingerprint(**db), ReferenceFingerprint(kTxnFrom));
+    EXPECT_FALSE((*db)->InTransaction());
+  }
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->durability_stats().replayed_on_open, kTxnFrom);
+  EXPECT_EQ(Fingerprint(**db), ReferenceFingerprint(kTxnFrom));
+  // The dangling group was truncated away: the log accepts new commits.
+  ASSERT_TRUE((*db)->Execute("CREATE USER survivor").ok());
+  ASSERT_TRUE((*db)->Close().ok());
+  auto reopened = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->durability_stats().replayed_on_open, kTxnFrom + 1);
+}
+
 // --- fault-wrapping file layer (short writes, fsync failures) --------------
 
 TEST(CrashInjectionTest, ShortWriteSurfacesErrorAndRecoveryDropsTornRecord) {

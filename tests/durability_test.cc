@@ -132,7 +132,8 @@ TEST(DurabilityTest, ReopenRestoresFullEngineState) {
       << "durable run diverged from the in-memory reference";
   auto db = Database::Open(dir, DurableOpts());
   ASSERT_TRUE(db.ok()) << db.status().ToString();
-  EXPECT_EQ((*db)->durability_stats().replayed_on_open, StandardWorkload().size());
+  EXPECT_EQ((*db)->durability_stats().replayed_on_open,
+            StandardWorkload().size());
   EXPECT_EQ(Fingerprint(**db), before);
   VerifyIndexConsistency(**db);
 }
@@ -213,7 +214,8 @@ TEST(DurabilityTest, AutoCheckpointTriggersEveryNStatements) {
   auto db = Database::Open(dir, DurableOpts(/*checkpoint_interval=*/5));
   ASSERT_TRUE(db.ok()) << db.status().ToString();
   // Only the tail after the last auto-checkpoint replays.
-  EXPECT_EQ((*db)->durability_stats().replayed_on_open, StandardWorkload().size() % 5);
+  EXPECT_EQ((*db)->durability_stats().replayed_on_open,
+            StandardWorkload().size() % 5);
   EXPECT_EQ(Fingerprint(**db), ReferenceFingerprint());
 }
 
@@ -267,14 +269,17 @@ TEST(DurabilityGoldenTest, TruncatedLogRecoversPrefix) {
   std::filesystem::resize_file(wal_path, size - 7);  // torn final record
   auto db = Database::Open(dir, DurableOpts());
   ASSERT_TRUE(db.ok()) << db.status().ToString();
-  EXPECT_EQ((*db)->durability_stats().replayed_on_open, StandardWorkload().size() - 1);
-  EXPECT_EQ(Fingerprint(**db), ReferenceFingerprint(StandardWorkload().size() - 1));
+  EXPECT_EQ((*db)->durability_stats().replayed_on_open,
+            StandardWorkload().size() - 1);
+  EXPECT_EQ(Fingerprint(**db),
+            ReferenceFingerprint(StandardWorkload().size() - 1));
   // The torn tail was cut: the next reopen replays the same prefix from a
   // clean log end.
   ASSERT_TRUE((*db)->Close().ok());
   auto again = Database::Open(dir, DurableOpts());
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(Fingerprint(**again), ReferenceFingerprint(StandardWorkload().size() - 1));
+  EXPECT_EQ(Fingerprint(**again),
+            ReferenceFingerprint(StandardWorkload().size() - 1));
 }
 
 TEST(DurabilityGoldenTest, CorruptedRecordCutsReplayThere) {

@@ -1,0 +1,344 @@
+// Multi-statement transactions and statement atomicity: BEGIN/COMMIT/
+// ROLLBACK semantics, the undo log's restoration of every subsystem
+// (heaps, secondary + sequence indexes, annotations, approval state,
+// grants, dependency rules, catalog, the logical clock), mid-statement
+// failure atomicity inside and outside explicit transactions, and
+// transaction durability across reopen. The oracle is the deep state
+// fingerprint from durability_test_util.h: fingerprint equality means no
+// observable difference.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/session.h"
+#include "durability_test_util.h"
+#include "wal/wal.h"
+
+namespace bdbms {
+namespace {
+
+using testutil::DurableOpts;
+using testutil::Fingerprint;
+using testutil::FreshDir;
+using testutil::RegisterProcedures;
+using testutil::RunStandardWorkload;
+using testutil::VerifyIndexConsistency;
+
+#define EXEC_OK(db, sql, user)                                          \
+  do {                                                                  \
+    auto _r = (db).Execute(sql, user);                                  \
+    ASSERT_TRUE(_r.ok()) << (sql) << "\n-> " << _r.status().ToString(); \
+  } while (0)
+
+// A mutation storm touching every subsystem the undo log must restore.
+// Run inside a transaction and rolled back, it must leave no trace.
+std::vector<std::pair<std::string, std::string>> MutationStorm() {
+  return {
+      {"admin", "INSERT INTO Gene VALUES ('JW0099', 'tmp', 'ACGTACGT')"},
+      {"alice", "UPDATE Gene SET GName = 'renamed' WHERE GID = 'JW0080'"},
+      // Triggers rule1 recomputation into Protein and rule2 outdated
+      // marking — dependency propagation effects must roll back too.
+      {"alice", "UPDATE Gene SET GSequence = 'ACGACG' WHERE GID = 'JW0080'"},
+      {"admin", "APPROVE OPERATION 3"},
+      {"admin",
+       "ADD ANNOTATION TO Gene.Curation VALUE "
+       "'<Annotation>storm</Annotation> ' "
+       "ON (SELECT GID FROM Gene WHERE GID = 'JW0080')"},
+      {"admin",
+       "ARCHIVE ANNOTATION FROM Gene.Curation "
+       "ON (SELECT GID FROM Gene WHERE GID = 'JW0080')"},
+      {"admin",
+       "ADD ANNOTATION TO Gene.Curation VALUE "
+       "'<Annotation>deleted by storm</Annotation> ' "
+       "ON (DELETE FROM Gene WHERE GID = 'JW0099')"},
+      {"admin", "CREATE TABLE Scratch (SID TEXT, Payload TEXT)"},
+      {"admin", "INSERT INTO Scratch VALUES ('s1', 'x')"},
+      {"admin", "CREATE INDEX scratch_idx ON Scratch (SID)"},
+      {"admin", "DROP INDEX gidx ON Gene"},
+      {"admin", "CREATE INDEX gidx2 ON Gene (GName)"},
+      {"admin", "CREATE ANNOTATION TABLE StormNotes ON Scratch"},
+      {"admin",
+       "ADD ANNOTATION TO Scratch.StormNotes VALUE "
+       "'<Annotation>note</Annotation> ' "
+       "ON (SELECT SID FROM Scratch)"},
+      {"admin", "DROP ANNOTATION TABLE StormNotes ON Scratch"},
+      {"admin", "DROP TABLE Scratch"},
+      {"admin", "CREATE USER carol"},
+      {"admin", "GRANT SELECT ON Gene TO carol"},
+      {"admin", "REVOKE INSERT ON Gene FROM alice"},
+      {"admin", "ADD USER bob TO GROUP lab_members"},
+      {"admin", "STOP CONTENT APPROVAL ON Gene COLUMNS (GSequence)"},
+      {"admin", "ANALYZE Gene"},
+      {"admin", "DROP DEPENDENCY rule2"},
+      {"admin", "ANALYZE Protein"},
+  };
+}
+
+// --- explicit transactions ------------------------------------------------
+
+TEST(TxnTest, RollbackRestoresEverySubsystem) {
+  Database db;
+  ASSERT_TRUE(RegisterProcedures(db).ok());
+  RunStandardWorkload(db);
+  const std::string before = Fingerprint(db);
+
+  EXEC_OK(db, "BEGIN", "admin");
+  for (const auto& [user, sql] : MutationStorm()) {
+    EXEC_OK(db, sql, user);
+  }
+  // The transaction's own view includes its uncommitted effects.
+  EXPECT_NE(Fingerprint(db), before);
+  EXEC_OK(db, "ROLLBACK", "admin");
+
+  EXPECT_EQ(Fingerprint(db), before);
+  VerifyIndexConsistency(db);
+}
+
+TEST(TxnTest, CommitIsEquivalentToAutocommit) {
+  Database txn_db;
+  ASSERT_TRUE(RegisterProcedures(txn_db).ok());
+  RunStandardWorkload(txn_db);
+  EXEC_OK(txn_db, "BEGIN TRANSACTION", "admin");
+  for (const auto& [user, sql] : MutationStorm()) {
+    EXEC_OK(txn_db, sql, user);
+  }
+  EXEC_OK(txn_db, "COMMIT", "admin");
+
+  Database auto_db;
+  ASSERT_TRUE(RegisterProcedures(auto_db).ok());
+  RunStandardWorkload(auto_db);
+  for (const auto& [user, sql] : MutationStorm()) {
+    EXEC_OK(auto_db, sql, user);
+  }
+
+  EXPECT_EQ(Fingerprint(txn_db), Fingerprint(auto_db));
+  VerifyIndexConsistency(txn_db);
+}
+
+TEST(TxnTest, FailedStatementInsideTxnRollsBackOnlyThatStatement) {
+  Database db;
+  ASSERT_TRUE(RegisterProcedures(db).ok());
+  RunStandardWorkload(db);
+
+  EXEC_OK(db, "BEGIN", "admin");
+  EXEC_OK(db, "INSERT INTO Gene VALUES ('JW0100', 'kept', 'ACGT')", "admin");
+  // Fails during dependency propagation (the prediction tool rejects a
+  // NULL input) — after the heap row already changed. The savepoint must
+  // undo the partial update while keeping the transaction, and the
+  // prior INSERT, alive.
+  auto failed =
+      db.Execute("UPDATE Gene SET GSequence = NULL WHERE GID = 'JW0080'");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsInvalidArgument())
+      << failed.status().ToString();
+
+  auto inside = db.Execute("SELECT GSequence FROM Gene WHERE GID = 'JW0080'");
+  ASSERT_TRUE(inside.ok());
+  ASSERT_EQ(inside->rows.size(), 1u);
+  EXPECT_EQ(inside->rows[0].values[0].ToString(), "'TTTT'")
+      << "failed statement leaked a partial heap update";
+  EXEC_OK(db, "COMMIT", "admin");
+
+  auto kept = db.Execute("SELECT GID FROM Gene WHERE GID = 'JW0100'");
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->rows.size(), 1u) << "commit lost a pre-failure statement";
+  VerifyIndexConsistency(db);
+}
+
+TEST(TxnTest, ControlStatementsOutsideTxnFail) {
+  Database db;
+  auto commit = db.Execute("COMMIT");
+  ASSERT_FALSE(commit.ok());
+  EXPECT_TRUE(commit.status().IsFailedPrecondition());
+  auto rollback = db.Execute("ROLLBACK");
+  ASSERT_FALSE(rollback.ok());
+  EXPECT_TRUE(rollback.status().IsFailedPrecondition());
+
+  EXEC_OK(db, "BEGIN", "admin");
+  auto again = db.Execute("BEGIN");
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsFailedPrecondition());
+  EXEC_OK(db, "ROLLBACK", "admin");
+}
+
+TEST(TxnTest, CheckpointRefusedInsideTxn) {
+  std::string dir = FreshDir("txn_ckpt_refused");
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok());
+  EXEC_OK(**db, "BEGIN", "admin");
+  auto ckpt = (*db)->Execute("CHECKPOINT");
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_TRUE(ckpt.status().IsFailedPrecondition());
+  EXEC_OK(**db, "ROLLBACK", "admin");
+  EXPECT_TRUE((*db)->Close().ok());
+}
+
+// --- statement atomicity in autocommit ------------------------------------
+
+TEST(TxnTest, AutocommitMidStatementFailureLeavesNoPartialState) {
+  Database db;
+  ASSERT_TRUE(RegisterProcedures(db).ok());
+  RunStandardWorkload(db);
+  const std::string before = Fingerprint(db);
+
+  auto failed =
+      db.Execute("UPDATE Gene SET GSequence = NULL WHERE GID = 'JW0080'");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsInvalidArgument())
+      << failed.status().ToString();
+
+  EXPECT_EQ(Fingerprint(db), before)
+      << "failed autocommit statement left partial effects";
+  VerifyIndexConsistency(db);
+}
+
+TEST(TxnTest, AutocommitMidStatementFailureIsInvisibleAfterReopen) {
+  std::string dir = FreshDir("txn_autocommit_atomic");
+  std::string before;
+  {
+    auto db = Database::Open(dir, DurableOpts());
+    ASSERT_TRUE(db.ok());
+    RunStandardWorkload(**db);
+    before = Fingerprint(**db);
+    auto failed = (*db)->Execute(
+        "UPDATE Gene SET GSequence = NULL WHERE GID = 'JW0080'");
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(Fingerprint(**db), before);
+    EXPECT_TRUE((*db)->Close().ok());
+  }
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(Fingerprint(**db), before);
+}
+
+// --- sessions -------------------------------------------------------------
+
+TEST(TxnTest, SessionDestructorRollsBackOpenTxn) {
+  Database db;
+  ASSERT_TRUE(RegisterProcedures(db).ok());
+  RunStandardWorkload(db);
+  const std::string before = Fingerprint(db);
+  {
+    Session session(&db, "admin");
+    ASSERT_TRUE(session.Execute("BEGIN").ok());
+    ASSERT_TRUE(
+        session.Execute("INSERT INTO Gene VALUES ('JW0200', 'x', 'AC')")
+            .ok());
+    EXPECT_TRUE(session.InTransaction());
+    // Dropped without COMMIT — a vanished client must not leave the
+    // engine locked or its writes half-applied.
+  }
+  EXPECT_FALSE(db.InTransaction());
+  EXPECT_EQ(Fingerprint(db), before);
+  // The engine is unlocked again: a new transaction can begin.
+  EXEC_OK(db, "BEGIN", "admin");
+  EXEC_OK(db, "COMMIT", "admin");
+}
+
+TEST(TxnTest, TxnOwnershipIsPerSession) {
+  Database db;
+  EXEC_OK(db, "CREATE TABLE T (x INT)", "admin");
+  Session a(&db, "admin");
+  ASSERT_TRUE(a.Execute("BEGIN").ok());
+  EXPECT_TRUE(a.InTransaction());
+  EXPECT_FALSE(db.InTransaction());  // the implicit session does not own it
+  ASSERT_TRUE(a.Execute("COMMIT").ok());
+}
+
+// --- durability -----------------------------------------------------------
+
+TEST(TxnTest, CommittedTxnSurvivesReopen) {
+  std::string dir = FreshDir("txn_commit_reopen");
+  std::string before;
+  {
+    auto db = Database::Open(dir, DurableOpts());
+    ASSERT_TRUE(db.ok());
+    RunStandardWorkload(**db);
+    EXEC_OK(**db, "BEGIN", "admin");
+    for (const auto& [user, sql] : MutationStorm()) {
+      EXEC_OK(**db, sql, user);
+    }
+    EXEC_OK(**db, "COMMIT", "admin");
+    before = Fingerprint(**db);
+    EXPECT_TRUE((*db)->Close().ok());
+  }
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(Fingerprint(**db), before);
+  VerifyIndexConsistency(**db);
+}
+
+TEST(TxnTest, UncommittedTxnIsInvisibleAfterReopen) {
+  std::string dir = FreshDir("txn_uncommitted_reopen");
+  std::string before;
+  {
+    auto db = Database::Open(dir, DurableOpts());
+    ASSERT_TRUE(db.ok());
+    RunStandardWorkload(**db);
+    before = Fingerprint(**db);
+    EXEC_OK(**db, "BEGIN", "admin");
+    EXEC_OK(**db, "INSERT INTO Gene VALUES ('JW0300', 'gone', 'AC')",
+            "admin");
+    // No COMMIT: the database object is destroyed with the transaction
+    // open, as a crashed process would.
+  }
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(Fingerprint(**db), before);
+}
+
+TEST(TxnTest, RolledBackTxnWritesNothingToWal) {
+  std::string dir = FreshDir("txn_rollback_wal");
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok());
+  RunStandardWorkload(**db);
+  const uint64_t lsn_before = (*db)->durability_stats().last_lsn;
+  const uint64_t bytes_before = (*db)->durability_stats().wal_bytes_appended;
+  EXEC_OK(**db, "BEGIN", "admin");
+  EXEC_OK(**db, "INSERT INTO Gene VALUES ('JW0400', 'x', 'AC')", "admin");
+  EXEC_OK(**db, "ROLLBACK", "admin");
+  EXPECT_EQ((*db)->durability_stats().last_lsn, lsn_before);
+  EXPECT_EQ((*db)->durability_stats().wal_bytes_appended, bytes_before)
+      << "uncommitted work reached the journal";
+  EXPECT_TRUE((*db)->Close().ok());
+}
+
+// --- WAL framing ----------------------------------------------------------
+
+TEST(TxnWalFormatTest, TxnMarkersRoundTrip) {
+  WalRecord begin{1, 10, "", "", WalRecordKind::kTxnBegin};
+  WalRecord stmt{2, 10, "admin", "INSERT INTO T VALUES (1)",
+                 WalRecordKind::kStatement};
+  WalRecord commit{3, 12, "", "", WalRecordKind::kTxnCommit};
+  std::string log = EncodeWalRecord(begin) + EncodeWalRecord(stmt) +
+                    EncodeWalRecord(commit);
+  auto scan = ScanWal(log);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0], begin);
+  EXPECT_EQ(scan->records[1], stmt);
+  EXPECT_EQ(scan->records[2], commit);
+  ASSERT_EQ(scan->record_offsets.size(), 3u);
+  EXPECT_EQ(scan->record_offsets[0], 0u);
+  EXPECT_EQ(scan->record_offsets[1], EncodeWalRecord(begin).size());
+  EXPECT_EQ(scan->valid_bytes, log.size());
+}
+
+TEST(TxnWalFormatTest, OutOfRangeKindIsCorruption) {
+  // A CRC-valid record with an unknown kind is not a torn tail — it is a
+  // file from the future or real corruption, and like a non-monotonic
+  // LSN it must fail the scan rather than be silently dropped.
+  WalRecord good{1, 10, "admin", "A", WalRecordKind::kStatement};
+  WalRecord bad{2, 11, "admin", "B", static_cast<WalRecordKind>(9)};
+  std::string log = EncodeWalRecord(good) + EncodeWalRecord(bad);
+  auto scan = ScanWal(log);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_TRUE(scan.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace bdbms

@@ -1,0 +1,46 @@
+// bdbms_client <host> <port> [user]
+//
+// Reads one A-SQL statement per line from stdin (blank lines and lines
+// starting with '#' are skipped) and executes each over the wire. Every
+// response is echoed with an "OK"/"ERR" prefix so shell scripts — the CI
+// smoke test in particular — can assert on output. Exits non-zero if any
+// statement failed or the connection dropped.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/client.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr, "usage: %s <host> <port> [user]\n", argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+  const std::string user = argc == 4 ? argv[3] : "admin";
+
+  auto client = bdbms::Client::Connect(host, port, user);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto response = (*client)->Execute(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "transport: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s %s\n", response->ok ? "OK" : "ERR",
+                response->text.c_str());
+    if (!response->ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
