@@ -1,22 +1,28 @@
 // Transaction benchmarks (ISSUE 6): what explicit BEGIN..COMMIT framing
 // costs (and saves) versus autocommit, and how the socket front end
-// scales with concurrent clients against the coarse reader/writer lock.
+// scales with concurrent clients.
 //
 // The durable comparison is the headline: a transaction of N statements
 // pays ONE fsync at COMMIT, while N autocommit statements with
 // group_commit_interval=1 pay N — so txn framing is also the engine's
 // batching knob. The undo-log overhead shows up in the in-memory pair,
-// where no fsync masks it.
+// where no fsync masks it. The MVCC headline is
+// BM_ReaderThroughputHotWriter: reader query rate with a hot writer
+// transaction in flight, snapshot reads versus the old exclusive lock.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/database.h"
+#include "core/session.h"
 #include "net/client.h"
 #include "net/server.h"
 
@@ -116,6 +122,131 @@ BENCHMARK(BM_TxnBatchDurable)
     ->Args({64, 0})
     ->Args({64, 1})
     ->Unit(benchmark::kMicrosecond);
+
+// Emulates the pre-MVCC engine lock for the baseline below. The engine's
+// gate was writer-preferring (a BEGIN waiting for exclusive blocks new
+// shared acquisitions, so writers cannot be starved); std::shared_mutex
+// on glibc prefers readers, which would let the baseline's readers
+// sneak past the writer and flatten the comparison.
+class WriterPreferringGate {
+ public:
+  void LockExclusive() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++writers_waiting_;
+    cv_.wait(lk, [&] { return readers_ == 0 && !writer_; });
+    --writers_waiting_;
+    writer_ = true;
+  }
+  void UnlockExclusive() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      writer_ = false;
+    }
+    cv_.notify_all();
+  }
+  void LockShared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !writer_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+  void UnlockShared() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --readers_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;
+  int writers_waiting_ = 0;
+  bool writer_ = false;
+};
+
+// The MVCC acceptance number: reader queries completed during a fixed
+// wall-clock window in which ONE writer transaction is in flight the
+// whole time — BEGIN, a batch of UPDATEs, then dwell (the wall-clock
+// time a real transaction spends in fsyncs and client round trips)
+// until the window closes, then COMMIT. range(0) reader sessions run
+// single-row SELECTs against the same table for the window's duration;
+// items processed counts the reader queries that actually completed.
+//
+// range(1) picks the concurrency control. 1 ("mvcc") is the engine as
+// it is: readers run against their statement snapshot and never block,
+// so the in-flight writer costs them nothing. 0 ("exclusive") recreates
+// the pre-MVCC engine contract with a bench-local reader/writer gate —
+// BEGIN took the engine lock exclusive and HELD it until COMMIT, so
+// every reader stalls for as long as the transaction is open. The ratio
+// of the two rates is the "readers never block writers" payoff
+// (acceptance: mvcc >= 5x exclusive).
+void BM_ReaderThroughputHotWriter(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  const bool mvcc = state.range(1) != 0;
+  const int kUpdatesPerWriterTxn = 8;
+  const auto kWindow = std::chrono::milliseconds(20);
+  Database db;
+  (void)db.Execute("CREATE TABLE T (id INT, payload TEXT)");
+  for (int i = 0; i < 64; ++i) (void)db.Execute(InsertStatement(i));
+  WriterPreferringGate gate;  // the emulated pre-MVCC engine lock
+  long total_queries = 0;
+  for (auto _ : state) {
+    const auto deadline = std::chrono::steady_clock::now() + kWindow;
+    std::atomic<long> window_queries{0};
+    std::atomic<int> failures{0};
+    std::thread writer([&] {
+      Session session(&db, "admin");
+      if (!mvcc) gate.LockExclusive();
+      bool ok = session.Execute("BEGIN").ok();
+      for (int i = 0; ok && i < kUpdatesPerWriterTxn; ++i) {
+        ok = session
+                 .Execute("UPDATE T SET payload = 'hot' WHERE id = " +
+                          std::to_string(i))
+                 .ok();
+      }
+      std::this_thread::sleep_until(deadline);
+      ok = ok && session.Execute("COMMIT").ok();
+      if (!mvcc) gate.UnlockExclusive();
+      if (!ok) ++failures;
+    });
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(readers));
+    for (int c = 0; c < readers; ++c) {
+      threads.emplace_back([&db, &gate, &window_queries, &failures, deadline,
+                            mvcc, c] {
+        Session session(&db, "admin");
+        const std::string sql =
+            "SELECT payload FROM T WHERE id = " + std::to_string(c % 64);
+        while (std::chrono::steady_clock::now() < deadline) {
+          if (!mvcc) gate.LockShared();
+          auto r = session.Execute(sql);
+          if (!mvcc) gate.UnlockShared();
+          if (!r.ok()) {
+            ++failures;
+            return;
+          }
+          ++window_queries;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    writer.join();
+    if (failures.load() != 0) {
+      state.SkipWithError("reader or writer statements failed");
+      return;
+    }
+    total_queries += window_queries.load();
+  }
+  state.SetItemsProcessed(total_queries);
+}
+BENCHMARK(BM_ReaderThroughputHotWriter)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // End-to-end server throughput: range(0) clients hammer single-row
 // SELECTs through the wire protocol against a small pre-loaded table.

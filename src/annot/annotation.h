@@ -43,12 +43,19 @@ struct Region {
 };
 
 // Annotation metadata kept in memory; the XML body lives in the heap file.
+// `begin_csn`/`begin_txn` are the MVCC begin event of the annotation
+// (annotations are append-only, so no end event exists): zero/zero means
+// ancient (visible to every snapshot — also the state after checkpoint
+// reload, which is correct because a checkpoint only captures committed
+// state). These fields are in-memory only and never serialized.
 struct AnnotationMeta {
   AnnotationId id = 0;
   uint64_t timestamp = 0;  // LogicalClock tick when added
   bool archived = false;
   std::string author;
   std::vector<Region> regions;
+  uint64_t begin_csn = 0;
+  uint64_t begin_txn = 0;
 };
 
 // Greedily covers a set of (row, column-mask) targets — the output of the

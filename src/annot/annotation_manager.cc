@@ -9,6 +9,17 @@ void AnnotationManager::set_undo_log(UndoLog* undo) {
   for (auto& [key, at] : tables_) at->set_undo_log(undo);
 }
 
+void AnnotationManager::set_mvcc(MvccState* mvcc) {
+  mvcc_ = mvcc;
+  for (auto& [key, at] : tables_) at->set_mvcc(mvcc);
+}
+
+void AnnotationManager::ForEachTable(
+    const std::function<void(const std::string&, AnnotationTable*)>& fn)
+    const {
+  for (const auto& [key, at] : tables_) fn(key, at.get());
+}
+
 Status AnnotationManager::CreateAnnotationTable(const std::string& table,
                                                 const std::string& ann_name) {
   std::string key = Key(table, ann_name);
@@ -19,6 +30,7 @@ Status AnnotationManager::CreateAnnotationTable(const std::string& table,
   BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<AnnotationTable> at,
                          AnnotationTable::CreateInMemory(ann_name, clock_));
   at->set_undo_log(undo_);
+  at->set_mvcc(mvcc_);
   tables_[key] = std::move(at);
   if (undo_ && undo_->recording()) {
     undo_->Record("create annotation table " + key,

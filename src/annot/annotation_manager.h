@@ -10,6 +10,7 @@
 #include "catalog/catalog.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "txn/mvcc.h"
 
 namespace bdbms {
 
@@ -49,6 +50,17 @@ class AnnotationManager {
   // mutations all record compensations.
   void set_undo_log(UndoLog* undo);
 
+  // Wires the engine's ambient MVCC context into every owned
+  // AnnotationTable (current and future).
+  void set_mvcc(MvccState* mvcc);
+
+  // Visits every annotation table with its "<table>.<ann>" key — the
+  // engine uses this to capture per-statement id bases for the WAL and to
+  // restore them during replay.
+  void ForEachTable(
+      const std::function<void(const std::string&, AnnotationTable*)>& fn)
+      const;
+
   // Aggregates the non-archived bodies covering `row`∩`mask` across the
   // given annotation tables (or all tables of `table` if `ann_names` is
   // empty) — the propagation primitive behind the A-SQL SELECT
@@ -65,6 +77,7 @@ class AnnotationManager {
   LogicalClock* clock_;
   std::map<std::string, std::unique_ptr<AnnotationTable>> tables_;
   UndoLog* undo_ = nullptr;
+  MvccState* mvcc_ = nullptr;
 };
 
 }  // namespace bdbms

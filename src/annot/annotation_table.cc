@@ -39,6 +39,17 @@ std::string AnnotationTable::EncodeRecord(const AnnotationMeta& meta,
   return out;
 }
 
+bool AnnotationTable::VisibleTo(const AnnotationMeta& meta,
+                                const MvccSnapshot* snap) {
+  if (snap == nullptr) return true;
+  if (meta.begin_txn != 0 && snap->txn_id != 0 &&
+      meta.begin_txn == snap->txn_id) {
+    return true;  // own uncommitted annotation
+  }
+  if (meta.begin_csn == 0 && meta.begin_txn == 0) return true;  // ancient
+  return meta.begin_csn != 0 && meta.begin_csn <= snap->csn;
+}
+
 Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
                                           std::vector<Region> regions,
                                           const std::string& author) {
@@ -48,6 +59,8 @@ Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
   }
   BDBMS_RETURN_IF_ERROR(Xml::Parse(xml_body).status());
 
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  MvccWriter* w = mvcc_ ? mvcc_->writer : nullptr;
   AnnotationMeta meta;
   AnnotationId next_before = next_id_;
   meta.id = next_id_++;
@@ -55,6 +68,7 @@ Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
   meta.archived = false;
   meta.author = author;
   meta.regions = std::move(regions);
+  if (w != nullptr) meta.begin_txn = w->txn_id;
 
   BDBMS_ASSIGN_OR_RETURN(RecordId rid,
                          heap_->Insert(EncodeRecord(meta, xml_body)));
@@ -64,6 +78,7 @@ Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
   records_[meta.id] = rid;
   AnnotationId id = meta.id;
   metas_[id] = std::move(meta);
+  if (w != nullptr) w->annotations.emplace_back(this, id);
   if (undo_ && undo_->recording()) {
     undo_->Record("add annotation " + std::to_string(id),
                   [this, id, next_before] {
@@ -75,6 +90,7 @@ Result<AnnotationId> AnnotationTable::Add(const std::string& xml_body,
 
 void AnnotationTable::EraseAnnotation(AnnotationId id,
                                       AnnotationId next_before) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   auto rec = records_.find(id);
   if (rec != records_.end()) {
     (void)heap_->Delete(rec->second);
@@ -82,11 +98,15 @@ void AnnotationTable::EraseAnnotation(AnnotationId id,
   }
   metas_.erase(id);
   index_.Erase(id);
-  next_id_ = next_before;
+  // Only rewind the id counter when nothing newer was handed out;
+  // concurrent transactions may have burned later ids (the WAL records id
+  // bases per statement, so replay still lines up).
+  if (next_id_ == id + 1) next_id_ = next_before;
 }
 
 Status AnnotationTable::RestoreAnnotation(const AnnotationMeta& meta,
                                           const std::string& body) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   if (meta.id == 0 || meta.regions.empty()) {
     return Status::InvalidArgument("malformed annotation meta");
   }
@@ -104,17 +124,18 @@ Status AnnotationTable::RestoreAnnotation(const AnnotationMeta& meta,
   return Status::Ok();
 }
 
-std::vector<AnnotationId> AnnotationTable::IdsForCell(RowId row,
-                                                      size_t col) const {
-  return IdsForRow(row, ColumnBit(col));
+std::vector<AnnotationId> AnnotationTable::IdsForCell(
+    RowId row, size_t col, const MvccSnapshot* snap) const {
+  return IdsForRow(row, ColumnBit(col), snap);
 }
 
-std::vector<AnnotationId> AnnotationTable::IdsForRow(RowId row,
-                                                     ColumnMask mask) const {
+std::vector<AnnotationId> AnnotationTable::IdsForRow(
+    RowId row, ColumnMask mask, const MvccSnapshot* snap) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   std::vector<AnnotationId> ids;
   index_.QueryPoint(row, [&](RowId, RowId, uint64_t id) {
     const AnnotationMeta& meta = metas_.at(id);
-    if (meta.archived) return;
+    if (meta.archived || !VisibleTo(meta, snap)) return;
     for (const Region& r : meta.regions) {
       if ((r.columns & mask) != 0 && row >= r.row_begin && row <= r.row_end) {
         ids.push_back(id);
@@ -128,13 +149,14 @@ std::vector<AnnotationId> AnnotationTable::IdsForRow(RowId row,
 }
 
 std::vector<AnnotationId> AnnotationTable::IdsForRegions(
-    const std::vector<Region>& regions) const {
+    const std::vector<Region>& regions, const MvccSnapshot* snap) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   std::vector<AnnotationId> ids;
   for (const Region& query : regions) {
     index_.QueryRange(query.row_begin, query.row_end,
                       [&](RowId, RowId, uint64_t id) {
                         const AnnotationMeta& meta = metas_.at(id);
-                        if (meta.archived) return;
+                        if (meta.archived || !VisibleTo(meta, snap)) return;
                         for (const Region& r : meta.regions) {
                           if (r.Overlaps(query)) {
                             ids.push_back(id);
@@ -149,6 +171,7 @@ std::vector<AnnotationId> AnnotationTable::IdsForRegions(
 }
 
 Result<std::string> AnnotationTable::Body(AnnotationId id) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     return Status::NotFound("no annotation " + std::to_string(id));
@@ -165,6 +188,7 @@ Result<std::string> AnnotationTable::Body(AnnotationId id) const {
 }
 
 Result<AnnotationMeta> AnnotationTable::Meta(AnnotationId id) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   auto it = metas_.find(id);
   if (it == metas_.end()) {
     return Status::NotFound("no annotation " + std::to_string(id));
@@ -209,11 +233,12 @@ Result<size_t> AnnotationTable::ArchiveMatching(
   return archived;
 }
 
-std::vector<std::pair<RowId, RowId>> AnnotationTable::LiveRowIntervals()
-    const {
+std::vector<std::pair<RowId, RowId>> AnnotationTable::LiveRowIntervals(
+    const MvccSnapshot* snap) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   std::vector<std::pair<RowId, RowId>> intervals;
   for (const auto& [id, meta] : metas_) {
-    if (meta.archived) continue;
+    if (meta.archived || !VisibleTo(meta, snap)) continue;
     for (const Region& r : meta.regions) {
       intervals.emplace_back(r.row_begin, r.row_end);
     }
@@ -245,6 +270,8 @@ Result<size_t> AnnotationTable::RestoreMatching(
   return restored;
 }
 
+// Unlatched: only the checkpointer calls this (under the exclusive gate),
+// and its callback re-enters Body(), which latches.
 void AnnotationTable::ForEach(
     bool include_archived,
     const std::function<void(const AnnotationMeta&)>& fn) const {
@@ -254,7 +281,39 @@ void AnnotationTable::ForEach(
   }
 }
 
+AnnotationId AnnotationTable::next_id() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return next_id_;
+}
+
+void AnnotationTable::AdvanceNextId(AnnotationId next) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  if (next > next_id_) next_id_ = next;
+}
+
+void AnnotationTable::SetNextId(AnnotationId next) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  next_id_ = next;
+}
+
+void AnnotationTable::CommitAnnotation(AnnotationId id, uint64_t txn,
+                                       uint64_t csn) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  auto it = metas_.find(id);
+  if (it == metas_.end()) return;
+  if (it->second.begin_csn == 0 && it->second.begin_txn == txn) {
+    it->second.begin_csn = csn;
+    it->second.begin_txn = 0;
+  }
+}
+
+uint64_t AnnotationTable::count() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return metas_.size();
+}
+
 uint64_t AnnotationTable::live_count() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   uint64_t n = 0;
   for (const auto& [id, meta] : metas_) {
     if (!meta.archived) ++n;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "storage/heap_file.h"
+#include "txn/mvcc.h"
 
 namespace bdbms {
 
@@ -22,6 +24,12 @@ class UndoLog;
 // holding metadata + regions + XML body; region lookup goes through an
 // interval index, so an annotation covering a whole column costs one
 // record, not one copy per cell.
+//
+// Concurrency: Add and the id lookups latch an internal shared_mutex so
+// concurrent-DML provenance writes can coexist with snapshot readers.
+// Archive-state mutators (SetArchived/Archive*/Restore*) stay unlatched —
+// they only run under the engine's exclusive gate, and latching them would
+// deadlock SetArchived against its own Body() call.
 class AnnotationTable {
  public:
   // `clock` assigns creation timestamps (used by ARCHIVE/RESTORE BETWEEN);
@@ -34,26 +42,35 @@ class AnnotationTable {
 
   const std::string& name() const { return name_; }
 
-  // Validates `xml_body` as XML and stores it over `regions`.
+  // Validates `xml_body` as XML and stores it over `regions`. Under an
+  // ambient MVCC writer the annotation is tagged with the writer's txn
+  // and stays invisible to other snapshots until commit stamps it.
   Result<AnnotationId> Add(const std::string& xml_body,
                            std::vector<Region> regions,
                            const std::string& author);
 
-  // Non-archived annotation ids covering the cell, ascending.
-  std::vector<AnnotationId> IdsForCell(RowId row, size_t col) const;
+  // Non-archived annotation ids covering the cell, ascending. When `snap`
+  // is given, only annotations visible to that snapshot qualify.
+  std::vector<AnnotationId> IdsForCell(RowId row, size_t col,
+                                       const MvccSnapshot* snap =
+                                           nullptr) const;
 
   // Non-archived annotation ids touching any column in `mask` of `row`.
-  std::vector<AnnotationId> IdsForRow(RowId row, ColumnMask mask) const;
+  std::vector<AnnotationId> IdsForRow(RowId row, ColumnMask mask,
+                                      const MvccSnapshot* snap =
+                                          nullptr) const;
 
   // Non-archived ids overlapping any of `regions`.
-  std::vector<AnnotationId> IdsForRegions(
-      const std::vector<Region>& regions) const;
+  std::vector<AnnotationId> IdsForRegions(const std::vector<Region>& regions,
+                                          const MvccSnapshot* snap =
+                                              nullptr) const;
 
   // Inclusive row intervals covered by at least one live annotation
   // region, unsorted and possibly overlapping. The planner feeds these to
   // Table::ScanRange/RowIdsInRange to restrict an AWHERE scan to row
   // ranges that can carry annotations at all.
-  std::vector<std::pair<RowId, RowId>> LiveRowIntervals() const;
+  std::vector<std::pair<RowId, RowId>> LiveRowIntervals(
+      const MvccSnapshot* snap = nullptr) const;
 
   // Reads the XML body from storage.
   Result<std::string> Body(AnnotationId id) const;
@@ -82,9 +99,21 @@ class AnnotationTable {
 
   // The id the next Add() will assign (serialized with checkpoints so ids
   // stay unique across recoveries).
-  AnnotationId next_id() const { return next_id_; }
+  AnnotationId next_id() const;
 
-  uint64_t count() const { return metas_.size(); }
+  // Recovery: restores the id counter recorded with a WAL statement so
+  // replay hands out the same ids even when aborted concurrent
+  // transactions burned ids in the original run.
+  void AdvanceNextId(AnnotationId next);
+
+  // WAL replay: restores the exact id counter a statement allocated
+  // from (may move the counter down; see Table::SetNextRowId).
+  void SetNextId(AnnotationId next);
+
+  // MVCC commit: stamps the annotation's begin event if `txn` owns it.
+  void CommitAnnotation(AnnotationId id, uint64_t txn, uint64_t csn);
+
+  uint64_t count() const;
   uint64_t live_count() const;
   uint64_t SizeBytes() const { return heap_->SizeBytes(); }
   const IoStats& io_stats() const { return heap_->io_stats(); }
@@ -93,6 +122,9 @@ class AnnotationTable {
   // Transactions: while `undo` records, Add and archive-state flips push
   // compensation records that erase/restore the annotation exactly.
   void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
+  // Installs the engine's ambient MVCC context (see Table::set_mvcc).
+  void set_mvcc(MvccState* mvcc) { mvcc_ = mvcc; }
 
  private:
   AnnotationTable(std::string name, LogicalClock* clock,
@@ -111,6 +143,9 @@ class AnnotationTable {
   // so a replay hands out the same id again.
   void EraseAnnotation(AnnotationId id, AnnotationId next_before);
 
+  // True when the snapshot (nullptr = no filtering) can see `meta`.
+  static bool VisibleTo(const AnnotationMeta& meta, const MvccSnapshot* snap);
+
   std::string name_;
   LogicalClock* clock_;
   std::unique_ptr<HeapFile> heap_;
@@ -119,6 +154,8 @@ class AnnotationTable {
   IntervalIndex index_;  // row intervals of all regions, payload = id
   AnnotationId next_id_ = 1;
   UndoLog* undo_ = nullptr;
+  MvccState* mvcc_ = nullptr;
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace bdbms

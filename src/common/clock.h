@@ -1,36 +1,41 @@
 #ifndef BDBMS_COMMON_CLOCK_H_
 #define BDBMS_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace bdbms {
 
 // Monotonic logical clock assigning strictly increasing timestamps to
-// annotations, provenance records and approval-log entries. Deterministic,
-// so time-windowed ARCHIVE/RESTORE ANNOTATION behaviour is testable.
+// annotations, provenance records, approval-log entries and MVCC commit
+// sequence numbers. Deterministic, so time-windowed ARCHIVE/RESTORE
+// ANNOTATION behaviour is testable. Atomic because concurrent readers
+// Peek() while a writer ticks; all mutating call sites still serialize
+// behind the engine's writer mutex, which is what keeps the handed-out
+// sequence deterministic.
 class LogicalClock {
  public:
   explicit LogicalClock(uint64_t start = 1) : next_(start) {}
 
   // Returns the current tick and advances.
-  uint64_t Tick() { return next_++; }
+  uint64_t Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
 
   // The timestamp the next Tick() will return.
-  uint64_t Peek() const { return next_; }
+  uint64_t Peek() const { return next_.load(std::memory_order_relaxed); }
 
   // Fast-forwards so the next tick is at least `ts + 1`. Used when
   // reloading persisted state.
   void AdvanceTo(uint64_t ts) {
-    if (ts >= next_) next_ = ts + 1;
+    if (ts >= Peek()) Reset(ts + 1);
   }
 
   // Sets the next tick exactly. WAL replay restores each statement's
   // recorded clock value before re-executing it, so every timestamp the
   // replayed run hands out matches the original run bit for bit.
-  void Reset(uint64_t next) { next_ = next; }
+  void Reset(uint64_t next) { next_.store(next, std::memory_order_relaxed); }
 
  private:
-  uint64_t next_;
+  std::atomic<uint64_t> next_;
 };
 
 }  // namespace bdbms

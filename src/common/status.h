@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError,
   kNotSupported,
   kInternal,
+  kSerializationFailure,
 };
 
 // Returns a stable human-readable name ("NotFound", ...) for `code`.
@@ -71,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status SerializationFailure(std::string msg) {
+    return Status(StatusCode::kSerializationFailure, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +93,9 @@ class Status {
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsSerializationFailure() const {
+    return code_ == StatusCode::kSerializationFailure;
+  }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

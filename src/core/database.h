@@ -2,10 +2,12 @@
 #define BDBMS_CORE_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "exec/query_result.h"
 #include "prov/provenance.h"
 #include "table/table.h"
+#include "txn/mvcc.h"
 #include "txn/undo_log.h"
 #include "wal/wal.h"
 #include "wal/wal_env.h"
@@ -81,7 +84,6 @@ struct DurabilityStats {
 // One Database instance wires together the annotation manager, provenance
 // manager, dependency manager and authorization manager of the paper's
 // architecture (Figure: Section 2) over the paged storage engine.
-// Single-threaded, like the CIDR'07 prototype.
 //
 // A default-constructed Database is memory-only and evaporates with the
 // process. Database::Open(dir) attaches a durable store: every committed
@@ -91,12 +93,31 @@ struct DurabilityStats {
 // grants — from the newest valid checkpoint plus the log tail
 // (docs/durability.md).
 //
-// Concurrency: Execute() is safe to call from multiple threads. A coarse
-// reader/writer lock admits read-only statements concurrently and
-// serializes mutating statements (docs/transactions.md). BEGIN acquires
-// the writer side and holds it until COMMIT/ROLLBACK, so at most one
-// transaction is open at a time and it observes no interleaved writes.
-// The programmatic manager accessors below bypass the lock and remain
+// Concurrency (docs/transactions.md): Execute() is safe to call from any
+// number of threads. Statements run under snapshot-isolation MVCC:
+//
+//  - Read-only statements take a shared hold on the engine gate, capture
+//    a snapshot (the newest commit sequence number), and never block on
+//    — or are blocked by — concurrent DML. They see exactly the commits
+//    with CSN <= their snapshot.
+//  - INSERT/UPDATE/DELETE (and SELECT-form ADD ANNOTATION) on tables not
+//    involved in dependency rules or content approval also run under the
+//    shared gate, versioning superseded rows instead of overwriting
+//    them. Write-write conflicts resolve first-updater-wins: the loser
+//    fails with a serialization-failure status and, inside an explicit
+//    transaction, dooms it (only ROLLBACK/COMMIT-as-rollback is accepted
+//    afterwards).
+//  - Statements that drive cross-cutting machinery (DDL, dependency
+//    propagation into other tables, approvals, grants, ANALYZE, ...)
+//    escalate to the exclusive side of the gate, drain concurrent
+//    transactions, and run the PR-6 serial path unchanged.
+//
+// Commit order is journaled: versioned WAL records carry their snapshot
+// and commit CSNs, so recovery replays the exact visibility decisions of
+// the original run. Superseded versions are garbage-collected as soon as
+// no live snapshot can need them.
+//
+// The programmatic manager accessors below bypass the gate and remain
 // single-threaded, like the CIDR'07 prototype.
 class Database {
  public:
@@ -127,23 +148,24 @@ class Database {
   //
   // `session` identifies the issuing session for transaction ownership
   // (BEGIN/COMMIT/ROLLBACK); callers without a Session object share one
-  // implicit session. A session with an open transaction must issue all
-  // of its statements from the thread that executed BEGIN (the writer
-  // lock is thread-owned); other sessions block until it ends.
+  // implicit session. Any number of sessions may hold open transactions
+  // concurrently; each sees its own snapshot. A statement that requires
+  // exclusive escalation waits for other open transactions to finish
+  // first (and fails with a serialization-failure status if two open
+  // transactions try to escalate at once).
   Result<QueryResult> Execute(std::string_view sql,
                               const std::string& user = "admin",
                               const void* session = nullptr);
 
-  // True when `session` (nullptr = the implicit session) holds the open
+  // True when `session` (nullptr = the implicit session) has an open
   // transaction.
-  bool InTransaction(const void* session = nullptr) const {
-    return txn_owner_.load(std::memory_order_acquire) ==
-           (session ? session : static_cast<const void*>(this));
-  }
+  bool InTransaction(const void* session = nullptr) const;
 
   // Snapshots the entire engine state to checkpoint.bdb (write-temp +
   // fsync + atomic rename + directory fsync) and truncates the WAL. Also
-  // available as the A-SQL statement CHECKPOINT.
+  // available as the A-SQL statement CHECKPOINT. Waits for open
+  // transactions to drain (uncommitted effects never reach the
+  // checkpoint file).
   Status Checkpoint();
 
   // Flushes pending group-commit WAL records, releases the directory
@@ -157,6 +179,10 @@ class Database {
 
   bool is_durable() const { return dur_ != nullptr; }
   DurabilityStats durability_stats() const;
+
+  // Retained superseded row versions across all tables — the metric the
+  // GC tests watch ("vacuum must not resurrect or leak versions").
+  uint64_t version_count() const;
 
   // --- programmatic access to the managers (examples, tests, benches) ----
   Catalog& catalog() { return catalog_; }
@@ -184,48 +210,129 @@ class Database {
       const std::string& table, RowId row, size_t col);
 
  private:
-  // One buffered statement of an open transaction, journaled only at
-  // COMMIT (the WAL never sees uncommitted work).
+  // One buffered statement of an open transaction (journaled only at
+  // COMMIT — the WAL never sees uncommitted work), doubling as the
+  // record-assembly buffer for autocommit statements.
   struct PendingStatement {
     std::string user;
     std::string sql;
     uint64_t clock_before = 0;
+    uint8_t versioned = 0;
+    uint64_t snapshot = 0;
+    std::vector<std::pair<std::string, uint64_t>> row_bases;
+    std::vector<std::pair<std::string, uint64_t>> ann_bases;
   };
 
-  // State of the (single) open transaction. Owning the struct implies
-  // owning the exclusive engine lock.
-  struct Txn {
-    std::unique_lock<std::shared_mutex> lock;
-    uint64_t clock_at_begin = 0;
+  // State of one open transaction. Lives in txns_ keyed by session token.
+  struct TxnState {
+    uint64_t txn_id = 0;
+    MvccSnapshot snapshot;  // captured at BEGIN
+    MvccWriter writer;      // versioned write set, stamped at COMMIT
+    std::unique_ptr<UndoLog> undo;
     std::vector<PendingStatement> pending;
+    uint64_t clock_at_begin = 0;
+    uint64_t clock_at_escalation = 0;
+    uint64_t epoch_at_begin = 0;  // mutation_epoch_ at BEGIN
+    uint64_t own_mutations = 0;   // committed statements of this txn
+    bool escalated = false;       // holds the gate exclusively until end
+    bool doomed = false;          // serialization failure; rolled back
+  };
+
+  // How a mutating autocommit/in-transaction statement executes.
+  enum class StmtClass {
+    kConcurrentDml,  // versioned, under the shared gate
+    kExclusive,      // legacy serial path, drains transactions
   };
 
   ExecContext MakeContext();
 
+  // Classification of a mutating statement; called under the shared gate
+  // (rule/approval changes are exclusive, so the answer is stable for
+  // the duration of the hold).
+  StmtClass Classify(const Statement& stmt) const;
+  bool TableInvolved(const std::string& table) const;
+
   Result<QueryResult> BeginTxn(const void* token);
   Result<QueryResult> CommitTxn(const void* token);
   Result<QueryResult> RollbackTxn(const void* token);
-  // Clears ownership, then releases the exclusive lock (that order, so a
-  // waiter that wins the lock never sees a stale owner).
-  void EndTxn();
+  // Unregisters the transaction (waking escalation/checkpoint waiters)
+  // and, for an escalated one, releases the exclusive gate hold.
+  void EndTxn(const void* token);
+  TxnState* FindTxn(const void* token) const;
 
-  // Executes one statement inside the open transaction, under a
-  // per-statement savepoint: on failure the statement's effects are
-  // undone and the transaction stays alive.
-  Result<QueryResult> ExecuteInTxn(const Statement& stmt,
+  Result<QueryResult> ExecuteRead(const Statement& stmt,
+                                  const std::string& user);
+  Result<QueryResult> ExecuteConcurrent(const Statement& stmt,
+                                        std::string_view sql,
+                                        const std::string& user);
+  Result<QueryResult> ExecuteExclusive(const Statement& stmt,
+                                       std::string_view sql,
+                                       const std::string& user);
+  Result<QueryResult> ExecuteInTxn(TxnState* t, const Statement& stmt,
                                    std::string_view sql,
                                    const std::string& user, bool mutating);
+  Result<QueryResult> ExecuteTxnDml(TxnState* t, const Statement& stmt,
+                                    std::string_view sql,
+                                    const std::string& user);
+  Result<QueryResult> ExecuteTxnExclusive(TxnState* t, const Statement& stmt,
+                                          std::string_view sql,
+                                          const std::string& user);
 
-  // Journals one committed statement and drives the fsync / auto-
-  // checkpoint cadence.
-  Status LogCommitted(std::string_view sql, const std::string& user,
-                      uint64_t clock_before);
+  // Rolls the transaction back in place after a serialization failure
+  // and marks it doomed (only ROLLBACK / COMMIT-as-rollback is accepted
+  // afterwards, and its snapshot stops pinning GC). Caller holds
+  // writer_mu_.
+  void DoomLocked(TxnState* t);
+
+  // Acquires the exclusive side of the gate and waits until no
+  // transaction other than `self` is open (legacy execution and full
+  // vacuum are only sound with no foreign snapshot alive). For an
+  // escalating transaction (`self` non-null) fails with a
+  // serialization-failure status instead of deadlocking when another
+  // transaction is already draining.
+  Status LockExclusiveNoTxns(const TxnState* self);
+
+  // Points every manager and table at `undo` (a transaction's private
+  // log, or the shared autocommit log). Caller holds writer_mu_.
+  void BindUndo(UndoLog* undo);
+
+  // Stamps every write-set entry that still refers to a live storage
+  // object with `csn`, then clears the set. Caller holds writer_mu_.
+  void StampWriteSet(MvccWriter& writer, uint64_t csn);
+
+  // Fills `ps` with every table's next_row_id and every annotation
+  // table's next_id (aborted transactions burn ids without leaving WAL
+  // records, so replay restores the counters explicitly).
+  void CaptureBases(PendingStatement* ps) const;
+  void ApplyReplayBases(const WalRecord& rec);
+
+  // min snapshot CSN across open transactions and in-flight readers;
+  // caller holds txn_mu_.
+  uint64_t ComputeOldestCsnLocked() const;
+  void VacuumAllLocked(uint64_t oldest_csn);  // caller holds writer_mu_
+  void TryVacuumLocked();                     // caller holds writer_mu_
+  void TryVacuumAfterRead();                  // try-locks writer_mu_
+
+  // Restores the clock after a whole-transaction rollback when no
+  // foreign mutation interleaved (fingerprint parity with PR-6);
+  // caller holds writer_mu_.
+  void ApplyRollbackClockPolicy(const TxnState& t);
+
+  // Journals one committed autocommit statement and drives the fsync /
+  // deferred-checkpoint cadence. `csn` is the statement's commit CSN
+  // (0 when it wrote no versions).
+  Status LogCommitted(const PendingStatement& ps, uint64_t csn);
 
   // Journals the open transaction as one BEGIN-framed group (begin
-  // marker, buffered statements, commit marker) with a single fsync.
-  Status LogTxnCommitted();
+  // marker, buffered statements, commit marker carrying `csn`) with a
+  // single fsync.
+  Status LogTxnCommitted(TxnState* t, uint64_t csn);
 
-  // Checkpoint body; the caller holds the exclusive engine lock.
+  // Runs a deferred auto-checkpoint if one is due and no transaction is
+  // open. Called after the gate hold of the triggering statement ends.
+  void MaybeDeferredCheckpoint();
+
+  // Checkpoint body; the caller holds the gate exclusively + writer_mu_.
   Status CheckpointLocked();
 
   // Latches the durable store unusable after a write-path failure left
@@ -234,8 +341,14 @@ class Database {
   // the torn tail).
   void TearDownWal();
 
-  // Re-executes one WAL record with its recorded user and clock value.
-  Status ReplayRecord(const WalRecord& rec);
+  // Re-executes one WAL record with its recorded user, clock value, id
+  // bases and (for versioned records) snapshot. `group_writer` is the
+  // shared write set of the enclosing transaction frame, null for
+  // autocommit records.
+  Status ReplayRecord(const WalRecord& rec, MvccWriter* group_writer);
+
+  // Advances the CSN counters past a journaled commit CSN (replay).
+  void AdvanceCsn(uint64_t csn);
 
   // Checkpoint payload (de)serialization over the full engine state;
   // defined in src/wal/checkpoint.cc next to the file format.
@@ -272,22 +385,53 @@ class Database {
   std::map<std::string, std::vector<DeletionLogEntry>> deletion_log_;
   std::unique_ptr<Durable> dur_;
 
-  // Compensation log for the statement/transaction currently executing
-  // under rollback protection. Mutation paths across the engine record
-  // their logical inverses here (docs/transactions.md).
+  // Compensation log for autocommit statements. Open transactions carry
+  // their own UndoLog (TxnState::undo) so interleaved transactions do
+  // not share one LIFO stack; BindUndo() switches the engine between
+  // them around each mutating statement.
   UndoLog undo_;
 
-  // Coarse engine lock: shared for read-only statements, exclusive for
-  // mutating ones and for the whole span of an open transaction.
-  // Declared before txn_ so the transaction's unique_lock is destroyed
-  // (and released) before the mutex itself.
-  std::shared_mutex engine_mu_;
+  // Ambient MVCC context shared with every storage object. A writer is
+  // installed exactly while a versioned mutating statement executes
+  // (under writer_mu_).
+  MvccState mvcc_state_;
 
-  // Owner token of the open transaction, or nullptr. Atomic so a session
-  // can ask "is this mine?" without touching the engine lock it may be
-  // about to block on.
-  std::atomic<const void*> txn_owner_{nullptr};
-  std::unique_ptr<Txn> txn_;  // non-null iff a transaction is open
+  // The engine gate: shared for reads and concurrent DML, exclusive for
+  // legacy statements / escalated transactions / checkpoints. Not
+  // thread-affine (an escalated transaction may release from a different
+  // pool thread than it acquired on).
+  EngineGate gate_;
+
+  // Serializes every mutating execution, commit, rollback and vacuum.
+  // Lock order: gate_ -> writer_mu_ -> txn_mu_ -> storage latches.
+  mutable std::mutex writer_mu_;
+
+  // Guards the transaction registry, reader-snapshot set and escalation
+  // counter; txn_cv_ signals registry shrinkage to draining waiters.
+  mutable std::mutex txn_mu_;
+  std::condition_variable txn_cv_;
+  std::map<const void*, std::unique_ptr<TxnState>> txns_;
+  std::multiset<uint64_t> read_snapshots_;  // in-flight read statements
+  int escalations_waiting_ = 0;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  // Commit sequence numbers live on their own counter, never the logical
+  // clock: commits must not perturb the clock values statements observe
+  // (replay and the COMMIT-equals-autocommit equivalence depend on it).
+  std::atomic<uint64_t> next_csn_{1};
+  std::atomic<uint64_t> last_completed_csn_{0};
+
+  // Bumped (under writer_mu_) by every committed mutating statement;
+  // lets rollback detect whether foreign mutations interleaved.
+  uint64_t mutation_epoch_ = 0;
+
+  // Set when the WAL append path decides an auto-checkpoint is due;
+  // consumed by MaybeDeferredCheckpoint() once the gate is free.
+  std::atomic<bool> checkpoint_due_{false};
+
+  // The undo log mutation paths currently record into (MakeContext reads
+  // it when wiring fresh storage objects). Written under writer_mu_.
+  std::atomic<UndoLog*> active_undo_{&undo_};
 };
 
 }  // namespace bdbms

@@ -14,9 +14,12 @@ namespace bdbms {
 // sessions block until it commits or rolls back (docs/transactions.md).
 //
 // Destroying a session with an open transaction rolls the transaction
-// back, so a dropped network connection can never leave the engine locked
-// or half-committed. A session must be used from one thread at a time
-// (the network server dedicates a thread per connection).
+// back — which also releases the transaction's MVCC snapshot, so a
+// dropped network connection can never leave the engine locked, pin
+// version garbage collection, or end up half-committed. A session must
+// be used from one thread at a time, though not necessarily the *same*
+// thread: the network server's worker pool hands each connection's
+// statements to whichever worker is free, serialized per connection.
 class Session {
  public:
   Session(Database* db, std::string user)

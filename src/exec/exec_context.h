@@ -14,6 +14,7 @@
 #include "dep/dependency_manager.h"
 #include "prov/provenance.h"
 #include "table/table.h"
+#include "txn/mvcc.h"
 #include "txn/undo_log.h"
 
 namespace bdbms {
@@ -47,6 +48,10 @@ struct ExecContext {
   // protection; mutation paths that live in the executor itself (the
   // deletion log) record their compensations here.
   UndoLog* undo = nullptr;
+  // Non-null while the statement runs under snapshot isolation: every
+  // scan operator resolves row/annotation visibility against it instead
+  // of reading the newest state. Null = legacy exclusive execution.
+  const MvccSnapshot* snapshot = nullptr;
 };
 
 }  // namespace bdbms

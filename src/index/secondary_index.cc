@@ -24,16 +24,19 @@ std::string SecondaryIndex::KeyOf(const Row& row) const {
 }
 
 Status SecondaryIndex::Insert(const Row& row, RowId row_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   return tree_->Insert(KeyOf(row), row_id);
 }
 
 Status SecondaryIndex::Remove(const Row& row, RowId row_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   return tree_->Delete(KeyOf(row), row_id);
 }
 
 Status SecondaryIndex::ScanProbe(
     const IndexProbe& probe,
     const std::function<bool(std::string_view, RowId)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   // Equality with NULL is never true; such probes match nothing.
   for (const Value& v : probe.eq) {
     if (v.is_null()) return Status::Ok();
@@ -105,6 +108,7 @@ Result<std::vector<RowId>> SecondaryIndex::FindRange(
   if (!lo.has_value() && !hi.has_value()) {
     // FindRange models `col <op> ...`, so it excludes NULLs even when
     // unbounded on both sides (unlike a prefix-equality Find).
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<RowId> rows;
     BDBMS_RETURN_IF_ERROR(tree_->ScanRange(
         IndexKeyLowestNonNull(), IndexKeyUpperFence(),

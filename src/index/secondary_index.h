@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +49,10 @@ struct IndexProbe {
 // equality probes with fewer than all columns do include rows whose
 // *unconstrained* trailing columns are NULL, since no predicate touches
 // them.
+//
+// Internally synchronized: the B+-tree's buffer pool mutates its LRU state
+// even on reads, so concurrent snapshot probes and a writer's maintenance
+// must serialize on the index's own mutex.
 class SecondaryIndex {
  public:
   static Result<std::unique_ptr<SecondaryIndex>> Create(
@@ -60,7 +65,10 @@ class SecondaryIndex {
   const std::vector<size_t>& columns() const { return columns_; }
   // Leading key column (the whole key of a single-column index).
   size_t column() const { return columns_.front(); }
-  uint64_t entry_count() const { return tree_->size(); }
+  uint64_t entry_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->size();
+  }
 
   // --- maintenance (Table calls these with the full stored row) -----------
   Status Insert(const Row& row, RowId row_id);
@@ -97,6 +105,7 @@ class SecondaryIndex {
   std::string name_;
   std::vector<size_t> columns_;
   std::unique_ptr<BPlusTree> tree_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace bdbms

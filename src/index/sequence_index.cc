@@ -22,6 +22,7 @@ Status SequenceIndex::Insert(const Value& cell, RowId row_id) {
     return Status::InvalidArgument(
         "sequence index cannot store values with embedded NUL bytes");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   return trie_->Insert(text, row_id);
 }
 
@@ -30,6 +31,7 @@ Status SequenceIndex::Remove(const Value& cell, RowId row_id) {
   if (!cell.is_string()) {
     return Status::InvalidArgument("sequence index over a non-string value");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   BDBMS_ASSIGN_OR_RETURN(
       bool removed,
       trie_->Remove(TrieOps::Exact(cell.as_string()), row_id));
@@ -41,6 +43,7 @@ Status SequenceIndex::Remove(const Value& cell, RowId row_id) {
 
 Result<std::vector<RowId>> SequenceIndex::Collect(
     const TrieOps::Query& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<RowId> rows;
   BDBMS_RETURN_IF_ERROR(
       trie_->Search(query, [&](const TrieOps::Key&, uint64_t row) {

@@ -2,6 +2,7 @@
 #define BDBMS_INDEX_SEQUENCE_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,9 @@ namespace bdbms {
 // true on NULL, so probes could never return them. The trie reserves the
 // NUL byte as its end-of-key label, so values containing embedded NUL
 // bytes are rejected at maintenance time rather than silently dropped.
+//
+// Internally synchronized, like SecondaryIndex: the trie's page cache
+// mutates on reads, so concurrent probes serialize on the index's mutex.
 class SequenceIndex {
  public:
   static Result<std::unique_ptr<SequenceIndex>> Create(std::string name,
@@ -34,7 +38,10 @@ class SequenceIndex {
 
   const std::string& name() const { return name_; }
   size_t column() const { return column_; }
-  uint64_t entry_count() const { return trie_->size(); }
+  uint64_t entry_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trie_->size();
+  }
 
   // --- maintenance (Table calls these with the cell's stored value) -------
   Status Insert(const Value& cell, RowId row_id);
@@ -56,6 +63,7 @@ class SequenceIndex {
   std::string name_;
   size_t column_;
   std::unique_ptr<SpGistTrie> trie_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace bdbms

@@ -1,16 +1,18 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "core/session.h"
 #include "net/wire.h"
 
 namespace bdbms {
@@ -43,7 +45,7 @@ Status Server::Start() {
     ::close(fd);
     return s;
   }
-  if (::listen(fd, 64) < 0) {
+  if (::listen(fd, 256) < 0) {
     Status s = Status::IoError(std::string("listen: ") + std::strerror(errno));
     ::close(fd);
     return s;
@@ -57,9 +59,35 @@ Status Server::Start() {
     return s;
   }
   port_ = ntohs(bound.sin_port);
+  // Non-blocking listener: the poller accepts until EAGAIN each time the
+  // listener polls readable, so one poll wakeup drains an accept burst.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::pipe(wake_pipe_) < 0) {
+    Status s = Status::IoError(std::string("pipe: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  // Non-blocking on both ends: the poller drains until EAGAIN, and a
+  // worker's wake write may harmlessly drop when the pipe is already
+  // full — pending bytes mean the poller is waking regardless.
+  for (int end : {wake_pipe_[0], wake_pipe_[1]}) {
+    int fl = ::fcntl(end, F_GETFL, 0);
+    (void)::fcntl(end, F_SETFL, fl | O_NONBLOCK);
+  }
+
+  worker_count_ = options_.workers;
+  if (worker_count_ == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    worker_count_ = std::min(8u, std::max(2u, hw));
+  }
   stopping_.store(false, std::memory_order_release);
   listen_fd_.store(fd, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  poller_thread_ = std::thread([this] { PollLoop(); });
+  worker_threads_.reserve(worker_count_);
+  for (unsigned i = 0; i < worker_count_; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -67,78 +95,177 @@ void Server::Stop() {
   int listener = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   if (listener < 0) return;
   stopping_.store(true, std::memory_order_release);
-  // shutdown() unblocks the accept(2) in flight; close alone does not on
-  // all platforms.
-  ::shutdown(listener, SHUT_RDWR);
   ::close(listener);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  Wake();
+  if (poller_thread_.joinable()) poller_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) {
+    // Unblock any worker mid-ReadFrame/WriteFrame on a live connection.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fd, conn] : conns_) {
       ::shutdown(fd, SHUT_RDWR);
     }
   }
-  // The accept loop is dead, so conn_threads_ can no longer grow; each
-  // handler notices its dead socket, rolls back, and exits.
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
+  work_cv_.notify_all();
+  for (std::thread& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
+  worker_threads_.clear();
+  // Retire survivors: destroying the Session rolls back any open
+  // transaction and releases its snapshot.
+  std::map<int, std::unique_ptr<Conn>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(conns_);
+    ready_.clear();
+    rearm_.clear();
+  }
+  for (auto& [fd, conn] : leftovers) {
+    conn.reset();
+    ::close(fd);
+  }
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
 }
 
-void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    int listen_fd = listen_fd_.load(std::memory_order_acquire);
-    if (listen_fd < 0) return;  // Stop() already closed the listener
-    int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
+void Server::Wake() {
+  char b = 0;
+  ssize_t rc;
+  do {
+    rc = ::write(wake_pipe_[1], &b, 1);
+  } while (rc < 0 && errno == EINTR);
+}
+
+void Server::PollLoop() {
+  // fds the poller is currently watching; a connection leaves this set
+  // the moment it turns readable and rejoins only after a worker re-arms
+  // it, so its frames are always handled strictly one at a time.
+  std::vector<int> idle;
+  std::vector<pollfd> pfds;
+  for (;;) {
+    int listener = listen_fd_.load(std::memory_order_acquire);
+    pfds.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (listener >= 0) pfds.push_back({listener, POLLIN, 0});
+    for (int fd : idle) pfds.push_back({fd, POLLIN, 0});
+
+    int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
       if (errno == EINTR) continue;
-      // Listener closed (Stop) or fatal error either way: stop accepting.
       return;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    // Request/response traffic is latency-bound small frames; without
-    // TCP_NODELAY every response can stall ~40ms behind a delayed ACK.
-    int one = 1;
-    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
+
+    size_t i = 0;
+    if (pfds[i].revents != 0) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Conn* conn : rearm_) idle.push_back(conn->fd);
+      rearm_.clear();
     }
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { Serve(fd); });
+    if (stopping_.load(std::memory_order_acquire)) return;
+    ++i;
+
+    if (listener >= 0) {
+      if (pfds[i].revents != 0) {
+        for (;;) {
+          int fd = ::accept(listener, nullptr, nullptr);
+          if (fd < 0) break;  // EAGAIN drains the burst; fatal stops too
+          connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+          // Request/response traffic is latency-bound small frames;
+          // without TCP_NODELAY every response can stall ~40ms behind a
+          // delayed ACK.
+          int one = 1;
+          (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+          std::lock_guard<std::mutex> lock(mu_);
+          conns_.emplace(fd, std::make_unique<Conn>(fd));
+          idle.push_back(fd);
+        }
+      }
+      ++i;
+    }
+
+    // Readable (or hung-up) connections move to the ready queue; the
+    // worker discovers EOF itself, so a dropped client is retired — and
+    // its transaction rolled back — on this same wakeup.
+    bool queued = false;
+    for (size_t k = i; k < pfds.size(); ++k) {
+      if (pfds[k].revents == 0) continue;
+      int fd = pfds[k].fd;
+      idle.erase(std::find(idle.begin(), idle.end(), fd));
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = conns_.find(fd);
+      if (it != conns_.end()) {
+        ready_.push_back(it->second.get());
+        queued = true;
+      }
+    }
+    if (queued) work_cv_.notify_all();
   }
 }
 
-void Server::Serve(int fd) {
-  // Hello frame carries the user; everything after is one statement per
-  // frame, answered in order.
-  auto hello = ReadFrame(fd);
-  if (hello.ok()) {
-    Session session(db_, *hello);
-    for (;;) {
-      auto request = ReadFrame(fd);
-      if (!request.ok()) break;  // disconnect rolls back via ~Session
-      std::string response;
-      auto result = session.Execute(*request);
-      if (result.ok()) {
-        response.push_back(static_cast<char>(kWireOk));
-        response += result->ToString();
-      } else {
-        response.push_back(static_cast<char>(kWireError));
-        response += result.status().ToString();
-      }
-      if (!WriteFrame(fd, response).ok()) break;
+void Server::WorkerLoop() {
+  for (;;) {
+    Conn* conn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return !ready_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (ready_.empty()) return;  // stopping, queue drained
+      conn = ready_.front();
+      ready_.pop_front();
+    }
+    if (ServeOne(conn)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      rearm_.push_back(conn);
+      Wake();
+    } else {
+      Retire(conn);
     }
   }
+}
+
+bool Server::ServeOne(Conn* conn) {
+  // Hello frame carries the user; everything after is one statement per
+  // frame, answered in order. poll() only guarantees the first byte is
+  // ready — the blocking ReadFrame absorbs the rest of the frame, which
+  // bounds a worker's stall at one in-flight frame.
+  if (!conn->session) {
+    auto hello = ReadFrame(conn->fd);
+    if (!hello.ok()) return false;
+    conn->session = std::make_unique<Session>(db_, *hello);
+    return true;
+  }
+  auto request = ReadFrame(conn->fd);
+  if (!request.ok()) return false;  // disconnect rolls back via ~Session
+  std::string response;
+  auto result = conn->session->Execute(*request);
+  if (result.ok()) {
+    response.push_back(static_cast<char>(kWireOk));
+    response += result->ToString();
+  } else {
+    response.push_back(static_cast<char>(kWireError));
+    response += result.status().ToString();
+  }
+  return WriteFrame(conn->fd, response).ok();
+}
+
+void Server::Retire(Conn* conn) {
+  int fd = conn->fd;
+  std::unique_ptr<Conn> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) {
+      owned = std::move(it->second);
+      conns_.erase(it);
+    }
+  }
+  owned.reset();  // ~Session rolls back an open transaction
   ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  conn_fds_.erase(fd);
 }
 
 }  // namespace bdbms

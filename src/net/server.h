@@ -2,32 +2,45 @@
 #define BDBMS_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "core/database.h"
+#include "core/session.h"
 
 namespace bdbms {
 
-// Thread-per-connection TCP front end over one Database. Each accepted
-// connection gets a Session (user identity + transaction ownership) and a
-// dedicated thread, which matters beyond simplicity: the engine's
-// reader/writer lock must be released by the thread that acquired it, so
-// a session's BEGIN..COMMIT span has to stay on one thread.
+// Session-pool TCP front end over one Database. A single poller thread
+// poll(2)s every idle connection; when a request frame arrives the
+// connection is unarmed (taken out of the poll set) and handed to a
+// bounded worker pool, which reads the frame, executes it, writes the
+// response, and re-arms the connection. Thousands of mostly-idle
+// connections therefore cost one fd each, not one thread each — under
+// MVCC the engine no longer needs a connection's BEGIN..COMMIT span to
+// stay on a single thread, only for its statements to be processed one
+// at a time, which the unarm/execute/re-arm handoff guarantees (a
+// connection is never in the poll set and on a worker simultaneously).
 //
-// Protocol: see net/wire.h. Dropping a connection rolls back its open
-// transaction (Session destructor), so a crashed client never wedges the
-// single-writer engine.
+// Protocol: see net/wire.h — unchanged from the thread-per-connection
+// server. Dropping a connection rolls back its open transaction and
+// releases its MVCC snapshot (Session destructor runs when the poller or
+// a worker retires the connection), so a crashed client never wedges
+// writers or pins version garbage collection.
 class Server {
  public:
   struct Options {
     std::string host = "127.0.0.1";
     uint16_t port = 0;  // 0 = ephemeral; read the bound port from port()
+    // Worker threads executing statements. 0 = min(8, hardware threads).
+    unsigned workers = 0;
   };
 
   explicit Server(Database* db) : Server(db, Options()) {}
@@ -37,12 +50,12 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens, and spawns the accept thread. After an OK return,
-  // port() is the bound port.
+  // Binds, listens, and spawns the poller and worker threads. After an OK
+  // return, port() is the bound port.
   Status Start();
 
-  // Closes the listener, shuts down every live connection, and joins all
-  // threads. Idempotent.
+  // Closes the listener, shuts down every live connection (rolling back
+  // their open transactions), and joins all threads. Idempotent.
   void Stop();
 
   uint16_t port() const { return port_; }
@@ -52,25 +65,48 @@ class Server {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
+  // Worker threads actually running (tests).
+  unsigned worker_count() const { return worker_count_; }
+
  private:
-  void AcceptLoop();
-  void Serve(int fd);
+  // One client connection. `session` is null until the hello frame names
+  // the user. Exactly one of {poll set, ready queue, worker} references a
+  // Conn at any moment; ownership lives in conns_ until retirement.
+  struct Conn {
+    explicit Conn(int fd_in) : fd(fd_in) {}
+    int fd;
+    std::unique_ptr<Session> session;
+  };
+
+  void PollLoop();
+  void WorkerLoop();
+  // Serves one request on `conn` (or the hello frame). Returns false when
+  // the connection is done (EOF, error, protocol violation) and must be
+  // retired.
+  bool ServeOne(Conn* conn);
+  void Retire(Conn* conn);
+  void Wake();
 
   Database* db_;
   Options options_;
-  // Written by Start()/Stop() and read by the accept thread each loop
-  // iteration, hence atomic; -1 means not listening.
+  unsigned worker_count_ = 0;
+  // Written by Start()/Stop() and read by the poller each loop iteration,
+  // hence atomic; -1 means not listening.
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
-  std::thread accept_thread_;
+  // Self-pipe: workers write one byte to hand re-armed connections back
+  // to the poller (and Stop() writes to break the poll).
+  int wake_pipe_[2] = {-1, -1};
+  std::thread poller_thread_;
+  std::vector<std::thread> worker_threads_;
 
-  // Live connection fds, so Stop() can shut them down and unblock their
-  // reads; threads are joined after the accept loop exits.
-  std::mutex conn_mu_;
-  std::set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::map<int, std::unique_ptr<Conn>> conns_;  // all live connections
+  std::deque<Conn*> ready_;                     // readable, awaiting a worker
+  std::vector<Conn*> rearm_;                    // served, awaiting the poller
 };
 
 }  // namespace bdbms

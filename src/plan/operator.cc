@@ -115,10 +115,23 @@ Status ScanNodeBase::Open() {
 
 Result<bool> ScanNodeBase::Next(PlanTuple* out) {
   size_t ncols = table_->schema().num_columns();
+  const MvccSnapshot* snap = ctx_->snapshot;
   while (pos_ < candidates_.size()) {
     RowId row_id = candidates_[pos_++];
-    if (!table_->Exists(row_id)) continue;  // stale candidate
-    BDBMS_ASSIGN_OR_RETURN(Row row, table_->Get(row_id));
+    Row row;
+    if (snap != nullptr) {
+      // Snapshot mode: visibility resolution replaces the liveness check,
+      // and index candidates can be stale — the subclass re-verifies its
+      // probe against the version the snapshot actually sees.
+      BDBMS_ASSIGN_OR_RETURN(std::optional<Row> visible,
+                             table_->GetVisible(row_id, *snap));
+      if (!visible.has_value()) continue;
+      if (!RecheckVisible(*visible)) continue;
+      row = std::move(*visible);
+    } else {
+      if (!table_->Exists(row_id)) continue;  // stale candidate
+      BDBMS_ASSIGN_OR_RETURN(row, table_->Get(row_id));
+    }
     out->values = std::move(row);
     out->anns.assign(ncols, {});
     out->source_row = row_id;
@@ -127,7 +140,7 @@ Result<bool> ScanNodeBase::Next(PlanTuple* out) {
     for (size_t a = 0; a < ann_tables_.size(); ++a) {
       AnnotationTable* at = ann_tables_[a];
       for (size_t col = 0; col < ncols; ++col) {
-        for (AnnotationId id : at->IdsForCell(row_id, col)) {
+        for (AnnotationId id : at->IdsForCell(row_id, col, snap)) {
           auto key = std::make_pair(ann_names_[a], id);
           auto it = cache_.find(key);
           if (it == cache_.end()) {
@@ -162,6 +175,9 @@ std::string ScanNodeBase::DescribeSuffix() const {
 }
 
 Result<std::vector<RowId>> SeqScanNode::CollectCandidates() {
+  if (ctx_->snapshot != nullptr) {
+    return table_->VisibleRowIds(*ctx_->snapshot);
+  }
   return table_->SnapshotRowIds();
 }
 
@@ -169,8 +185,45 @@ std::string SeqScanNode::Describe() const {
   return "SeqScan " + table_name_ + DescribeSuffix();
 }
 
+namespace {
+
+// Re-evaluates an index probe against the indexed cells of a row — used by
+// snapshot-mode index scans to reject candidates reached through a dead
+// index entry whose key differs from the version the snapshot sees.
+bool ProbeMatchesRow(const IndexProbe& probe, const std::vector<size_t>& cols,
+                     const Row& row) {
+  for (size_t i = 0; i < probe.eq.size(); ++i) {
+    if (row[cols[i]].Compare(probe.eq[i]) != 0) return false;
+  }
+  if (probe.lo || probe.hi || probe.like_prefix) {
+    const Value& cell = row[cols[probe.eq.size()]];
+    // No SQL comparison or LIKE predicate is ever true on NULL.
+    if (cell.is_null()) return false;
+    if (probe.like_prefix) {
+      if (!cell.is_string()) return false;
+      const std::string& s = cell.as_string();
+      return s.compare(0, probe.like_prefix->size(), *probe.like_prefix) == 0;
+    }
+    if (probe.lo) {
+      int c = cell.Compare(probe.lo->value);
+      if (c < 0 || (c == 0 && !probe.lo->inclusive)) return false;
+    }
+    if (probe.hi) {
+      int c = cell.Compare(probe.hi->value);
+      if (c > 0 || (c == 0 && !probe.hi->inclusive)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<std::vector<RowId>> IndexScanNode::CollectCandidates() {
   return index_->Find(probe_);
+}
+
+bool IndexScanNode::RecheckVisible(const Row& row) const {
+  return ProbeMatchesRow(probe_, index_->columns(), row);
 }
 
 std::string IndexScanNode::Describe() const {
@@ -208,6 +261,8 @@ IndexOnlyScanNode::IndexOnlyScanNode(const ExecContext* ctx, Table* table,
 Status IndexOnlyScanNode::Open() {
   rows_.clear();
   pos_ = 0;
+  have_emitted_ = false;
+  last_emitted_ = 0;
   size_t ncols = table_->schema().num_columns();
   Status decode_status = Status::Ok();
   BDBMS_RETURN_IF_ERROR(
@@ -232,9 +287,30 @@ Status IndexOnlyScanNode::Open() {
 
 Result<bool> IndexOnlyScanNode::Next(PlanTuple* out) {
   size_t ncols = table_->schema().num_columns();
+  const MvccSnapshot* snap = ctx_->snapshot;
   while (pos_ < rows_.size()) {
     auto& [row_id, row] = rows_[pos_++];
-    if (!table_->Exists(row_id)) continue;  // stale candidate
+    if (snap != nullptr) {
+      // Version chains keep dead keys indexed until vacuum: only entries
+      // whose decoded key cells match the version the snapshot sees are
+      // real, and each surviving RowId is emitted once.
+      if (have_emitted_ && row_id == last_emitted_) continue;
+      BDBMS_ASSIGN_OR_RETURN(std::optional<Row> visible,
+                             table_->GetVisible(row_id, *snap));
+      if (!visible.has_value()) continue;
+      bool matches = true;
+      for (size_t c : index_->columns()) {
+        if ((*visible)[c].Compare(row[c]) != 0) {
+          matches = false;
+          break;
+        }
+      }
+      if (!matches) continue;
+      have_emitted_ = true;
+      last_emitted_ = row_id;
+    } else if (!table_->Exists(row_id)) {
+      continue;  // stale candidate
+    }
     out->values = std::move(row);
     out->anns.assign(ncols, {});
     out->source_row = row_id;
@@ -260,20 +336,35 @@ Result<std::vector<RowId>> SpgistScanNode::CollectCandidates() {
                       : index_->FindPrefix(probe_.text);
 }
 
+bool SpgistScanNode::RecheckVisible(const Row& row) const {
+  const Value& cell = row[index_->column()];
+  if (!cell.is_string()) return false;
+  const std::string& s = cell.as_string();
+  if (probe_.exact) return s == probe_.text;
+  return s.compare(0, probe_.text.size(), probe_.text) == 0;
+}
+
 std::string SpgistScanNode::Describe() const {
   return "SpgistScan " + table_name_ + DescribeSuffix() + " USING " +
          index_->name() + " " + predicate_text_;
 }
 
 Result<std::vector<RowId>> AnnIntervalScanNode::CollectCandidates() {
+  const MvccSnapshot* snap = ctx_->snapshot;
   std::set<RowId> rows;
   RowId extent = table_->next_row_id();
   for (const std::string& ann_name : ann_names_) {
     BDBMS_ASSIGN_OR_RETURN(AnnotationTable * at,
                            ctx_->annotations->Get(table_name_, ann_name));
-    for (const auto& [begin, end] : at->LiveRowIntervals()) {
+    for (const auto& [begin, end] : at->LiveRowIntervals(snap)) {
       RowId capped = std::min(end, extent == 0 ? end : extent - 1);
-      for (RowId r : table_->RowIdsInRange(begin, capped)) rows.insert(r);
+      if (snap != nullptr) {
+        for (RowId r : table_->VisibleRowIdsInRange(begin, capped, *snap)) {
+          rows.insert(r);
+        }
+      } else {
+        for (RowId r : table_->RowIdsInRange(begin, capped)) rows.insert(r);
+      }
     }
   }
   // Outdated cells synthesize annotations too, so those rows can also
@@ -281,7 +372,14 @@ Result<std::vector<RowId>> AnnIntervalScanNode::CollectCandidates() {
   const OutdatedBitmap* bitmap = ctx_->dependencies->FindBitmap(table_name_);
   if (bitmap != nullptr) {
     for (const auto& [row, mask] : bitmap->entries()) {
-      if (mask != 0 && table_->Exists(row)) rows.insert(row);
+      if (mask == 0) continue;
+      if (snap != nullptr) {
+        BDBMS_ASSIGN_OR_RETURN(std::optional<Row> visible,
+                               table_->GetVisible(row, *snap));
+        if (visible.has_value()) rows.insert(row);
+      } else if (table_->Exists(row)) {
+        rows.insert(row);
+      }
     }
   }
   return std::vector<RowId>(rows.begin(), rows.end());

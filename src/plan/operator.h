@@ -86,6 +86,14 @@ class ScanNodeBase : public PlanNode {
   // deleted since planning are skipped).
   virtual Result<std::vector<RowId>> CollectCandidates() = 0;
 
+  // Snapshot-mode re-check: index access paths can hand back a row-id
+  // through a dead index entry whose key no longer matches the version the
+  // snapshot sees (the chain keeps old keys indexed until vacuum). The
+  // subclass re-verifies its probe against the *visible* row's indexed
+  // cells; the base scan drops rows that fail. The default (full scans,
+  // interval scans) accepts everything.
+  virtual bool RecheckVisible(const Row& /*row*/) const { return true; }
+
   // " AS alias" / " ANNOTATION(...)" decoration shared by subclasses.
   std::string DescribeSuffix() const;
 
@@ -140,6 +148,7 @@ class IndexScanNode : public ScanNodeBase {
 
  protected:
   Result<std::vector<RowId>> CollectCandidates() override;
+  bool RecheckVisible(const Row& row) const override;
 
  private:
   const SecondaryIndex* index_;
@@ -178,6 +187,11 @@ class IndexOnlyScanNode : public PlanNode {
   std::vector<DataType> key_types_;      // declared types of the key columns
   std::vector<std::pair<RowId, Row>> rows_;  // decoded, RowId-ascending
   size_t pos_ = 0;
+  // Snapshot-mode dedup: version chains keep old keys indexed until
+  // vacuum, so one RowId can surface through several entries; emit it
+  // once (rows_ is RowId-sorted, so tracking the last emitted id works).
+  bool have_emitted_ = false;
+  RowId last_emitted_ = 0;
 };
 
 // SP-GiST trie probe over a sequence index: prefix (LIKE 'p%') or exact
@@ -204,6 +218,7 @@ class SpgistScanNode : public ScanNodeBase {
 
  protected:
   Result<std::vector<RowId>> CollectCandidates() override;
+  bool RecheckVisible(const Row& row) const override;
 
  private:
   const SequenceIndex* index_;

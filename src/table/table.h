@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "catalog/statistics.h"
 #include "common/result.h"
 #include "storage/heap_file.h"
+#include "txn/mvcc.h"
 
 namespace bdbms {
 
@@ -24,6 +27,30 @@ class UndoLog;
 // bitmaps can address rows by interval even across deletions.
 using RowId = uint64_t;
 
+// One superseded row version kept for MVCC readers. The version's data
+// lives here as an in-memory copy (the heap always holds only the newest
+// version); begin/end events are (CSN, txn) pairs — a zero CSN with a
+// non-zero txn means the event belongs to a still-uncommitted
+// transaction, zero/zero means "since forever" (predates MVCC tracking).
+struct RowVersion {
+  Row row;
+  uint64_t begin_csn = 0;
+  uint64_t begin_txn = 0;
+  uint64_t end_csn = 0;
+  uint64_t end_txn = 0;
+};
+
+// MVCC bookkeeping for one RowId: the begin event of the CURRENT version
+// (the one stored in the heap) plus the chain of superseded versions,
+// oldest first. Rows with no entry in the side map are ancient — visible
+// to every snapshot. `begin_csn`/`begin_txn` are meaningful only while a
+// current version exists (the row is live in `rows_`).
+struct RowMvcc {
+  uint64_t begin_csn = 0;
+  uint64_t begin_txn = 0;
+  std::vector<RowVersion> old;
+};
+
 // A user relation: schema-validated rows over a HeapFile. Each record
 // embeds its RowId; the RowId -> RecordId map is rebuilt on open.
 //
@@ -31,6 +58,12 @@ using RowId = uint64_t;
 // the RowId, so all metadata keyed by RowId (annotations, provenance,
 // outdated bits, pending approvals) stays attached, which is exactly the
 // behaviour bdbms needs.
+//
+// Concurrency: public accessors and mutators latch an internal
+// shared_mutex, so snapshot readers can fetch rows while a writer
+// mutates. Index DDL (Create*/DropIndex) and the index accessors are
+// deliberately unlatched — they run or are only mutated under the
+// engine's exclusive gate, which admits no concurrent table access.
 class Table {
  public:
   // Fresh in-memory table.
@@ -48,6 +81,8 @@ class Table {
   const TableSchema& schema() const { return schema_; }
 
   // Validates against the schema and appends; returns the new RowId.
+  // While an MVCC writer is ambient the new row is tagged with the
+  // writer's txn so only that transaction sees it until commit.
   Result<RowId> Insert(Row row);
 
   // Re-inserts a row under a specific RowId — the inverse of a DELETE
@@ -55,19 +90,29 @@ class Table {
   // the RowId is live.
   Status InsertWithRowId(RowId row_id, Row row);
 
-  // Full row fetch.
+  // Full row fetch of the current (newest) version.
   Result<Row> Get(RowId row_id) const;
 
-  // Replaces the whole row (schema-validated).
+  // Snapshot fetch: the version of `row_id` visible to `snap`, or nullopt
+  // when no version is visible (never existed, created after the
+  // snapshot, or deleted before it).
+  Result<std::optional<Row>> GetVisible(RowId row_id,
+                                        const MvccSnapshot& snap) const;
+
+  // Replaces the whole row (schema-validated). Under an ambient MVCC
+  // writer the superseded version is pushed onto the row's chain and the
+  // statement fails with a serialization-failure status if another
+  // uncommitted transaction (or one that committed after the writer's
+  // snapshot) already replaced the row — first updater wins.
   Status Update(RowId row_id, Row row);
 
   // Replaces one cell (type-coerced).
   Status UpdateCell(RowId row_id, size_t column, Value value);
 
-  // Removes the row. Its RowId is never reused.
+  // Removes the row. Its RowId is never reused. Versioned like Update.
   Status Delete(RowId row_id);
 
-  bool Exists(RowId row_id) const { return rows_.count(row_id) > 0; }
+  bool Exists(RowId row_id) const;
 
   // Visits live rows in RowId order; `fn` returning non-OK stops the scan.
   Status Scan(const std::function<Status(RowId, const Row&)>& fn) const;
@@ -83,6 +128,30 @@ class Table {
 
   // Live RowIds with begin <= RowId <= end, ascending.
   std::vector<RowId> RowIdsInRange(RowId begin, RowId end) const;
+
+  // RowIds with a version visible to `snap`, ascending. Includes rows
+  // whose current version is deleted or not yet committed but whose chain
+  // still holds a version the snapshot can see.
+  std::vector<RowId> VisibleRowIds(const MvccSnapshot& snap) const;
+  std::vector<RowId> VisibleRowIdsInRange(RowId begin, RowId end,
+                                          const MvccSnapshot& snap) const;
+
+  // --- MVCC commit / garbage collection ------------------------------------
+  // Stamps every version event of `row_id` owned by `txn` with commit
+  // sequence number `csn`. Idempotent; called once per write-set entry at
+  // commit under the engine's writer mutex.
+  void CommitRow(RowId row_id, uint64_t txn, uint64_t csn);
+
+  // Drops superseded versions whose end CSN is committed and <=
+  // `oldest_csn` (no active snapshot can need them), removing their index
+  // entries, and retires chain bookkeeping for rows whose current version
+  // is visible to every active snapshot. Pass UINT64_MAX to drop
+  // everything dead.
+  void Vacuum(uint64_t oldest_csn);
+
+  // Live rows plus retained superseded versions — the metric the GC and
+  // crash tests watch ("GC must not resurrect or leak versions").
+  uint64_t version_count() const;
 
   // --- secondary indexes ---------------------------------------------------
   // Builds a B+-tree index named `name` over the given columns (composite
@@ -112,7 +181,7 @@ class Table {
     return seq_indexes_;
   }
 
-  uint64_t row_count() const { return rows_.size(); }
+  uint64_t row_count() const;
 
   // One full scan computing the ANALYZE statistics snapshot: row count
   // plus per-column null count, NDV, min/max, and (for columns whose
@@ -121,15 +190,19 @@ class Table {
   Result<TableStats> ComputeStats(size_t histogram_buckets = 16) const;
 
   // One past the largest RowId ever assigned (the tuple-axis extent).
-  RowId next_row_id() const { return next_row_id_; }
+  RowId next_row_id() const;
 
   // Recovery: restores the tuple-axis extent recorded in a checkpoint.
   // max(live RowId)+1 underestimates it when the newest rows were deleted;
   // reusing their RowIds would re-attach their old annotations, outdated
   // bits and pending approvals to unrelated new rows.
-  void AdvanceNextRowId(RowId next) {
-    if (next > next_row_id_) next_row_id_ = next;
-  }
+  void AdvanceNextRowId(RowId next);
+
+  // WAL replay: restores the exact id counter a statement allocated
+  // from. Unlike AdvanceNextRowId this can move the counter *down* —
+  // group commit writes a transaction's statements to the log at COMMIT,
+  // so a record appended earlier can carry a counter captured later.
+  void SetNextRowId(RowId next);
 
   uint64_t SizeBytes() const { return heap_->SizeBytes(); }
   const IoStats& io_stats() const { return heap_->io_stats(); }
@@ -140,6 +213,10 @@ class Table {
   // logical compensation record. Compensations run through the same
   // public mutators, so all index families are restored for free.
   void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
+  // Installs the engine's ambient MVCC context. When `mvcc->writer` is
+  // non-null, mutators take the versioned path.
+  void set_mvcc(MvccState* mvcc) { mvcc_ = mvcc; }
 
  private:
   Table(TableSchema schema, std::unique_ptr<HeapFile> heap);
@@ -160,13 +237,34 @@ class Table {
   Status IndexInsert(RowId row_id, const Row& row);
   Status IndexRemove(RowId row_id, const Row& row);
 
+  // Unlatched bodies — callers hold latch_ (shared for reads, unique for
+  // writes). Split out because the mutators call the readers internally
+  // and shared_mutex is not recursive.
+  Result<RowId> InsertLocked(Row row);
+  Status InsertWithRowIdLocked(RowId row_id, Row row);
+  Result<Row> GetLocked(RowId row_id) const;
+  Status UpdateLocked(RowId row_id, Row row);
+  Status DeleteLocked(RowId row_id);
+  Status ScanLocked(const std::function<Status(RowId, const Row&)>& fn) const;
+
+  // First-updater-wins check for Update/Delete under an ambient writer.
+  Status CheckWriteConflictLocked(RowId row_id, const MvccWriter& w) const;
+
+  // Resolves which version of `row_id` the snapshot sees: 0 = none,
+  // 1 = the current heap version, 2 = a chain version (`*node` set).
+  int ResolveVisibleLocked(RowId row_id, const MvccSnapshot& snap,
+                           const RowVersion** node) const;
+
   TableSchema schema_;
   std::unique_ptr<HeapFile> heap_;
   std::map<RowId, RecordId> rows_;
+  std::map<RowId, RowMvcc> mvcc_rows_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   std::vector<std::unique_ptr<SequenceIndex>> seq_indexes_;
   RowId next_row_id_ = 0;
   UndoLog* undo_ = nullptr;
+  MvccState* mvcc_ = nullptr;
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace bdbms

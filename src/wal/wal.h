@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +34,25 @@ struct WalRecord {
   std::string user;    // issuing principal
   std::string sql;     // original statement text, re-parsed on replay
   WalRecordKind kind = WalRecordKind::kStatement;
+
+  // --- MVCC extension (appended after sql; old logs decode to defaults).
+  // `versioned` marks records written under snapshot-isolation concurrent
+  // execution; replay re-installs an MVCC writer with `snapshot` as its
+  // snapshot CSN instead of running the legacy exclusive path.
+  uint8_t versioned = 0;
+  uint64_t snapshot = 0;
+  // Commit CSN of a versioned record: carried on autocommit kStatement
+  // records and on a transaction's kTxnCommit marker; 0 when the
+  // statement/transaction wrote nothing. Journaling the CSN (instead of
+  // re-deriving it at replay) keeps visibility decisions bit-identical
+  // even when aborted transactions burned CSN-free txn ids in between.
+  uint64_t csn = 0;
+  // Id bases captured before the statement ran: every user table's
+  // next_row_id and every annotation table's next_id. Aborted concurrent
+  // transactions burn ids without leaving WAL records, so replay must
+  // restore the counters explicitly to reproduce ids bit for bit.
+  std::vector<std::pair<std::string, uint64_t>> row_bases = {};
+  std::vector<std::pair<std::string, uint64_t>> ann_bases = {};
 
   bool operator==(const WalRecord&) const = default;
 };

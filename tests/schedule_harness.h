@@ -1,0 +1,440 @@
+#ifndef BDBMS_TESTS_SCHEDULE_HARNESS_H_
+#define BDBMS_TESTS_SCHEDULE_HARNESS_H_
+
+// Deterministic-schedule harness: generates N-session transaction
+// programs from a seeded PRNG, executes one exact interleaving of their
+// statements against a live database, and replays the transactions that
+// committed — in commit order, serially — against a fresh oracle
+// database. Under snapshot isolation with first-updater-wins, a workload
+// of blind constant writes (no statement's effect depends on a
+// concurrent read) is serializable in commit order, so the two databases
+// must end bit-identical: the deep state fingerprint from
+// durability_test_util.h is diffed, modulo the logical clock line
+// (aborted transactions legitimately consume clock ticks the serial
+// oracle never sees).
+//
+// Workload shape, chosen so the oracle stays exact:
+//  - "inserter" transactions append to a session-private table; they can
+//    never conflict, so every one commits, and per-table insert order
+//    equals one session's program order — row ids match the oracle.
+//  - "updater" transactions write constants to (or delete) rows of one
+//    shared table; concurrent writers collide and the loser aborts via
+//    first-updater-wins, burning neither row ids nor oracle state.
+//  - autocommit statements mix in to cover the non-transactional
+//    concurrent path.
+//
+// A threaded variant runs the same generator under real concurrency for
+// TSAN: no oracle (the interleaving is nondeterministic), but every
+// error must be a serialization failure, and after the run version
+// garbage collection must converge to exactly the live row count.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/session.h"
+#include "durability_test_util.h"
+
+namespace bdbms {
+namespace testutil {
+
+struct ScheduleConfig {
+  uint64_t seed = 1;
+  int sessions = 4;
+  int txns_per_session = 6;
+  int max_stmts_per_txn = 4;
+  int shared_rows = 8;
+  // When set, the interleaved database runs durably in `dir` and the
+  // harness additionally proves that close + WAL replay reproduces the
+  // interleaved run's exact final state.
+  std::string dir;
+};
+
+struct ScheduleOutcome {
+  bool ok = false;
+  std::string message;  // first divergence / failure, empty when ok
+  int committed = 0;
+  int aborted = 0;
+};
+
+namespace schedule_internal {
+
+// One transaction's statements, without the BEGIN/COMMIT framing.
+struct TxnScript {
+  std::vector<std::string> stmts;
+  bool autocommit = false;  // single statement, no framing
+};
+
+inline std::vector<std::vector<TxnScript>> GeneratePrograms(
+    const ScheduleConfig& cfg, std::mt19937_64& rng) {
+  std::vector<std::vector<TxnScript>> programs(cfg.sessions);
+  for (int s = 0; s < cfg.sessions; ++s) {
+    for (int t = 0; t < cfg.txns_per_session; ++t) {
+      TxnScript txn;
+      const int kind = static_cast<int>(rng() % 4);
+      if (kind == 0) {
+        // Private inserter: conflict-free, exercises row-id allocation
+        // under concurrency.
+        const int n = 1 + static_cast<int>(rng() % cfg.max_stmts_per_txn);
+        for (int k = 0; k < n; ++k) {
+          txn.stmts.push_back(
+              "INSERT INTO P" + std::to_string(s) + " VALUES ('s" +
+              std::to_string(s) + "t" + std::to_string(t) + "i" +
+              std::to_string(k) + "', " + std::to_string(rng() % 1000) +
+              ")");
+        }
+      } else {
+        // Shared updater: blind constant writes, the conflict generator.
+        const int n = (kind == 3)
+                          ? 1
+                          : 1 + static_cast<int>(rng() %
+                                                 cfg.max_stmts_per_txn);
+        for (int k = 0; k < n; ++k) {
+          const std::string row =
+              "'r" + std::to_string(rng() % cfg.shared_rows) + "'";
+          if (rng() % 10 == 0) {
+            txn.stmts.push_back("DELETE FROM Shared WHERE Id = " + row);
+          } else {
+            txn.stmts.push_back("UPDATE Shared SET Val = " +
+                                std::to_string(rng() % 1000) +
+                                " WHERE Id = " + row);
+          }
+        }
+        txn.autocommit = (kind == 3);
+      }
+      programs[s].push_back(std::move(txn));
+    }
+  }
+  return programs;
+}
+
+inline std::vector<std::string> SetupStatements(const ScheduleConfig& cfg) {
+  std::vector<std::string> setup;
+  setup.push_back("CREATE TABLE Shared (Id TEXT, Val INT)");
+  for (int r = 0; r < cfg.shared_rows; ++r) {
+    setup.push_back("INSERT INTO Shared VALUES ('r" + std::to_string(r) +
+                    "', 0)");
+  }
+  for (int s = 0; s < cfg.sessions; ++s) {
+    setup.push_back("CREATE TABLE P" + std::to_string(s) +
+                    " (Tag TEXT, Val INT)");
+  }
+  return setup;
+}
+
+// Aborted transactions consume logical-clock ticks the serial oracle
+// never executes, so the clock line is excluded from the diff.
+inline std::string StripClock(const std::string& fingerprint) {
+  size_t eol = fingerprint.find('\n');
+  if (eol != std::string::npos &&
+      fingerprint.compare(0, 6, "clock=") == 0) {
+    return fingerprint.substr(eol + 1);
+  }
+  return fingerprint;
+}
+
+}  // namespace schedule_internal
+
+// Runs one seeded interleaving and diffs it against the serial oracle.
+inline ScheduleOutcome RunDeterministicSchedule(const ScheduleConfig& cfg) {
+  namespace si = schedule_internal;
+  ScheduleOutcome out;
+  std::mt19937_64 rng(cfg.seed);
+  const auto programs = si::GeneratePrograms(cfg, rng);
+  const auto setup = si::SetupStatements(cfg);
+
+  std::unique_ptr<Database> live;
+  if (cfg.dir.empty()) {
+    live = std::make_unique<Database>();
+  } else {
+    auto opened = Database::Open(cfg.dir, DurableOpts());
+    if (!opened.ok()) {
+      out.message = "open durable: " + opened.status().ToString();
+      return out;
+    }
+    live = std::move(*opened);
+  }
+  for (const std::string& sql : setup) {
+    auto r = live->Execute(sql, "admin");
+    if (!r.ok()) {
+      out.message = "setup: " + sql + " -> " + r.status().ToString();
+      return out;
+    }
+  }
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int s = 0; s < cfg.sessions; ++s) {
+    sessions.push_back(std::make_unique<Session>(live.get(), "admin"));
+  }
+
+  // Per-session cursor over (txn, step). Steps of a framed transaction:
+  // 0 = BEGIN, 1..n = statements, n+1 = COMMIT. An autocommit "txn" is
+  // its single statement. A serialization failure dooms the framed
+  // transaction; the session's next turn issues ROLLBACK and moves on,
+  // exactly like a retry-loop client would.
+  std::vector<size_t> txn_at(cfg.sessions, 0);
+  std::vector<size_t> step_at(cfg.sessions, 0);
+  std::vector<bool> doomed(cfg.sessions, false);
+  std::vector<std::pair<int, size_t>> commit_order;
+
+  std::vector<int> runnable;
+  auto refresh_runnable = [&] {
+    runnable.clear();
+    for (int s = 0; s < cfg.sessions; ++s) {
+      if (txn_at[s] < programs[s].size()) runnable.push_back(s);
+    }
+  };
+  refresh_runnable();
+  while (!runnable.empty()) {
+    const int s = runnable[rng() % runnable.size()];
+    const si::TxnScript& txn = programs[s][txn_at[s]];
+    Session& sess = *sessions[s];
+    auto advance_txn = [&] {
+      ++txn_at[s];
+      step_at[s] = 0;
+      doomed[s] = false;
+      refresh_runnable();
+    };
+    if (doomed[s]) {
+      auto r = sess.Execute("ROLLBACK");
+      if (!r.ok()) {
+        out.message = "rollback of doomed txn failed: " +
+                      r.status().ToString();
+        return out;
+      }
+      ++out.aborted;
+      advance_txn();
+      continue;
+    }
+    if (txn.autocommit) {
+      auto r = sess.Execute(txn.stmts[0]);
+      if (r.ok()) {
+        commit_order.emplace_back(s, txn_at[s]);
+        ++out.committed;
+      } else if (r.status().IsSerializationFailure()) {
+        ++out.aborted;
+      } else {
+        out.message = txn.stmts[0] + " -> " + r.status().ToString();
+        return out;
+      }
+      advance_txn();
+      continue;
+    }
+    const size_t step = step_at[s];
+    if (step == 0) {
+      auto r = sess.Execute("BEGIN");
+      if (!r.ok()) {
+        out.message = "BEGIN -> " + r.status().ToString();
+        return out;
+      }
+      ++step_at[s];
+    } else if (step <= txn.stmts.size()) {
+      auto r = sess.Execute(txn.stmts[step - 1]);
+      if (r.ok()) {
+        ++step_at[s];
+      } else if (r.status().IsSerializationFailure()) {
+        doomed[s] = true;
+      } else {
+        out.message = txn.stmts[step - 1] + " -> " +
+                      r.status().ToString();
+        return out;
+      }
+    } else {
+      auto r = sess.Execute("COMMIT");
+      if (!r.ok()) {
+        out.message = "COMMIT -> " + r.status().ToString();
+        return out;
+      }
+      commit_order.emplace_back(s, txn_at[s]);
+      ++out.committed;
+      advance_txn();
+    }
+  }
+  sessions.clear();
+
+  // Serial oracle: only the transactions that committed, in the order
+  // they committed, each run to completion before the next starts.
+  Database oracle;
+  for (const std::string& sql : setup) {
+    auto r = oracle.Execute(sql, "admin");
+    if (!r.ok()) {
+      out.message = "oracle setup: " + r.status().ToString();
+      return out;
+    }
+  }
+  for (const auto& [s, t] : commit_order) {
+    const si::TxnScript& txn = programs[s][t];
+    if (!txn.autocommit) {
+      auto r = oracle.Execute("BEGIN", "admin");
+      if (!r.ok()) {
+        out.message = "oracle BEGIN: " + r.status().ToString();
+        return out;
+      }
+    }
+    for (const std::string& sql : txn.stmts) {
+      auto r = oracle.Execute(sql, "admin");
+      if (!r.ok()) {
+        out.message = "oracle replay: " + sql + " -> " +
+                      r.status().ToString();
+        return out;
+      }
+    }
+    if (!txn.autocommit) {
+      auto r = oracle.Execute("COMMIT", "admin");
+      if (!r.ok()) {
+        out.message = "oracle COMMIT: " + r.status().ToString();
+        return out;
+      }
+    }
+  }
+
+  const std::string live_fp = si::StripClock(Fingerprint(*live));
+  const std::string oracle_fp = si::StripClock(Fingerprint(oracle));
+  if (live_fp != oracle_fp) {
+    out.message = "interleaved state diverged from serial oracle "
+                  "(seed " + std::to_string(cfg.seed) + ")\n--- live\n" +
+                  live_fp + "--- oracle\n" + oracle_fp;
+    return out;
+  }
+
+  if (!cfg.dir.empty()) {
+    // Close and recover: WAL replay of the interleaved commits must
+    // land on the same state again.
+    Status closed = live->Close();
+    if (!closed.ok()) {
+      out.message = "close: " + closed.ToString();
+      return out;
+    }
+    live.reset();
+    auto reopened = Database::Open(cfg.dir, DurableOpts());
+    if (!reopened.ok()) {
+      out.message = "reopen: " + reopened.status().ToString();
+      return out;
+    }
+    const std::string recovered_fp =
+        si::StripClock(Fingerprint(**reopened));
+    if (recovered_fp != oracle_fp) {
+      out.message = "recovered state diverged (seed " +
+                    std::to_string(cfg.seed) + ")\n--- recovered\n" +
+                    recovered_fp + "--- oracle\n" + oracle_fp;
+      return out;
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+// Threaded TSAN stress: same generator, real concurrency, no oracle.
+// Checks that every failure is a serialization failure and that version
+// GC converges once all sessions are gone.
+inline ScheduleOutcome RunThreadedSchedule(const ScheduleConfig& cfg) {
+  namespace si = schedule_internal;
+  ScheduleOutcome out;
+  std::mt19937_64 seed_rng(cfg.seed);
+  const auto programs = si::GeneratePrograms(cfg, seed_rng);
+
+  Database db;
+  for (const std::string& sql : si::SetupStatements(cfg)) {
+    auto r = db.Execute(sql, "admin");
+    if (!r.ok()) {
+      out.message = "setup: " + r.status().ToString();
+      return out;
+    }
+  }
+
+  std::vector<int> committed(cfg.sessions, 0);
+  std::vector<int> aborted(cfg.sessions, 0);
+  std::vector<std::string> errors(cfg.sessions);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < cfg.sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Session sess(&db, "admin");
+      for (const si::TxnScript& txn : programs[s]) {
+        if (txn.autocommit) {
+          auto r = sess.Execute(txn.stmts[0]);
+          if (r.ok()) {
+            ++committed[s];
+          } else if (r.status().IsSerializationFailure()) {
+            ++aborted[s];
+          } else {
+            errors[s] = r.status().ToString();
+            return;
+          }
+          continue;
+        }
+        if (!sess.Execute("BEGIN").ok()) {
+          errors[s] = "BEGIN failed";
+          return;
+        }
+        bool ok = true;
+        for (const std::string& sql : txn.stmts) {
+          auto r = sess.Execute(sql);
+          if (r.ok()) continue;
+          if (r.status().IsSerializationFailure()) {
+            ok = false;
+            break;
+          }
+          errors[s] = sql + " -> " + r.status().ToString();
+          return;
+        }
+        auto done = sess.Execute(ok ? "COMMIT" : "ROLLBACK");
+        if (!done.ok()) {
+          errors[s] = "end-of-txn failed: " + done.status().ToString();
+          return;
+        }
+        ++(ok ? committed[s] : aborted[s]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int s = 0; s < cfg.sessions; ++s) {
+    if (!errors[s].empty()) {
+      out.message = "session " + std::to_string(s) + ": " + errors[s];
+      return out;
+    }
+    out.committed += committed[s];
+    out.aborted += aborted[s];
+  }
+
+  // Every session is gone, so one more committing write must let vacuum
+  // reclaim all superseded versions: version_count == live rows.
+  auto r = db.Execute("UPDATE Shared SET Val = 424242", "admin");
+  if (!r.ok() && !r.status().IsSerializationFailure()) {
+    out.message = "final update: " + r.status().ToString();
+    return out;
+  }
+  uint64_t live_rows = 0;
+  std::vector<std::string> tables = {"Shared"};
+  for (int s = 0; s < cfg.sessions; ++s) {
+    tables.push_back("P" + std::to_string(s));
+  }
+  for (const std::string& t : tables) {
+    auto rows = db.Execute("SELECT * FROM " + t, "admin");
+    if (!rows.ok()) {
+      out.message = "final scan of " + t + ": " +
+                    rows.status().ToString();
+      return out;
+    }
+    live_rows += rows->rows.size();
+  }
+  if (db.version_count() != live_rows) {
+    out.message = "version GC did not converge: version_count=" +
+                  std::to_string(db.version_count()) + " live_rows=" +
+                  std::to_string(live_rows);
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace bdbms
+
+#endif  // BDBMS_TESTS_SCHEDULE_HARNESS_H_

@@ -1,0 +1,97 @@
+// Seeded-schedule tests: every seed in the fixed corpus drives one exact
+// N-session interleaving through the MVCC engine and diffs the result
+// against a serial oracle (see schedule_harness.h). The corpus runs in
+// every CI build; the nightly workflow additionally rotates fresh seeds
+// in via BDBMS_SCHEDULE_SEED, so coverage grows over time without making
+// regular CI nondeterministic.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "durability_test_util.h"
+#include "schedule_harness.h"
+
+namespace bdbms {
+namespace {
+
+using testutil::FreshDir;
+using testutil::RunDeterministicSchedule;
+using testutil::RunThreadedSchedule;
+using testutil::ScheduleConfig;
+using testutil::ScheduleOutcome;
+
+class ScheduleSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScheduleSeedTest, InterleavingMatchesSerialOracle) {
+  ScheduleConfig cfg;
+  cfg.seed = GetParam();
+  ScheduleOutcome out = RunDeterministicSchedule(cfg);
+  EXPECT_TRUE(out.ok) << out.message;
+  // The corpus is tuned so conflicts actually occur; a schedule with no
+  // commits or a generator drifting to all-private work would silently
+  // gut the test.
+  EXPECT_GT(out.committed, 0);
+}
+
+TEST_P(ScheduleSeedTest, DurableInterleavingRecoversToOracleState) {
+  ScheduleConfig cfg;
+  cfg.seed = GetParam();
+  cfg.sessions = 3;
+  cfg.txns_per_session = 4;
+  cfg.dir = FreshDir("schedule_wal");
+  ScheduleOutcome out = RunDeterministicSchedule(cfg);
+  EXPECT_TRUE(out.ok) << out.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedCorpus, ScheduleSeedTest,
+                         ::testing::Values(1, 7, 42, 1337, 4242, 90125,
+                                           271828, 3141592));
+
+TEST(ScheduleTest, ConflictsOccurSomewhereInCorpus) {
+  // At least one corpus seed must exercise the abort path, or the
+  // harness is no longer testing first-updater-wins at all.
+  int aborted = 0;
+  for (uint64_t seed : {1u, 7u, 42u, 1337u, 4242u}) {
+    ScheduleConfig cfg;
+    cfg.seed = seed;
+    ScheduleOutcome out = RunDeterministicSchedule(cfg);
+    ASSERT_TRUE(out.ok) << out.message;
+    aborted += out.aborted;
+  }
+  EXPECT_GT(aborted, 0);
+}
+
+TEST(ScheduleTest, RotatingSeedFromEnv) {
+  // Nightly CI exports BDBMS_SCHEDULE_SEED (derived from the date) so
+  // new interleavings are explored continuously; locally and in regular
+  // CI the variable is unset and this test is a no-op.
+  const char* env = std::getenv("BDBMS_SCHEDULE_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "BDBMS_SCHEDULE_SEED not set";
+  }
+  ScheduleConfig cfg;
+  cfg.seed = std::strtoull(env, nullptr, 10);
+  cfg.txns_per_session = 10;
+  ScheduleOutcome out = RunDeterministicSchedule(cfg);
+  EXPECT_TRUE(out.ok) << out.message;
+  cfg.dir = FreshDir("schedule_rotating_wal");
+  out = RunDeterministicSchedule(cfg);
+  EXPECT_TRUE(out.ok) << out.message;
+}
+
+// Real-thread variant: no oracle, but TSAN watches every interleaving
+// and the run must end with version GC fully converged.
+TEST(ScheduleTest, ThreadedStressConvergesAndStaysRaceFree) {
+  ScheduleConfig cfg;
+  cfg.seed = 99;
+  cfg.sessions = 6;
+  cfg.txns_per_session = 12;
+  ScheduleOutcome out = RunThreadedSchedule(cfg);
+  EXPECT_TRUE(out.ok) << out.message;
+  EXPECT_GT(out.committed, 0);
+}
+
+}  // namespace
+}  // namespace bdbms
