@@ -61,6 +61,25 @@ Result<DependencyManager::PropagationReport> Database::NotifyCellUpdated(
   return dependencies_.OnCellUpdated(table, row, col, Resolver());
 }
 
+Result<std::unique_ptr<Table>> Database::CreatePagedTable(
+    const TableSchema& schema) {
+  const std::string path = paged_->heap_dir + "/" + schema.name() + "." +
+                           std::to_string(paged_->next_heap_file++) + ".heap";
+  // A dead orphan from an earlier incarnation (GC runs only at open) may
+  // occupy the name; start from a clean slate.
+  for (const std::string& stale :
+       {path, Pager::SpillPath(path), Pager::JournalPath(path)}) {
+    if (paged_->env->FileExists(stale)) {
+      BDBMS_RETURN_IF_ERROR(paged_->env->RemoveFile(stale));
+    }
+  }
+  BDBMS_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> t,
+      Table::OpenPaged(schema, paged_->env, path, paged_->pool_pages));
+  t->set_readahead_pages(paged_->readahead_pages);
+  return t;
+}
+
 ExecContext Database::MakeContext() {
   ExecContext ctx;
   ctx.catalog = &catalog_;
@@ -72,8 +91,12 @@ ExecContext Database::MakeContext() {
   ctx.clock = &clock_;
   ctx.tables = [this](const std::string& name) { return GetTable(name); };
   ctx.create_table = [this](const TableSchema& schema) -> Status {
-    BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<Table> t,
-                           Table::CreateInMemory(schema));
+    std::unique_ptr<Table> t;
+    if (paged_ != nullptr) {
+      BDBMS_ASSIGN_OR_RETURN(t, CreatePagedTable(schema));
+    } else {
+      BDBMS_ASSIGN_OR_RETURN(t, Table::CreateInMemory(schema));
+    }
     UndoLog* undo = active_undo_.load(std::memory_order_acquire);
     t->set_undo_log(undo);
     t->set_mvcc(&mvcc_state_);
@@ -991,12 +1014,37 @@ Status Database::CheckpointLocked() {
     TearDownWal();
     return synced;
   }
+  // Incremental page checkpoint, phase 1: every paged heap flushes its
+  // pool and stages dirty pages durably (base extensions directly, base
+  // overwrites in a redo journal) under the candidate generation. The
+  // overlays are untouched, so a failure here is an ordinary retryable
+  // error — the committed checkpoint and log are still authoritative.
+  const uint64_t gen = paged_ ? paged_->checkpoint_gen + 1 : 0;
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    BDBMS_RETURN_IF_ERROR(table->CheckpointPrepare(gen));
+  }
   BDBMS_ASSIGN_OR_RETURN(std::string payload,
-                         SerializeSnapshot(dur_->last_lsn));
+                         SerializeSnapshot(dur_->last_lsn, gen));
   BDBMS_RETURN_IF_ERROR(WriteCheckpointFile(dur_->env, dur_->dir, payload));
   // The rename above is the commit point; only now is it safe to drop the
   // log. A crash in between leaves records with lsn <= the checkpoint's,
   // which recovery skips by lsn.
+  //
+  // Phase 2: write journaled pages home and reset the overlays. After the
+  // rename the new manifest (plus the journals naming `gen`) is the
+  // authoritative state; if writing home fails the in-memory engine can
+  // no longer prove it matches it, so latch the store — reopening runs
+  // the same journal application from a clean slate.
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    Status committed = table->CheckpointCommit();
+    if (!committed.ok()) {
+      TearDownWal();
+      return committed;
+    }
+  }
+  if (paged_) paged_->checkpoint_gen = gen;
   dur_->wal_bytes_total += dur_->wal->bytes_appended();
   dur_->wal_syncs_total += dur_->wal->syncs();
   dur_->wal.reset();
@@ -1121,6 +1169,17 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<DirLock> lock, env->LockDir(dir));
 
   auto db = std::unique_ptr<Database>(new Database());
+  // Paged-heap wiring precedes everything that can create tables: WAL
+  // replay re-executes CREATE TABLE statements before `dur_` exists.
+  {
+    auto paged = std::make_unique<PagedStorage>();
+    paged->env = env;
+    paged->heap_dir = dir + "/heap";
+    paged->pool_pages = options.buffer_pool_pages;
+    paged->readahead_pages = options.readahead_pages;
+    BDBMS_RETURN_IF_ERROR(env->CreateDir(paged->heap_dir));
+    db->paged_ = std::move(paged);
+  }
   if (options.bootstrap) {
     BDBMS_RETURN_IF_ERROR(options.bootstrap(*db));
   }
@@ -1146,6 +1205,26 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
     for (auto& [name, table] : db->tables_) {
       table->set_undo_log(&db->undo_);
       table->set_mvcc(&db->mvcc_state_);
+    }
+  }
+
+  {
+    // Garbage-collect heap files no checkpointed table references: heaps
+    // of an incarnation that never reached a checkpoint (WAL replay
+    // rebuilds those tables from scratch), orphans of dropped or
+    // rolled-back CREATEs, and stale overlay files. Runs before replay so
+    // replayed CREATEs start from a clean directory.
+    std::set<std::string> keep;
+    for (const auto& [name, table] : db->tables_) {
+      if (!table->paged()) continue;
+      keep.insert(table->heap_file_name());
+      keep.insert(table->heap_file_name() + ".spill");
+    }
+    BDBMS_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                           env->ListDir(db->paged_->heap_dir));
+    for (const std::string& f : files) {
+      if (keep.count(f) != 0) continue;
+      BDBMS_RETURN_IF_ERROR(env->RemoveFile(db->paged_->heap_dir + "/" + f));
     }
   }
 

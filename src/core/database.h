@@ -52,6 +52,17 @@ struct DurabilityOptions {
   // fault-wrapping environment here.
   WalEnv* env = nullptr;
 
+  // Per-table buffer-pool budget, in 8 KiB page frames, for the durable
+  // paged row heaps (dir/heap/*.heap). Pages beyond the budget evict LRU,
+  // writing dirty pages back first, so tables larger than RAM work. 0 =
+  // unbounded (every touched page stays resident).
+  size_t buffer_pool_pages = 64;
+
+  // Sequential-scan readahead: while a SeqScan walks a paged table, the
+  // next up-to-this-many heap pages are prefetched into the buffer pool.
+  // 0 disables readahead.
+  size_t readahead_pages = 4;
+
   // Run on the freshly constructed engine before any recovery. Procedures
   // (ProcedureRegistry) and provenance system agents are registered
   // programmatically, not via SQL, so a database whose log contains
@@ -351,8 +362,10 @@ class Database {
   void AdvanceCsn(uint64_t csn);
 
   // Checkpoint payload (de)serialization over the full engine state;
-  // defined in src/wal/checkpoint.cc next to the file format.
-  Result<std::string> SerializeSnapshot(uint64_t last_lsn) const;
+  // defined in src/wal/checkpoint.cc next to the file format. `gen` is the
+  // checkpoint generation the paged heaps staged their dirty pages under.
+  Result<std::string> SerializeSnapshot(uint64_t last_lsn,
+                                        uint64_t gen) const;
   Status LoadSnapshot(std::string_view payload, uint64_t* last_lsn);
 
   // Durable-mode state; null for memory-only databases.
@@ -373,6 +386,27 @@ class Database {
     std::string WalPath() const;
   };
 
+  // Paged-heap wiring of a durable database; null for memory-only ones.
+  // Separate from `dur_` because recovery creates paged tables while WAL
+  // logging is still off (dur_ is installed only after replay).
+  struct PagedStorage {
+    WalEnv* env = nullptr;
+    std::string heap_dir;  // <dir>/heap
+    size_t pool_pages = 64;
+    size_t readahead_pages = 4;
+    // Monotonic counter naming heap files (<table>.<counter>.heap);
+    // persisted in the manifest so reopened incarnations never collide
+    // with files parked by undo closures or awaiting GC.
+    uint64_t next_heap_file = 0;
+    // Generation of the last committed checkpoint; each attempt stages
+    // dirty pages under gen+1 and records it on success.
+    uint64_t checkpoint_gen = 0;
+  };
+
+  // Creates (replacing any stale files) the paged table `name`; used by
+  // both the executor's create_table hook and snapshot load.
+  Result<std::unique_ptr<Table>> CreatePagedTable(const TableSchema& schema);
+
   LogicalClock clock_;
   Catalog catalog_;
   AnnotationManager annotations_;
@@ -384,6 +418,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::vector<DeletionLogEntry>> deletion_log_;
   std::unique_ptr<Durable> dur_;
+  std::unique_ptr<PagedStorage> paged_;
 
   // Compensation log for autocommit statements. Open transactions carry
   // their own UndoLog (TxnState::undo) so interleaved transactions do

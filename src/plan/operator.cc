@@ -117,6 +117,11 @@ Result<bool> ScanNodeBase::Next(PlanTuple* out) {
   size_t ncols = table_->schema().num_columns();
   const MvccSnapshot* snap = ctx_->snapshot;
   while (pos_ < candidates_.size()) {
+    // Periodic readahead: fault the next window of heap pages into the
+    // buffer pool ahead of the scan cursor (no-op for in-memory tables).
+    if ((pos_ & 63) == 0 && WantReadahead()) {
+      table_->PrefetchRows(candidates_, pos_);
+    }
     RowId row_id = candidates_[pos_++];
     Row row;
     if (snap != nullptr) {
@@ -182,7 +187,17 @@ Result<std::vector<RowId>> SeqScanNode::CollectCandidates() {
 }
 
 std::string SeqScanNode::Describe() const {
-  return "SeqScan " + table_name_ + DescribeSuffix();
+  std::string out = "SeqScan " + table_name_ + DescribeSuffix();
+  if (table_->paged()) {
+    // Cumulative buffer-pool counters of the paged heap — how much of the
+    // table the pool served from memory vs faulted from disk.
+    BufferPoolStats bs = table_->buffer_stats();
+    out += " buffers(hit=" + std::to_string(bs.hits) +
+           " miss=" + std::to_string(bs.misses) +
+           " evict=" + std::to_string(bs.evictions) +
+           " readahead=" + std::to_string(bs.readahead) + ")";
+  }
+  return out;
 }
 
 namespace {

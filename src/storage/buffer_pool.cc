@@ -18,14 +18,16 @@ void PageHandle::Release() {
   }
 }
 
+namespace {
+
+// Prefetching into a pool this small evicts pages the scan is about to
+// revisit; skip readahead entirely.
+constexpr size_t kMinPrefetchCapacity = 4;
+
+}  // namespace
+
 BufferPool::BufferPool(Pager* pager, size_t capacity)
-    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {
-  frames_.resize(capacity_);
-  free_list_.reserve(capacity_);
-  for (size_t i = 0; i < capacity_; ++i) {
-    free_list_.push_back(capacity_ - 1 - i);
-  }
-}
+    : pager_(pager), capacity_(capacity) {}
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto it = page_to_frame_.find(id);
@@ -66,6 +68,26 @@ Result<PageHandle> BufferPool::New() {
   return PageHandle(this, f, id);
 }
 
+void BufferPool::Prefetch(PageId id) {
+  if (page_to_frame_.find(id) != page_to_frame_.end()) return;
+  if (capacity_ != 0 && capacity_ < kMinPrefetchCapacity) return;
+  Result<size_t> f = GetFreeFrame();
+  if (!f.ok()) return;  // every frame pinned (or write-back failed): skip
+  Frame& frame = frames_[*f];
+  if (!pager_->ReadPage(id, &frame.page).ok()) {
+    free_list_.push_back(*f);
+    return;
+  }
+  frame.id = id;
+  frame.pin_count = 0;
+  frame.dirty = false;
+  page_to_frame_[id] = *f;
+  lru_.push_front(*f);
+  frame.lru_pos = lru_.begin();
+  frame.in_lru = true;
+  ++stats_.readahead;
+}
+
 Status BufferPool::FlushAll() {
   for (Frame& frame : frames_) {
     if (frame.id != kInvalidPageId && frame.dirty) {
@@ -82,18 +104,25 @@ Result<size_t> BufferPool::GetFreeFrame() {
     free_list_.pop_back();
     return f;
   }
+  // Grow lazily while under budget (capacity 0 = unbounded).
+  if (capacity_ == 0 || frames_.size() < capacity_) {
+    frames_.emplace_back();
+    return frames_.size() - 1;
+  }
   // Evict the least recently used unpinned frame.
   if (lru_.empty()) {
     return Status::Internal("buffer pool exhausted: all frames pinned");
   }
   size_t victim = lru_.back();
-  lru_.pop_back();
   Frame& frame = frames_[victim];
-  frame.in_lru = false;
   if (frame.dirty) {
+    // On failure the victim stays resident and dirty in the LRU list, so a
+    // later flush or retry still sees its data.
     BDBMS_RETURN_IF_ERROR(pager_->WritePage(frame.id, frame.page));
     frame.dirty = false;
   }
+  lru_.pop_back();
+  frame.in_lru = false;
   page_to_frame_.erase(frame.id);
   frame.id = kInvalidPageId;
   ++stats_.evictions;

@@ -1,6 +1,7 @@
 #ifndef BDBMS_STORAGE_BUFFER_POOL_H_
 #define BDBMS_STORAGE_BUFFER_POOL_H_
 
+#include <deque>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -63,14 +64,17 @@ struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t readahead = 0;  // pages loaded by Prefetch, not demand misses
 
   void Reset() { *this = BufferPoolStats(); }
 };
 
-// Fixed-capacity LRU buffer pool over a Pager. Single-threaded.
+// LRU buffer pool over a Pager. Frames are allocated lazily up to
+// `capacity` (0 = unbounded); once full, unpinned least-recently-used
+// frames are evicted, writing dirty pages back first. Single-threaded.
 class BufferPool {
  public:
-  // `capacity` = number of page frames kept in memory.
+  // `capacity` = max number of page frames kept in memory; 0 = unbounded.
   BufferPool(Pager* pager, size_t capacity);
 
   BufferPool(const BufferPool&) = delete;
@@ -82,10 +86,19 @@ class BufferPool {
   // Allocates a fresh zeroed page and pins it (already marked dirty).
   Result<PageHandle> New();
 
+  // Advisory readahead: loads page `id` unpinned at the hot end of the LRU
+  // list. A no-op when the page is resident, the pool is too small for
+  // readahead to help, every frame is pinned, or the read fails — sequential
+  // scans must not turn a prefetch problem into a query error.
+  void Prefetch(PageId id);
+
   // Writes back all dirty frames.
   Status FlushAll();
 
   size_t capacity() const { return capacity_; }
+
+  // Frames currently allocated (resident pages + free-listed frames).
+  size_t frame_count() const { return frames_.size(); }
   const BufferPoolStats& stats() const { return stats_; }
   BufferPoolStats& stats() { return stats_; }
   Pager* pager() { return pager_; }
@@ -103,19 +116,22 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  // Finds a frame to host a new page, evicting an unpinned LRU victim if
-  // the pool is full. Fails if every frame is pinned.
+  // Finds a frame to host a new page: free-listed, lazily grown while
+  // under capacity, else an unpinned LRU victim (dirty pages write back
+  // first). Fails if every frame is pinned.
   Result<size_t> GetFreeFrame();
 
   void Unpin(size_t frame);
   void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
 
   Pager* pager_;
-  size_t capacity_;
-  std::vector<Frame> frames_;
+  size_t capacity_;  // 0 = unbounded
+  // deque: HeapFile holds raw Page* across nested pool calls (overflow
+  // chains), so lazy growth must not move existing frames.
+  std::deque<Frame> frames_;
   std::unordered_map<PageId, size_t> page_to_frame_;
   std::list<size_t> lru_;          // front = most recent
-  std::vector<size_t> free_list_;  // frames never used yet
+  std::vector<size_t> free_list_;  // allocated frames holding no page
   BufferPoolStats stats_;
 };
 

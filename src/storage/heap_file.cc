@@ -119,6 +119,34 @@ Result<std::unique_ptr<HeapFile>> HeapFile::OpenFile(const std::string& path,
   return hf;
 }
 
+Result<std::unique_ptr<HeapFile>> HeapFile::OpenPaged(WalEnv* env,
+                                                      const std::string& path,
+                                                      size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                         Pager::OpenPaged(env, path));
+  auto hf =
+      std::unique_ptr<HeapFile>(new HeapFile(std::move(pager), pool_pages));
+  BDBMS_RETURN_IF_ERROR(hf->Bootstrap());
+  return hf;
+}
+
+Status HeapFile::CheckpointPrepare(uint64_t gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Every dirty frame must reach the spill before the pager snapshots it.
+  BDBMS_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->CheckpointPrepare(gen);
+}
+
+Status HeapFile::CheckpointCommit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pager_->CheckpointCommit();
+}
+
+void HeapFile::Prefetch(const std::vector<PageId>& pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PageId id : pages) pool_->Prefetch(id);
+}
+
 Status HeapFile::Bootstrap() {
   for (PageId id = 0; id < pager_->page_count(); ++id) {
     BDBMS_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));

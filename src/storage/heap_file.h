@@ -35,6 +35,14 @@ class HeapFile {
   static Result<std::unique_ptr<HeapFile>> OpenFile(const std::string& path,
                                                     size_t pool_pages = 64);
 
+  // Durable paged heap (base + spill overlay, see Pager::OpenPaged): pages
+  // fault in through the buffer pool and evict under the `pool_pages`
+  // budget (0 = unbounded). Callers needing crash recovery must run
+  // Pager::RecoverPagedHeap on `path` before opening.
+  static Result<std::unique_ptr<HeapFile>> OpenPaged(WalEnv* env,
+                                                     const std::string& path,
+                                                     size_t pool_pages);
+
   HeapFile(const HeapFile&) = delete;
   HeapFile& operator=(const HeapFile&) = delete;
 
@@ -67,6 +75,19 @@ class HeapFile {
     return pager_->Sync();
   }
 
+  // Paged-heap checkpoint protocol (see Pager): Prepare flushes the pool
+  // and stages dirty pages durably; Commit writes them home after the
+  // checkpoint manifest has renamed into place.
+  Status CheckpointPrepare(uint64_t gen);
+  Status CheckpointCommit();
+
+  // Advisory readahead of heap pages (sequential-scan prefetch).
+  void Prefetch(const std::vector<PageId>& pages);
+
+  bool paged() const { return pager_->paged(); }
+  uint32_t page_count() const { return pager_->page_count(); }
+  uint32_t dirty_page_count() const { return pager_->dirty_page_count(); }
+
   uint64_t record_count() const { return record_count_; }
 
   // Storage footprint in bytes (all pages, including overflow).
@@ -75,6 +96,12 @@ class HeapFile {
   const IoStats& io_stats() const { return pager_->stats(); }
   IoStats& io_stats() { return pager_->stats(); }
   BufferPool* buffer_pool() { return pool_.get(); }
+
+  // Copy of the buffer-pool counters, taken under the heap latch.
+  BufferPoolStats buffer_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pool_->stats();
+  }
 
  private:
   HeapFile(std::unique_ptr<Pager> pager, size_t pool_pages);

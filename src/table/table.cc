@@ -61,6 +61,54 @@ Result<std::unique_ptr<Table>> Table::OpenFile(TableSchema schema,
   return table;
 }
 
+Result<std::unique_ptr<Table>> Table::OpenPaged(TableSchema schema,
+                                                WalEnv* env,
+                                                const std::string& path,
+                                                size_t pool_pages) {
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                         HeapFile::OpenPaged(env, path, pool_pages));
+  auto table =
+      std::unique_ptr<Table>(new Table(std::move(schema), std::move(heap)));
+  size_t sep = path.find_last_of('/');
+  table->heap_file_name_ =
+      sep == std::string::npos ? path : path.substr(sep + 1);
+  BDBMS_RETURN_IF_ERROR(table->Bootstrap());
+  return table;
+}
+
+Status Table::CheckpointPrepare(uint64_t gen) {
+  if (!paged()) return Status::Ok();
+  return heap_->CheckpointPrepare(gen);
+}
+
+Status Table::CheckpointCommit() {
+  if (!paged()) return Status::Ok();
+  return heap_->CheckpointCommit();
+}
+
+void Table::PrefetchRows(const std::vector<RowId>& candidates,
+                         size_t from) const {
+  if (readahead_pages_ == 0 || !heap_->paged()) return;
+  // Map upcoming candidate rows to distinct heap pages under the shared
+  // latch. Bounded: a scan retriggers readahead periodically, so a small
+  // look-ahead window is enough.
+  constexpr size_t kMaxCandidateScan = 4096;
+  std::vector<PageId> pages;
+  {
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    size_t end = std::min(candidates.size(), from + kMaxCandidateScan);
+    for (size_t i = from; i < end && pages.size() < readahead_pages_; ++i) {
+      auto it = rows_.find(candidates[i]);
+      if (it == rows_.end()) continue;
+      PageId pid = it->second.page_id;
+      if (std::find(pages.begin(), pages.end(), pid) == pages.end()) {
+        pages.push_back(pid);
+      }
+    }
+  }
+  if (!pages.empty()) heap_->Prefetch(pages);
+}
+
 Status Table::Bootstrap() {
   return heap_->ForEach([&](RecordId rid, std::string_view payload) {
     auto decoded = DecodeRecord(payload);

@@ -74,6 +74,15 @@ class Table {
                                                  const std::string& path,
                                                  size_t pool_pages = 64);
 
+  // Durable paged table over HeapFile::OpenPaged: rows live in file-backed
+  // pages that fault in and evict under the `pool_pages` budget (0 =
+  // unbounded), so tables larger than RAM work. Existing rows are
+  // recovered by scanning.
+  static Result<std::unique_ptr<Table>> OpenPaged(TableSchema schema,
+                                                  WalEnv* env,
+                                                  const std::string& path,
+                                                  size_t pool_pages);
+
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
   ~Table();
@@ -209,6 +218,30 @@ class Table {
   IoStats& io_stats() { return heap_->io_stats(); }
   Status Flush() { return heap_->Flush(); }
 
+  // --- paged storage -------------------------------------------------------
+  bool paged() const { return heap_->paged(); }
+  uint32_t heap_page_count() const { return heap_->page_count(); }
+  uint32_t dirty_page_count() const { return heap_->dirty_page_count(); }
+  BufferPoolStats buffer_stats() const { return heap_->buffer_stats(); }
+
+  // Basename of the paged heap file ("" for in-memory tables); recorded in
+  // the checkpoint manifest so recovery reopens the same incarnation.
+  const std::string& heap_file_name() const { return heap_file_name_; }
+
+  // Incremental-checkpoint protocol, delegated to the heap (no-ops for
+  // in-memory tables).
+  Status CheckpointPrepare(uint64_t gen);
+  Status CheckpointCommit();
+
+  // Sequential-scan readahead: prefetches the heap pages holding the next
+  // candidates of `candidates` starting at index `from` (up to
+  // `readahead_pages()` distinct pages). Advisory; no-op when not paged or
+  // readahead is disabled.
+  void PrefetchRows(const std::vector<RowId>& candidates, size_t from) const;
+
+  size_t readahead_pages() const { return readahead_pages_; }
+  void set_readahead_pages(size_t n) { readahead_pages_ = n; }
+
   // Transactions: while `undo` is recording, every mutation pushes a
   // logical compensation record. Compensations run through the same
   // public mutators, so all index families are restored for free.
@@ -264,6 +297,8 @@ class Table {
   RowId next_row_id_ = 0;
   UndoLog* undo_ = nullptr;
   MvccState* mvcc_ = nullptr;
+  std::string heap_file_name_;   // basename of the paged heap ("" if none)
+  size_t readahead_pages_ = 0;   // 0 disables scan prefetch
   mutable std::shared_mutex latch_;
 };
 

@@ -1,11 +1,13 @@
 #include "wal/wal_env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -51,6 +53,65 @@ class PosixAppendFile : public AppendFile {
   int fd_;
 };
 
+class PosixPageFile : public PageFile {
+ public:
+  explicit PosixPageFile(int fd) : fd_(fd) {}
+  ~PosixPageFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, uint8_t* out) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, out + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pread");
+      }
+      if (r == 0) return Status::IoError("pread: unexpected EOF");
+      done += static_cast<size_t>(r);
+    }
+    return Status::Ok();
+  }
+
+  Status Write(uint64_t offset, const uint8_t* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pwrite(fd_, data + done, n - done,
+                           static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pwrite");
+      }
+      if (r == 0) return Status::IoError("pwrite: wrote 0 bytes");
+      done += static_cast<size_t>(r);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync");
+    return Status::Ok();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate");
+    }
+    return Status::Ok();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Errno("fstat");
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+};
+
 class PosixDirLock : public DirLock {
  public:
   explicit PosixDirLock(int fd) : fd_(fd) {}
@@ -71,6 +132,40 @@ Result<std::unique_ptr<AppendFile>> WalEnv::OpenAppend(
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) return Errno("open " + path);
   return std::unique_ptr<AppendFile>(new PosixAppendFile(fd));
+}
+
+Result<std::unique_ptr<PageFile>> WalEnv::OpenPageFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Errno("open " + path);
+  return std::unique_ptr<PageFile>(new PosixPageFile(fd));
+}
+
+Result<std::vector<std::string>> WalEnv::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir " + dir);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    struct dirent* e = ::readdir(d);
+    if (e == nullptr) {
+      if (errno != 0) {
+        int err = errno;
+        ::closedir(d);
+        errno = err;
+        return Errno("readdir " + dir);
+      }
+      break;
+    }
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Result<std::string> WalEnv::ReadFileToString(const std::string& path) {

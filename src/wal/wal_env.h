@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 
@@ -22,6 +23,31 @@ class AppendFile {
 
   // fsync: everything appended so far survives a crash after OK.
   virtual Status Sync() = 0;
+};
+
+// Random-access file handle used by the paged table heaps (base and spill
+// files behind the buffer pool). Virtual for the same reason as
+// AppendFile: the fault tests interpose torn page writes and failing
+// fsyncs on the eviction write-back path.
+class PageFile {
+ public:
+  virtual ~PageFile() = default;
+
+  // Reads exactly `n` bytes at `offset`. Reading past EOF is an error.
+  virtual Status Read(uint64_t offset, size_t n, uint8_t* out) = 0;
+
+  // Writes `n` bytes at `offset`, extending the file as needed. Short
+  // writes are retried internally; the bytes are durable only after
+  // Sync().
+  virtual Status Write(uint64_t offset, const uint8_t* data, size_t n) = 0;
+
+  // fsync: everything written so far survives a crash after OK.
+  virtual Status Sync() = 0;
+
+  // Truncates (or extends with zeros) to `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  virtual Result<uint64_t> Size() = 0;
 };
 
 // Exclusive advisory lock on a database directory (dir/LOCK + flock),
@@ -44,8 +70,15 @@ class WalEnv {
   virtual Result<std::unique_ptr<AppendFile>> OpenAppend(
       const std::string& path);
 
+  // Opens `path` for page-granular random access, creating it if needed.
+  virtual Result<std::unique_ptr<PageFile>> OpenPageFile(
+      const std::string& path);
+
   // Reads the whole file into a string.
   virtual Result<std::string> ReadFileToString(const std::string& path);
+
+  // Names (not paths) of the regular files directly inside `dir`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir);
 
   virtual bool FileExists(const std::string& path);
 

@@ -26,6 +26,7 @@ namespace {
 using testutil::DurableOpts;
 using testutil::FaultEnv;
 using testutil::Fingerprint;
+using testutil::RegisterProcedures;
 using testutil::FreshDir;
 using testutil::ReferenceFingerprint;
 using testutil::RunStandardWorkload;
@@ -66,13 +67,29 @@ size_t CompleteRecordsAt(const std::vector<size_t>& boundaries, size_t cut) {
   return n;
 }
 
+// Copies the paged heap bases (and only them) from `src` into `dir`:
+// spill overlays and journals are crash flotsam the copy deliberately
+// leaves behind, exactly like a checkpoint+WAL backup would.
+void CopyHeapDir(const std::string& src, const std::string& dir) {
+  const std::string heap_src = src + "/heap";
+  if (!std::filesystem::exists(heap_src)) return;
+  std::filesystem::create_directories(dir + "/heap");
+  for (const auto& entry : std::filesystem::directory_iterator(heap_src)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= 5 && name.substr(name.size() - 5) == ".heap") {
+      std::filesystem::copy(entry.path(), dir + "/heap/" + name);
+    }
+  }
+}
+
 // The sweep core: for every cut in [0, len(log)] build a crashed copy of
-// the database directory (checkpoint file, if any, plus the log truncated
-// at the cut), recover, and diff against the in-memory reference run of
-// the same statement prefix. `base_statements` is how many statements the
-// checkpoint already covers.
-void SweepEveryOffset(const std::string& ckpt_bytes, const std::string& log,
-                      size_t base_statements, const std::string& work_name) {
+// the database directory (checkpoint file, if any, plus the paged heap
+// bases it references, plus the log truncated at the cut), recover, and
+// diff against the in-memory reference run of the same statement prefix.
+// `base_statements` is how many statements the checkpoint already covers.
+void SweepEveryOffset(const std::string& src, const std::string& ckpt_bytes,
+                      const std::string& log, size_t base_statements,
+                      const std::string& work_name) {
   std::vector<size_t> boundaries = RecordBoundaries(log);
   // One reference fingerprint per possible surviving prefix.
   std::vector<std::string> refs(boundaries.size() + 1);
@@ -88,6 +105,7 @@ void SweepEveryOffset(const std::string& ckpt_bytes, const std::string& log,
     std::filesystem::create_directories(dir);
     if (!ckpt_bytes.empty()) {
       WriteFile(dir + "/" + kCheckpointFileName, ckpt_bytes);
+      CopyHeapDir(src, dir);
     }
     WriteFile(dir + "/" + kWalFileName, std::string_view(log).substr(0, cut));
 
@@ -118,7 +136,7 @@ TEST(CrashInjectionTest, EveryWalByteOffsetRecoversAPrefix) {
   }
   std::string log = ReadFile(src + "/" + kWalFileName);
   ASSERT_GT(log.size(), 0u);
-  SweepEveryOffset(/*ckpt_bytes=*/"", log, /*base_statements=*/0,
+  SweepEveryOffset(src, /*ckpt_bytes=*/"", log, /*base_statements=*/0,
                    "crash_sweep_work");
 }
 
@@ -141,7 +159,34 @@ TEST(CrashInjectionTest, EveryOffsetAfterCheckpointRecoversAPrefix) {
   std::string log = ReadFile(src + "/" + kWalFileName);
   ASSERT_GT(ckpt.size(), 0u);
   ASSERT_GT(log.size(), 0u);
-  SweepEveryOffset(ckpt, log, kCheckpointAfter, "crash_sweep_ckpt_work");
+  SweepEveryOffset(src, ckpt, log, kCheckpointAfter, "crash_sweep_ckpt_work");
+}
+
+TEST(CrashInjectionTest, EveryOffsetAfterRowFullCheckpointRecoversAPrefix) {
+  // Same sweep, but the checkpoint lands after the DML statements, so the
+  // manifest references paged heap bases with real rows — recovery must
+  // rebuild table state from the frozen base files plus the WAL tail, not
+  // from the snapshot row dump (which a paged table no longer carries).
+  constexpr size_t kCheckpointAfter = 23;  // covers inserts + approvals
+  std::string src = FreshDir("crash_sweep_rows_src");
+  {
+    auto db = Database::Open(src, DurableOpts());
+    ASSERT_TRUE(db.ok());
+    RunStandardWorkload(**db, kCheckpointAfter);
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    auto statements = StandardWorkload();
+    for (size_t i = kCheckpointAfter; i < statements.size(); ++i) {
+      auto r = (*db)->Execute(statements[i].second, statements[i].first);
+      ASSERT_TRUE(r.ok()) << statements[i].second;
+    }
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  std::string ckpt = ReadFile(src + "/" + kCheckpointFileName);
+  std::string log = ReadFile(src + "/" + kWalFileName);
+  ASSERT_GT(ckpt.size(), 0u);
+  ASSERT_GT(log.size(), 0u);
+  SweepEveryOffset(src, ckpt, log, kCheckpointAfter,
+                   "crash_sweep_rows_work");
 }
 
 TEST(CrashInjectionTest, CorruptedByteAnywhereStillRecoversAPrefix) {
@@ -618,6 +663,170 @@ TEST(CrashInjectionTest, FsyncFailureSurfacesAsCommitError) {
   ASSERT_FALSE(after.ok());
   EXPECT_TRUE(after.status().IsFailedPrecondition())
       << after.status().ToString();
+}
+
+// --- incremental checkpoint (paged heaps) under faults ----------------------
+
+// A single-table workload sized to span several heap pages, split into a
+// pre-checkpoint phase and a post-checkpoint phase whose UPDATEs dirty
+// base pages (redo-journal traffic) and whose INSERTs extend the heap
+// (direct base extension traffic).
+std::vector<std::string> PagedPhase1Statements() {
+  std::vector<std::string> out;
+  out.push_back("CREATE TABLE Seq (SID TEXT, Body TEXT)");
+  for (int i = 0; i < 30; ++i) {
+    out.push_back("INSERT INTO Seq VALUES ('s" + std::to_string(i) + "', '" +
+                  std::string(400, static_cast<char>('a' + i % 26)) + "')");
+  }
+  return out;
+}
+std::vector<std::string> PagedPhase2Statements() {
+  std::vector<std::string> out;
+  for (int i = 0; i < 30; i += 3) {
+    out.push_back("UPDATE Seq SET Body = '" +
+                  std::string(400, static_cast<char>('A' + i % 26)) +
+                  "' WHERE SID = 's" + std::to_string(i) + "'");
+  }
+  for (int i = 30; i < 40; ++i) {
+    out.push_back("INSERT INTO Seq VALUES ('s" + std::to_string(i) + "', '" +
+                  std::string(400, static_cast<char>('a' + i % 26)) + "')");
+  }
+  return out;
+}
+
+void RunPagedStatements(Database& db, const std::vector<std::string>& sql) {
+  for (const std::string& s : sql) {
+    auto r = db.Execute(s, "admin");
+    ASSERT_TRUE(r.ok()) << s << "\n-> " << r.status().ToString();
+  }
+}
+
+// In-memory oracle for the two-phase paged workload.
+std::string PagedReferenceFingerprint(bool with_phase2) {
+  Database ref;
+  EXPECT_TRUE(RegisterProcedures(ref).ok());
+  RunPagedStatements(ref, PagedPhase1Statements());
+  if (with_phase2) RunPagedStatements(ref, PagedPhase2Statements());
+  return Fingerprint(ref);
+}
+
+TEST(CrashInjectionTest, CheckpointPreparePageFsyncFailureIsRetryable) {
+  std::string dir = FreshDir("crash_ckpt_prepare");
+  FaultEnv fault;
+  DurabilityOptions opts = DurableOpts();
+  opts.env = &fault;
+  {
+    auto db = Database::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    RunPagedStatements(**db, PagedPhase1Statements());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    RunPagedStatements(**db, PagedPhase2Statements());
+    // The prepare phase's base fsync fails: the checkpoint must surface
+    // the error without touching the spill overlay or latching the WAL.
+    fault.page_sync_budget = 0;
+    auto st = (*db)->Checkpoint();
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsIoError()) << st.ToString();
+    EXPECT_EQ(Fingerprint(**db), PagedReferenceFingerprint(true))
+        << "failed prepare must not disturb live state";
+    // Still writable — a failed prepare is not a torn WAL.
+    ASSERT_TRUE(
+        (*db)->Execute("INSERT INTO Seq VALUES ('x', 'y')", "admin").ok());
+    // Retry with the fault lifted: the checkpoint completes.
+    fault.page_sync_budget = -1;
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    fault.Crash();
+  }
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Everything up to the successful checkpoint survives the crash: the
+  // WAL was truncated at the checkpoint, so recovery rests on the base
+  // files + journal alone.
+  Database ref;
+  ASSERT_TRUE(RegisterProcedures(ref).ok());
+  RunPagedStatements(ref, PagedPhase1Statements());
+  RunPagedStatements(ref, PagedPhase2Statements());
+  ASSERT_TRUE(ref.Execute("INSERT INTO Seq VALUES ('x', 'y')", "admin").ok());
+  EXPECT_EQ(Fingerprint(**db), Fingerprint(ref));
+  VerifyIndexConsistency(**db);
+}
+
+TEST(CrashInjectionTest, CrashBetweenManifestRenameAndCommitReappliesJournal) {
+  std::string dir = FreshDir("crash_ckpt_commit");
+  FaultEnv fault;
+  DurabilityOptions opts = DurableOpts();
+  opts.env = &fault;
+  {
+    auto db = Database::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    RunPagedStatements(**db, PagedPhase1Statements());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    RunPagedStatements(**db, PagedPhase2Statements());
+    // One paged table: the prepare phase consumes exactly one base fsync;
+    // the second one — CheckpointCommit writing journal pages home — dies.
+    // At that point the manifest rename already named the new generation.
+    fault.page_sync_budget = 1;
+    auto st = (*db)->Checkpoint();
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsIoError()) << st.ToString();
+    // A failed commit latches the database: the manifest promises page
+    // images the base does not yet hold, so further commits must refuse.
+    auto after = (*db)->Execute("INSERT INTO Seq VALUES ('x', 'y')", "admin");
+    ASSERT_FALSE(after.ok());
+    EXPECT_TRUE(after.status().IsFailedPrecondition())
+        << after.status().ToString();
+    fault.Crash();
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/heap/Seq.0.heap.journal"));
+  // Recovery finds a journal whose generation the manifest names and
+  // re-applies it; the full pre-crash state comes back.
+  auto db = Database::Open(dir, DurableOpts());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(Fingerprint(**db), PagedReferenceFingerprint(true));
+  VerifyIndexConsistency(**db);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/heap/Seq.0.heap.journal"));
+}
+
+TEST(CrashInjectionTest, TornJournalAppendDiscardedOnRecovery) {
+  // Build a clean pre-second-checkpoint image once, then sweep a torn
+  // journal append across byte budgets: each crash leaves a journal whose
+  // generation the (old) manifest never names, so recovery discards it
+  // and rebuilds phase 2 from the WAL tail.
+  std::string src = FreshDir("crash_jl_tear_src");
+  {
+    auto db = Database::Open(src, DurableOpts());
+    ASSERT_TRUE(db.ok());
+    RunPagedStatements(**db, PagedPhase1Statements());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    RunPagedStatements(**db, PagedPhase2Statements());
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  const std::string full_ref = PagedReferenceFingerprint(true);
+  std::string dir = FreshDir("crash_jl_tear_work");
+  bool checkpoint_succeeded = false;
+  for (int64_t budget = 0; !checkpoint_succeeded; budget += 499) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::copy(src, dir,
+                          std::filesystem::copy_options::recursive);
+    FaultEnv fault;
+    DurabilityOptions opts = DurableOpts();
+    opts.env = &fault;
+    {
+      auto db = Database::Open(dir, opts);
+      ASSERT_TRUE(db.ok()) << "budget " << budget << ": "
+                           << db.status().ToString();
+      fault.append_budget = budget;
+      checkpoint_succeeded = (*db)->Checkpoint().ok();
+      fault.Crash();
+    }
+    auto db = Database::Open(dir, DurableOpts());
+    ASSERT_TRUE(db.ok()) << "budget " << budget << ": "
+                         << db.status().ToString();
+    ASSERT_EQ(Fingerprint(**db), full_ref) << "budget " << budget;
+    if (checkpoint_succeeded) {
+      ASSERT_GT(budget, 0) << "budget 0 must tear the journal append";
+    }
+  }
 }
 
 TEST(CrashInjectionTest, CrashLosesOnlyTheUnsyncedGroupCommitTail) {

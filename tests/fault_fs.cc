@@ -69,5 +69,52 @@ Result<std::unique_ptr<AppendFile>> FaultEnv::OpenAppend(
       new FaultAppendFile(this, std::move(real)));
 }
 
+Status FaultPageFile::Read(uint64_t offset, size_t n, uint8_t* out) {
+  if (env_->crashed_) return Status::IoError("simulated crash");
+  return real_->Read(offset, n, out);
+}
+
+Status FaultPageFile::Write(uint64_t offset, const uint8_t* data, size_t n) {
+  if (env_->crashed_) return Status::IoError("simulated crash");
+  if (env_->page_write_budget >= 0) {
+    if (static_cast<int64_t>(n) > env_->page_write_budget) {
+      // Torn page: the in-budget prefix lands, the rest never does.
+      size_t prefix = static_cast<size_t>(env_->page_write_budget);
+      env_->page_write_budget = 0;
+      if (prefix > 0) (void)real_->Write(offset, data, prefix);
+      return Status::IoError("injected torn page write");
+    }
+    env_->page_write_budget -= static_cast<int64_t>(n);
+  }
+  return real_->Write(offset, data, n);
+}
+
+Status FaultPageFile::Sync() {
+  if (env_->crashed_) return Status::IoError("simulated crash");
+  if (env_->page_sync_budget == 0) {
+    return Status::IoError("injected page fsync failure");
+  }
+  if (env_->page_sync_budget > 0) --env_->page_sync_budget;
+  return real_->Sync();
+}
+
+Status FaultPageFile::Truncate(uint64_t size) {
+  if (env_->crashed_) return Status::IoError("simulated crash");
+  return real_->Truncate(size);
+}
+
+Result<uint64_t> FaultPageFile::Size() {
+  if (env_->crashed_) return Status::IoError("simulated crash");
+  return real_->Size();
+}
+
+Result<std::unique_ptr<PageFile>> FaultEnv::OpenPageFile(
+    const std::string& path) {
+  if (crashed_) return Status::IoError("simulated crash");
+  BDBMS_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> real,
+                         WalEnv::OpenPageFile(path));
+  return std::unique_ptr<PageFile>(new FaultPageFile(this, std::move(real)));
+}
+
 }  // namespace testutil
 }  // namespace bdbms

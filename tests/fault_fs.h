@@ -17,6 +17,7 @@ namespace bdbms {
 namespace testutil {
 
 class FaultAppendFile;
+class FaultPageFile;
 
 class FaultEnv : public WalEnv {
  public:
@@ -37,6 +38,16 @@ class FaultEnv : public WalEnv {
   // beyond that).
   bool hold_unsynced = false;
 
+  // Paged-heap faults (the eviction write-back / checkpoint page path).
+  // -1 = unlimited bytes. When a single page Write would exceed the
+  // remaining budget only the in-budget prefix lands — a torn page — and
+  // the call returns IoError.
+  int64_t page_write_budget = -1;
+
+  // -1 = never fail. Otherwise the number of PageFile::Sync calls that
+  // still succeed; once spent, every page fsync returns IoError.
+  int64_t page_sync_budget = -1;
+
   // Simulated power failure: every buffered-but-unsynced byte is gone and
   // all handles go dead (subsequent Append/Sync fail, which the Database
   // destructor ignores — a crashed process does not get to flush).
@@ -47,8 +58,12 @@ class FaultEnv : public WalEnv {
   Result<std::unique_ptr<AppendFile>> OpenAppend(
       const std::string& path) override;
 
+  Result<std::unique_ptr<PageFile>> OpenPageFile(
+      const std::string& path) override;
+
  private:
   friend class FaultAppendFile;
+  friend class FaultPageFile;
   std::vector<FaultAppendFile*> open_files_;
   bool crashed_ = false;
 };
@@ -66,6 +81,22 @@ class FaultAppendFile : public AppendFile {
   FaultEnv* env_;
   std::unique_ptr<AppendFile> real_;
   std::string buffer_;  // unsynced bytes in hold_unsynced mode
+};
+
+class FaultPageFile : public PageFile {
+ public:
+  FaultPageFile(FaultEnv* env, std::unique_ptr<PageFile> real)
+      : env_(env), real_(std::move(real)) {}
+
+  Status Read(uint64_t offset, size_t n, uint8_t* out) override;
+  Status Write(uint64_t offset, const uint8_t* data, size_t n) override;
+  Status Sync() override;
+  Status Truncate(uint64_t size) override;
+  Result<uint64_t> Size() override;
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<PageFile> real_;
 };
 
 }  // namespace testutil

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/database.h"
@@ -33,12 +34,26 @@ struct Scenario {
   std::vector<Step> probes;      // read-only; run after all statements
 };
 
+// EXPLAIN on a paged (file-backed) table appends physical buffer-pool
+// counters that an in-memory reference legitimately lacks; strip them so
+// the diff covers only logical plan shape, estimates, and results.
+std::string StripBufferCounters(std::string s) {
+  constexpr std::string_view kMarker = " buffers(";
+  for (size_t at = s.find(kMarker); at != std::string::npos;
+       at = s.find(kMarker, at)) {
+    size_t close = s.find(')', at);
+    if (close == std::string::npos) break;
+    s.erase(at, close - at + 1);
+  }
+  return s;
+}
+
 // Renders a statement's full observable outcome, errors included: denied
 // or invalid statements must fail identically before and after recovery.
 std::string Observe(Database& db, const Step& step) {
   auto r = db.Execute(step.sql, step.user);
   if (!r.ok()) return "ERROR: " + r.status().ToString();
-  return r->ToString(/*show_annotations=*/true);
+  return StripBufferCounters(r->ToString(/*show_annotations=*/true));
 }
 
 Scenario AnnotationScenario() {
