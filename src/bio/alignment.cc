@@ -26,6 +26,21 @@ int SmithWatermanScore(std::string_view a, std::string_view b,
   return best;
 }
 
+int EditDistance(std::string_view a, std::string_view b) {
+  std::vector<int> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      int sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({sub, row[j] + 1, row[j - 1] + 1});
+    }
+  }
+  return row[b.size()];
+}
+
 double AlignmentEvalue(int score, size_t m, size_t n,
                        const AlignmentParams& params) {
   return params.k * static_cast<double>(m) * static_cast<double>(n) *

@@ -30,6 +30,11 @@ int SmithWatermanScore(std::string_view a, std::string_view b,
 double AlignmentEvalue(int score, size_t m, size_t n,
                        const AlignmentParams& params = {});
 
+// Levenshtein edit distance (unit insert/delete/substitute costs) — the
+// metric behind SQL DISTANCE() and the trie's ordered nearest-sequence
+// traversal. O(|a|*|b|) dynamic program, O(min) rows of memory.
+int EditDistance(std::string_view a, std::string_view b);
+
 // Builds the ProcedureInfo registering Smith–Waterman as the executable
 // "BLAST" procedure: inputs = (sequence1, sequence2), output = E-value.
 ProcedureInfo MakeBlastProcedure(std::string name = "BLAST-2.2.15",

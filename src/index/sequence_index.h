@@ -1,11 +1,13 @@
 #ifndef BDBMS_INDEX_SEQUENCE_INDEX_H_
 #define BDBMS_INDEX_SEQUENCE_INDEX_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "bio/alignment.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "index/spgist/trie_ops.h"
@@ -52,6 +54,37 @@ class SequenceIndex {
   Result<std::vector<RowId>> FindPrefix(const std::string& prefix) const;
   // RowIds whose cell equals `text` exactly, ascending.
   Result<std::vector<RowId>> FindExact(const std::string& text) const;
+  // RowIds whose whole cell matches `program`, ascending. The NFA state
+  // set advances edge by edge during the descent; subtrees whose state
+  // set goes dead are never visited.
+  Result<std::vector<RowId>> FindRegex(const RegexProgram& program) const;
+
+  // One ranked result of FindNearest.
+  struct Neighbor {
+    RowId row;
+    int distance;
+  };
+  // The nearest indexed sequences to `target` by edit distance, in
+  // (distance, RowId) order: a best-first traversal over per-subtree
+  // Levenshtein lower bounds (spgscan.c-style ordered scan). `keep` vets
+  // each candidate — MVCC visibility plus a stored-cell equality check —
+  // before it counts toward k, so stale index entries cannot underfill
+  // the result. All ties at the k-th distance are returned; the caller's
+  // LIMIT makes the final cut. `keep` is always invoked with the index
+  // mutex released (it takes the table lock, and DML locks table before
+  // index); a rejection blacklists the entry and reruns the traversal.
+  Result<std::vector<Neighbor>> FindNearest(
+      const std::string& target, size_t k,
+      const std::function<bool(RowId, const std::string& cell)>& keep) const;
+
+  // RowIds whose cell aligns locally to `query` with Smith–Waterman
+  // score >= min_score (or > when `strict`), ascending. The DP rows are
+  // threaded down the trie, so keys sharing a prefix share that much of
+  // the O(n*m) work and duplicate sequences are scored once per leaf
+  // group rather than once per row.
+  Result<std::vector<RowId>> FindAlign(
+      const std::string& query, int min_score, bool strict,
+      const AlignmentParams& params = {}) const;
 
  private:
   SequenceIndex(std::string name, size_t column,

@@ -5,6 +5,9 @@
 namespace bdbms {
 
 Result<RegexProgram> RegexProgram::Compile(std::string_view pattern) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("regex: empty pattern");
+  }
   RegexProgram prog;
   size_t i = 0;
   while (i < pattern.size()) {

@@ -1,10 +1,12 @@
 #ifndef BDBMS_INDEX_SPGIST_SPGIST_H_
 #define BDBMS_INDEX_SPGIST_SPGIST_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -51,6 +53,15 @@ namespace bdbms {
 //     static double StateBound2(const State&, double x, double y);
 //     static double KeyDist2(const Key&, double x, double y);
 //   };
+//
+// An operator class may additionally provide
+//
+//     static State DescendSearch(const Inner&, size_t slot, const State&,
+//                                const Query&);
+//
+// which Search/Remove then use instead of Descend, letting the class
+// thread query-derived state (e.g. an NFA state set) across each edge
+// exactly once instead of recomputing it from the path at every node.
 inline constexpr uint64_t kSpGistNullNode = UINT64_MAX;
 
 template <typename Op>
@@ -168,7 +179,8 @@ class SpGistIndex {
       for (size_t slot : children) {
         uint64_t child = node.inner.child(slot);
         if (child == kSpGistNullNode) continue;
-        stack.emplace_back(child, Op::Descend(node.inner, slot, state));
+        stack.emplace_back(child, DescendForSearch(node.inner, slot, state,
+                                                   query));
       }
     }
     return Status::Ok();
@@ -203,7 +215,8 @@ class SpGistIndex {
       for (size_t slot : children) {
         uint64_t child = node.inner.child(slot);
         if (child == kSpGistNullNode) continue;
-        stack.emplace_back(child, Op::Descend(node.inner, slot, state));
+        stack.emplace_back(child, DescendForSearch(node.inner, slot, state,
+                                                   query));
       }
     }
     return false;
@@ -252,6 +265,105 @@ class SpGistIndex {
     return out;
   }
 
+  // Guided depth-first traversal for searches whose per-node state is
+  // richer than what Op::State + Query can express (e.g. a dynamic-
+  // programming row shared down trie edges). The walker owns descent:
+  //
+  //   struct Walker {
+  //     using WState;                       // per-subtree traversal state
+  //     WState Root();
+  //     // nullopt prunes the child subtree.
+  //     std::optional<WState> Descend(const typename Op::Inner&, size_t slot,
+  //                                   const WState&);
+  //     bool Leaf(const WState&, const Key&, uint64_t payload);  // false stops
+  //   };
+  template <typename Walker>
+  Status SearchGuided(Walker& walker) const {
+    using WState = typename Walker::WState;
+    std::vector<std::pair<uint64_t, WState>> stack;
+    stack.emplace_back(0, walker.Root());
+    while (!stack.empty()) {
+      auto [node_id, state] = std::move(stack.back());
+      stack.pop_back();
+      BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(node_id));
+      if (node.leaf) {
+        for (const LeafEntry& e : node.entries) {
+          if (!walker.Leaf(state, e.first, e.second)) return Status::Ok();
+        }
+        continue;
+      }
+      for (size_t slot = 0; slot < node.inner.NumChildren(); ++slot) {
+        uint64_t child = node.inner.child(slot);
+        if (child == kSpGistNullNode) continue;
+        std::optional<WState> next = walker.Descend(node.inner, slot, state);
+        if (next) stack.emplace_back(child, std::move(*next));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Best-first ordered traversal in the style of PostgreSQL's spgscan.c
+  // distance-ranked scans: subtrees are expanded in order of a walker-
+  // computed lower bound, leaf entries surface in exact-distance order.
+  // The walker contract extends SearchGuided's with:
+  //
+  //   double Bound(const WState&);                      // subtree lower bound
+  //   // exact distance, or nullopt if the entry is not a result
+  //   std::optional<double> LeafDistance(const WState&, const Key&);
+  //   // entries arrive in nondecreasing distance; false stops the scan
+  //   bool Emit(const WState&, const Key&, uint64_t payload, double dist);
+  template <typename Walker>
+  Status SearchOrdered(Walker& walker) const {
+    using WState = typename Walker::WState;
+    struct Item {
+      double bound;
+      bool is_node;
+      uint64_t node;
+      WState state;
+      Key key;  // leaf suffix (entry items only)
+      uint64_t payload;
+    };
+    auto later = [](const Item& a, const Item& b) { return a.bound > b.bound; };
+    std::vector<Item> heap;
+    {
+      WState root = walker.Root();
+      double bound = walker.Bound(root);
+      heap.push_back({bound, true, 0, std::move(root), Key(), 0});
+    }
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      Item item = std::move(heap.back());
+      heap.pop_back();
+      if (!item.is_node) {
+        if (!walker.Emit(item.state, item.key, item.payload, item.bound)) {
+          return Status::Ok();
+        }
+        continue;
+      }
+      BDBMS_ASSIGN_OR_RETURN(Node node, ReadNode(item.node));
+      if (node.leaf) {
+        for (const LeafEntry& e : node.entries) {
+          std::optional<double> dist = walker.LeafDistance(item.state, e.first);
+          if (!dist) continue;
+          heap.push_back({*dist, false, 0, item.state, e.first, e.second});
+          std::push_heap(heap.begin(), heap.end(), later);
+        }
+        continue;
+      }
+      for (size_t slot = 0; slot < node.inner.NumChildren(); ++slot) {
+        uint64_t child = node.inner.child(slot);
+        if (child == kSpGistNullNode) continue;
+        std::optional<WState> next =
+            walker.Descend(node.inner, slot, item.state);
+        if (!next) continue;
+        double bound = walker.Bound(*next);
+        heap.push_back({bound, true, child, std::move(*next), Key(), 0});
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
+    return Status::Ok();
+  }
+
   uint64_t size() const { return size_; }
   uint64_t node_count() const { return nodes_.size(); }
   uint64_t SizeBytes() const { return heap_->SizeBytes(); }
@@ -269,6 +381,17 @@ class SpGistIndex {
 
   SpGistIndex(Config config, std::unique_ptr<HeapFile> heap)
       : config_(std::move(config)), heap_(std::move(heap)) {}
+
+  // Search/Remove descend through the query-aware hook when the operator
+  // class provides one, so per-edge query state rides along the path.
+  static State DescendForSearch(const typename Op::Inner& inner, size_t slot,
+                                const State& state, const Query& query) {
+    if constexpr (requires { Op::DescendSearch(inner, slot, state, query); }) {
+      return Op::DescendSearch(inner, slot, state, query);
+    } else {
+      return Op::Descend(inner, slot, state);
+    }
+  }
 
   static bool AllKeysEqual(const Node& node) {
     for (size_t i = 1; i < node.entries.size(); ++i) {

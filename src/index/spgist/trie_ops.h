@@ -23,6 +23,11 @@ struct TrieOps {
 
   struct State {
     std::string prefix;  // characters consumed on the path from the root
+    // Regex searches cache the NFA state set reached after consuming
+    // `prefix`, advanced once per edge by DescendSearch; nfa_valid is
+    // false only at the root (and on insert paths, which never read it).
+    std::vector<int> nfa;
+    bool nfa_valid = false;
   };
 
   struct Inner {
@@ -85,6 +90,24 @@ struct TrieOps {
     return next;
   }
 
+  // Query-aware descent for Search/Remove: the regex NFA state set is
+  // advanced across the edge exactly once, instead of being replayed
+  // from the root prefix at every node (O(edges) total, not O(depth^2)).
+  static State DescendSearch(const Inner& inner, size_t slot,
+                             const State& state, const Query& query) {
+    State next = Descend(inner, slot, state);
+    if (query.kind == QueryKind::kRegex) {
+      if (inner.labels[slot] == '\0') {
+        next.nfa = NfaStates(query, state);
+      } else {
+        next.nfa = query.regex->Advance(NfaStates(query, state),
+                                        inner.labels[slot]);
+      }
+      next.nfa_valid = true;
+    }
+    return next;
+  }
+
   static void PickSplit(const State&,
                         std::vector<std::pair<Key, uint64_t>>* entries,
                         Inner* inner,
@@ -135,13 +158,11 @@ struct TrieOps {
         return;
       }
       case QueryKind::kRegex: {
-        // Recompute the NFA state set for this node's depth, then test
-        // each outgoing edge; dead subtrees are pruned.
-        std::vector<int> states = query.regex->StartStates();
-        for (char c : state.prefix) {
-          states = query.regex->Advance(states, c);
-          if (states.empty()) return;
-        }
+        // The NFA state set for this node's depth arrives cached from
+        // DescendSearch (recomputed only at the root, whose prefix is
+        // empty); test each outgoing edge and prune dead subtrees.
+        std::vector<int> states = NfaStates(query, state);
+        if (states.empty()) return;
         for (size_t i = 0; i < inner.labels.size(); ++i) {
           if (inner.labels[i] == '\0') {
             // Keys ending here still carry a leaf suffix of "" — accept
@@ -169,11 +190,8 @@ struct TrieOps {
                full.compare(0, query.text.size(), query.text) == 0;
       }
       case QueryKind::kRegex: {
-        std::vector<int> states = query.regex->StartStates();
-        for (char c : state.prefix) {
-          states = query.regex->Advance(states, c);
-          if (states.empty()) return false;
-        }
+        std::vector<int> states = NfaStates(query, state);
+        if (states.empty()) return false;
         for (char c : key) {
           states = query.regex->Advance(states, c);
           if (states.empty()) return false;
@@ -185,6 +203,18 @@ struct TrieOps {
   }
 
   static bool KeyEquals(const Key& a, const Key& b) { return a == b; }
+
+  // The cached NFA state set when DescendSearch filled one in, else the
+  // set reached by replaying the path prefix (the root only).
+  static std::vector<int> NfaStates(const Query& query, const State& state) {
+    if (state.nfa_valid) return state.nfa;
+    std::vector<int> states = query.regex->StartStates();
+    for (char c : state.prefix) {
+      states = query.regex->Advance(states, c);
+      if (states.empty()) break;
+    }
+    return states;
+  }
 
   static void EncodeKey(const Key& key, std::string* out) {
     uint32_t len = static_cast<uint32_t>(key.size());

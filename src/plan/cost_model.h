@@ -32,6 +32,10 @@ inline constexpr double kDefaultEq = 0.1;
 inline constexpr double kDefaultRange = 1.0 / 3.0;
 inline constexpr double kDefaultLike = 0.25;
 inline constexpr double kDefaultSel = 1.0 / 3.0;
+// Trie-pruned sequence searches: a regex keeps more of the table than a
+// literal prefix; an ALIGN score threshold is assumed tighter.
+inline constexpr double kDefaultRegex = 0.3;
+inline constexpr double kDefaultAlign = 0.2;
 
 // Output-fraction heuristics for nodes without a predicate model.
 inline constexpr double kAnnIntervalFraction = 0.25;  // AnnIntervalScan

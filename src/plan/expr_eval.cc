@@ -4,6 +4,9 @@
 #include <optional>
 #include <string>
 
+#include "bio/alignment.h"
+#include "index/spgist/regex.h"
+
 namespace bdbms {
 
 namespace {
@@ -63,6 +66,15 @@ Result<Value> EvalBinary(const Expr& e, const ColumnFn& col_fn,
         return Status::InvalidArgument("LIKE requires string operands");
       }
       return Value::Int(LikeMatch(lhs.as_string(), rhs.as_string()) ? 1 : 0);
+    }
+    case BinOp::kMatches: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Int(0);
+      if (!lhs.is_string() || !rhs.is_string()) {
+        return Status::InvalidArgument("MATCHES requires string operands");
+      }
+      BDBMS_ASSIGN_OR_RETURN(RegexProgram prog,
+                             RegexProgram::Compile(rhs.as_string()));
+      return Value::Int(prog.FullMatch(lhs.as_string()) ? 1 : 0);
     }
     case BinOp::kAdd:
       if (lhs.is_string() && rhs.is_string()) {
@@ -140,6 +152,23 @@ Result<Value> EvalGeneric(const Expr& e, const ColumnFn& col_fn,
     }
     case ExprKind::kBinary:
       return EvalBinary(e, col_fn, ann_fn, agg_fn);
+    case ExprKind::kFunction: {
+      BDBMS_ASSIGN_OR_RETURN(Value lhs,
+                             EvalGeneric(*e.left, col_fn, ann_fn, agg_fn));
+      BDBMS_ASSIGN_OR_RETURN(Value rhs,
+                             EvalGeneric(*e.right, col_fn, ann_fn, agg_fn));
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      if (!lhs.is_string() || !rhs.is_string()) {
+        return Status::InvalidArgument(
+            e.scalar_fn == ScalarFn::kAlign
+                ? "ALIGN requires string operands"
+                : "DISTANCE requires string operands");
+      }
+      if (e.scalar_fn == ScalarFn::kAlign) {
+        return Value::Int(SmithWatermanScore(lhs.as_string(), rhs.as_string()));
+      }
+      return Value::Int(EditDistance(lhs.as_string(), rhs.as_string()));
+    }
   }
   return Status::Internal("unhandled expression kind");
 }

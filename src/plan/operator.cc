@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "bio/alignment.h"
 #include "index/key_codec.h"
 #include "plan/expr_eval.h"
 #include "sql/ast_printer.h"
@@ -361,6 +362,68 @@ bool SpgistScanNode::RecheckVisible(const Row& row) const {
 
 std::string SpgistScanNode::Describe() const {
   return "SpgistScan " + table_name_ + DescribeSuffix() + " USING " +
+         index_->name() + " " + predicate_text_;
+}
+
+Result<std::vector<RowId>> SpgistRegexScanNode::CollectCandidates() {
+  return index_->FindRegex(program_);
+}
+
+bool SpgistRegexScanNode::RecheckVisible(const Row& row) const {
+  const Value& cell = row[index_->column()];
+  if (!cell.is_string()) return false;
+  return program_.FullMatch(cell.as_string());
+}
+
+std::string SpgistRegexScanNode::Describe() const {
+  return "SpgistRegexScan " + table_name_ + DescribeSuffix() + " USING " +
+         index_->name() + " " + predicate_text_;
+}
+
+Result<std::vector<RowId>> SpgistTopKScanNode::CollectCandidates() {
+  // Visibility is resolved inside the traversal: a stale index entry whose
+  // key no longer matches the visible row must not occupy one of the k
+  // slots, or a genuinely close row would be cut off.
+  const MvccSnapshot* snap = ctx_->snapshot;
+  auto keep = [&](RowId row_id, const std::string& key) -> bool {
+    if (snap != nullptr) {
+      auto visible = table_->GetVisible(row_id, *snap);
+      if (!visible.ok() || !visible->has_value()) return false;
+      const Value& cell = (**visible)[index_->column()];
+      return cell.is_string() && cell.as_string() == key;
+    }
+    if (!table_->Exists(row_id)) return false;
+    auto row = table_->Get(row_id);
+    if (!row.ok()) return false;
+    const Value& cell = (*row)[index_->column()];
+    return cell.is_string() && cell.as_string() == key;
+  };
+  BDBMS_ASSIGN_OR_RETURN(std::vector<SequenceIndex::Neighbor> nearest,
+                         index_->FindNearest(target_, k_, keep));
+  std::vector<RowId> rows;
+  rows.reserve(nearest.size());
+  for (const SequenceIndex::Neighbor& n : nearest) rows.push_back(n.row);
+  return rows;
+}
+
+std::string SpgistTopKScanNode::Describe() const {
+  return "SpgistTopKScan " + table_name_ + DescribeSuffix() + " USING " +
+         index_->name() + " " + predicate_text_;
+}
+
+Result<std::vector<RowId>> SpgistAlignScanNode::CollectCandidates() {
+  return index_->FindAlign(query_, min_score_, strict_);
+}
+
+bool SpgistAlignScanNode::RecheckVisible(const Row& row) const {
+  const Value& cell = row[index_->column()];
+  if (!cell.is_string()) return false;
+  int score = SmithWatermanScore(cell.as_string(), query_);
+  return strict_ ? score > min_score_ : score >= min_score_;
+}
+
+std::string SpgistAlignScanNode::Describe() const {
+  return "SpgistAlignScan " + table_name_ + DescribeSuffix() + " USING " +
          index_->name() + " " + predicate_text_;
 }
 
@@ -727,8 +790,7 @@ std::vector<const PlanNode*> DistinctNode::Children() const {
   return {child_.get()};
 }
 
-SortNode::SortNode(PlanNodePtr child,
-                   std::vector<std::pair<size_t, bool>> keys)
+SortNode::SortNode(PlanNodePtr child, std::vector<Key> keys)
     : child_(std::move(child)), keys_(std::move(keys)) {
   columns_ = child_->columns();
 }
@@ -737,14 +799,51 @@ Status SortNode::Open() {
   results_.clear();
   pos_ = 0;
   BDBMS_RETURN_IF_ERROR(DrainPlan(child_.get(), &results_));
-  std::stable_sort(results_.begin(), results_.end(),
-                   [&](const PlanTuple& a, const PlanTuple& b) {
-                     for (const auto& [idx, desc] : keys_) {
-                       int c = a.values[idx].Compare(b.values[idx]);
-                       if (c != 0) return desc ? c > 0 : c < 0;
+  bool has_expr = false;
+  for (const Key& k : keys_) has_expr |= k.expr != nullptr;
+  if (!has_expr) {
+    std::stable_sort(results_.begin(), results_.end(),
+                     [&](const PlanTuple& a, const PlanTuple& b) {
+                       for (const Key& k : keys_) {
+                         int c = a.values[k.column].Compare(b.values[k.column]);
+                         if (c != 0) return k.descending ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    return Status::Ok();
+  }
+  // Expression keys can fail (type errors), so evaluate them once per
+  // tuple up front rather than inside the comparator.
+  struct Decorated {
+    std::vector<Value> keys;
+    PlanTuple tuple;
+  };
+  std::vector<Decorated> rows;
+  rows.reserve(results_.size());
+  for (PlanTuple& t : results_) {
+    Decorated d;
+    d.keys.reserve(keys_.size());
+    for (const Key& k : keys_) {
+      if (k.expr != nullptr) {
+        BDBMS_ASSIGN_OR_RETURN(Value v, EvalScalar(*k.expr, columns_, t));
+        d.keys.push_back(std::move(v));
+      } else {
+        d.keys.push_back(t.values[k.column]);
+      }
+    }
+    d.tuple = std::move(t);
+    rows.push_back(std::move(d));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](const Decorated& a, const Decorated& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int c = a.keys[i].Compare(b.keys[i]);
+                       if (c != 0) return keys_[i].descending ? c > 0 : c < 0;
                      }
                      return false;
                    });
+  results_.clear();
+  for (Decorated& d : rows) results_.push_back(std::move(d.tuple));
   return Status::Ok();
 }
 
@@ -758,8 +857,12 @@ std::string SortNode::Describe() const {
   std::string out = "Sort [";
   for (size_t i = 0; i < keys_.size(); ++i) {
     if (i > 0) out += ", ";
-    out += columns_[keys_[i].first].name;
-    out += keys_[i].second ? " DESC" : " ASC";
+    if (keys_[i].expr != nullptr) {
+      out += ExprToString(*keys_[i].expr);
+    } else {
+      out += columns_[keys_[i].column].name;
+    }
+    out += keys_[i].descending ? " DESC" : " ASC";
   }
   out += "]";
   return out;

@@ -13,6 +13,7 @@
 #include "exec/exec_context.h"
 #include "index/secondary_index.h"
 #include "index/sequence_index.h"
+#include "index/spgist/regex.h"
 #include "plan/plan_tuple.h"
 #include "sql/ast.h"
 
@@ -233,6 +234,102 @@ class SpgistScanNode : public ScanNodeBase {
   std::string predicate_text_;
 };
 
+// SP-GiST trie regular-expression search (`col MATCHES '<regex>'`, and
+// LIKE patterns with a leading wildcard rewritten to a regex): descends
+// the trie advancing the NFA state set edge by edge, pruning subtrees
+// whose state set goes dead. Candidates come back unordered supersets of
+// nothing — every candidate's indexed key matched — but snapshot mode can
+// still surface stale entries, so the visible cell is re-matched.
+class SpgistRegexScanNode : public ScanNodeBase {
+ public:
+  SpgistRegexScanNode(const ExecContext* ctx, Table* table,
+                      std::string table_name, std::string qualifier,
+                      std::vector<std::string> ann_names, bool attach_metadata,
+                      const SequenceIndex* index, RegexProgram program,
+                      std::string predicate_text)
+      : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
+                     std::move(ann_names), attach_metadata),
+        index_(index),
+        program_(std::move(program)),
+        predicate_text_(std::move(predicate_text)) {}
+
+  std::string Describe() const override;
+
+ protected:
+  Result<std::vector<RowId>> CollectCandidates() override;
+  bool RecheckVisible(const Row& row) const override;
+
+ private:
+  const SequenceIndex* index_;
+  RegexProgram program_;
+  std::string predicate_text_;
+};
+
+// Top-k nearest-sequence scan (`ORDER BY DISTANCE(col, 'seq') LIMIT k`):
+// best-first trie traversal ordered by a Levenshtein lower bound, stopping
+// once k rows (plus ties at the k-th distance) are proven closest.
+// Candidates stream in (distance, RowId) order — NOT RowId order — and
+// visibility is resolved inside the traversal so stale index entries can
+// never underfill k; RecheckVisible therefore accepts everything.
+class SpgistTopKScanNode : public ScanNodeBase {
+ public:
+  SpgistTopKScanNode(const ExecContext* ctx, Table* table,
+                     std::string table_name, std::string qualifier,
+                     std::vector<std::string> ann_names, bool attach_metadata,
+                     const SequenceIndex* index, std::string target, size_t k,
+                     std::string predicate_text)
+      : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
+                     std::move(ann_names), attach_metadata),
+        index_(index),
+        target_(std::move(target)),
+        k_(k),
+        predicate_text_(std::move(predicate_text)) {}
+
+  std::string Describe() const override;
+
+ protected:
+  Result<std::vector<RowId>> CollectCandidates() override;
+  bool RecheckVisible(const Row& /*row*/) const override { return true; }
+
+ private:
+  const SequenceIndex* index_;
+  std::string target_;
+  size_t k_;
+  std::string predicate_text_;
+};
+
+// Smith–Waterman similarity threshold (`ALIGN(col, 'seq') >= s`): the trie
+// shares the alignment DP across common prefixes and deduplicates repeated
+// sequences, then the scan re-scores the visible cell (snapshot staleness).
+class SpgistAlignScanNode : public ScanNodeBase {
+ public:
+  SpgistAlignScanNode(const ExecContext* ctx, Table* table,
+                      std::string table_name, std::string qualifier,
+                      std::vector<std::string> ann_names, bool attach_metadata,
+                      const SequenceIndex* index, std::string query,
+                      int min_score, bool strict, std::string predicate_text)
+      : ScanNodeBase(ctx, table, std::move(table_name), std::move(qualifier),
+                     std::move(ann_names), attach_metadata),
+        index_(index),
+        query_(std::move(query)),
+        min_score_(min_score),
+        strict_(strict),
+        predicate_text_(std::move(predicate_text)) {}
+
+  std::string Describe() const override;
+
+ protected:
+  Result<std::vector<RowId>> CollectCandidates() override;
+  bool RecheckVisible(const Row& row) const override;
+
+ private:
+  const SequenceIndex* index_;
+  std::string query_;
+  int min_score_;
+  bool strict_;
+  std::string predicate_text_;
+};
+
 // AWHERE pushdown: scans only the row intervals covered by live regions of
 // the attached annotation tables (via the annotation interval structures
 // and Table row-range access) plus rows holding outdated cells — the only
@@ -390,11 +487,18 @@ class DistinctNode : public PlanNode {
   size_t pos_ = 0;
 };
 
-// ORDER BY: stable sort on pre-bound key columns.
+// ORDER BY: stable sort on pre-bound key columns or scalar expressions
+// (e.g. ORDER BY DISTANCE(Seq, 'ACGT')). Expression keys are evaluated
+// once per tuple before sorting.
 class SortNode : public PlanNode {
  public:
-  // (column index, descending)
-  SortNode(PlanNodePtr child, std::vector<std::pair<size_t, bool>> keys);
+  struct Key {
+    size_t column = 0;           // valid iff expr == nullptr
+    const Expr* expr = nullptr;  // owned by the statement, outlives the plan
+    bool descending = false;
+  };
+
+  SortNode(PlanNodePtr child, std::vector<Key> keys);
 
   Status Open() override;
   Result<bool> Next(PlanTuple* out) override;
@@ -403,7 +507,7 @@ class SortNode : public PlanNode {
 
  private:
   PlanNodePtr child_;
-  std::vector<std::pair<size_t, bool>> keys_;
+  std::vector<Key> keys_;
   std::vector<PlanTuple> results_;
   size_t pos_ = 0;
 };

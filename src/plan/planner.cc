@@ -76,7 +76,16 @@ struct AccessChoice {
   IndexProbe probe;
   bool index_only = false;
   const SequenceIndex* seq_index = nullptr;
+  // Which trie descent `seq_index` performs: a prefix/exact probe
+  // (SpgistScan), an NFA-guided regex search (SpgistRegexScan), or a
+  // Smith–Waterman threshold search (SpgistAlignScan).
+  enum class SeqKind { kProbe, kRegex, kAlign };
+  SeqKind seq_kind = SeqKind::kProbe;
   SpgistScanNode::Probe seq_probe;
+  std::optional<RegexProgram> seq_regex;
+  std::string align_query;
+  int align_min = 0;
+  bool align_strict = false;
   std::string predicate_text;
   std::vector<const Expr*> consumed;
   double selectivity = 1.0;  // of the consumed conjuncts
@@ -166,6 +175,118 @@ std::optional<LikeComparison> MatchLikePrefix(
   return like;
 }
 
+// A conjunct usable as an NFA-guided trie search: `col MATCHES '<regex>'`,
+// or a LIKE pattern with a leading wildcard (nothing to prefix-probe)
+// rewritten into the regex dialect.
+struct RegexComparison {
+  size_t column = 0;
+  RegexProgram program;
+  const Expr* conjunct = nullptr;
+};
+
+// Rewrites a LIKE pattern into the trie regex dialect: `%` → `.*`,
+// `_` → `.`, regex metacharacters escaped.
+std::string LikePatternToRegex(const std::string& pattern) {
+  std::string out;
+  for (char c : pattern) {
+    if (c == '%') {
+      out += ".*";
+    } else if (c == '_') {
+      out += '.';
+    } else {
+      if (std::string_view(".[]*+?\\").find(c) != std::string_view::npos) {
+        out += '\\';
+      }
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Extracts a regex search from a conjunct. A malformed MATCHES pattern is
+// not a candidate — the conjunct stays a residual filter, whose evaluation
+// reports the same compile error.
+std::optional<RegexComparison> MatchRegexSearch(
+    const Expr* e, const std::vector<BoundColumn>& scan_columns,
+    const TableSchema& schema) {
+  if (e->kind != ExprKind::kBinary) return std::nullopt;
+  const Expr* col = e->left.get();
+  const Expr* lit = e->right.get();
+  if (col->kind != ExprKind::kColumnRef || lit->kind != ExprKind::kLiteral ||
+      !lit->literal.is_string()) {
+    return std::nullopt;
+  }
+  std::string pattern;
+  if (e->bin_op == BinOp::kMatches) {
+    pattern = lit->literal.as_string();
+  } else if (e->bin_op == BinOp::kLike) {
+    // Patterns with a literal prefix take the cheaper prefix descent
+    // (MatchLikePrefix); the regex path covers the leading-wildcard rest.
+    const std::string& p = lit->literal.as_string();
+    if (p.empty() || (p[0] != '%' && p[0] != '_')) return std::nullopt;
+    pattern = LikePatternToRegex(p);
+  } else {
+    return std::nullopt;
+  }
+  auto bound = BindColumn(scan_columns, col->qualifier, col->column);
+  if (!bound.ok()) return std::nullopt;
+  DataType type = schema.column(*bound).type;
+  if (type != DataType::kText && type != DataType::kSequence) {
+    return std::nullopt;
+  }
+  auto program = RegexProgram::Compile(pattern);
+  if (!program.ok()) return std::nullopt;
+  return RegexComparison{*bound, std::move(*program), e};
+}
+
+// `ALIGN(col, 'seq') >= n` (or > n, either operand order): a local-
+// alignment score lower bound, answerable by the trie's shared-prefix
+// Smith–Waterman descent. Upper bounds keep nothing prunable and stay
+// residual filters.
+struct AlignComparison {
+  size_t column = 0;
+  std::string query;
+  int min_score = 0;
+  bool strict = false;  // true for >, false for >=
+  const Expr* conjunct = nullptr;
+};
+
+std::optional<AlignComparison> MatchAlignThreshold(
+    const Expr* e, const std::vector<BoundColumn>& scan_columns,
+    const TableSchema& schema) {
+  if (e->kind != ExprKind::kBinary) return std::nullopt;
+  BinOp op = e->bin_op;
+  const Expr* fn = e->left.get();
+  const Expr* lit = e->right.get();
+  if (fn->kind != ExprKind::kFunction) {
+    std::swap(fn, lit);
+    op = FlipComparison(op);
+  }
+  if (fn->kind != ExprKind::kFunction || fn->scalar_fn != ScalarFn::kAlign) {
+    return std::nullopt;
+  }
+  if (op != BinOp::kGe && op != BinOp::kGt) return std::nullopt;
+  if (lit->kind != ExprKind::kLiteral ||
+      lit->literal.type() != DataType::kInt) {
+    return std::nullopt;
+  }
+  const Expr* col = fn->left.get();
+  const Expr* query = fn->right.get();
+  if (col->kind != ExprKind::kColumnRef ||
+      query->kind != ExprKind::kLiteral || !query->literal.is_string()) {
+    return std::nullopt;
+  }
+  auto bound = BindColumn(scan_columns, col->qualifier, col->column);
+  if (!bound.ok()) return std::nullopt;
+  DataType type = schema.column(*bound).type;
+  if (type != DataType::kText && type != DataType::kSequence) {
+    return std::nullopt;
+  }
+  return AlignComparison{*bound, query->literal.as_string(),
+                         static_cast<int>(lit->literal.as_int()),
+                         op == BinOp::kGt, e};
+}
+
 // Enumerates candidate access paths over the pushed conjuncts, costs each
 // alternative as scan + residual filter, and keeps the cheapest —
 // returning nullopt when the sequential scan wins or no candidate exists.
@@ -186,12 +307,19 @@ std::optional<AccessChoice> ChooseAccessPath(
     double table_rows, const std::vector<size_t>* covering_columns) {
   std::vector<ColumnComparison> comparisons;
   std::vector<LikeComparison> likes;
+  std::vector<RegexComparison> regexes;
+  std::vector<AlignComparison> aligns;
   for (const Expr* e : conjuncts) {
     if (auto cmp = MatchComparison(e, scan_columns, table.schema())) {
       comparisons.push_back(std::move(*cmp));
     } else if (auto like = MatchLikePrefix(e, scan_columns,
                                            table.schema())) {
       likes.push_back(std::move(*like));
+    } else if (auto re = MatchRegexSearch(e, scan_columns, table.schema())) {
+      regexes.push_back(std::move(*re));
+    } else if (auto al = MatchAlignThreshold(e, scan_columns,
+                                             table.schema())) {
+      aligns.push_back(std::move(*al));
     }
   }
   std::vector<AccessChoice> candidates;
@@ -312,6 +440,36 @@ std::optional<AccessChoice> ChooseAccessPath(
         break;
       }
     }
+    if (!built) {
+      // NFA-guided regex descent: the trie prunes every subtree whose
+      // state set goes dead, and each candidate's key fully matched, so
+      // the conjunct is consumed (snapshot staleness is re-checked by the
+      // scan against the visible cell).
+      for (const RegexComparison& re : regexes) {
+        if (re.column != col) continue;
+        choice.seq_kind = AccessChoice::SeqKind::kRegex;
+        choice.seq_regex = re.program;
+        choice.predicate_text = ExprToString(*re.conjunct);
+        choice.consumed.push_back(re.conjunct);
+        choice.selectivity = cost::kDefaultRegex;
+        built = true;
+        break;
+      }
+    }
+    if (!built) {
+      for (const AlignComparison& al : aligns) {
+        if (al.column != col) continue;
+        choice.seq_kind = AccessChoice::SeqKind::kAlign;
+        choice.align_query = al.query;
+        choice.align_min = al.min_score;
+        choice.align_strict = al.strict;
+        choice.predicate_text = ExprToString(*al.conjunct);
+        choice.consumed.push_back(al.conjunct);
+        choice.selectivity = cost::kDefaultAlign;
+        built = true;
+        break;
+      }
+    }
     if (!built) continue;
     candidates.push_back(std::move(choice));
   }
@@ -383,9 +541,20 @@ bool ComputeRequiredColumns(const SelectStmt& stmt,
   }
   // ORDER BY binds against the projected output; a name that also binds
   // here is a base column flowing through (include it), anything else is
-  // a projection alias the scan need not cover.
-  for (const auto& [col, desc] : stmt.order_by) {
-    auto bound = BindColumn(columns, "", col);
+  // a projection alias the scan need not cover. Expression keys read
+  // whatever columns they reference.
+  for (const OrderKey& key : stmt.order_by) {
+    if (key.expr) {
+      std::vector<const Expr*> key_refs;
+      CollectColumnRefs(key.expr.get(), &key_refs);
+      for (const Expr* ref : key_refs) {
+        auto bound = BindColumn(columns, ref->qualifier, ref->column);
+        if (!bound.ok()) return false;
+        needed.insert(*bound);
+      }
+      continue;
+    }
+    auto bound = BindColumn(columns, "", key.column);
     if (bound.ok()) needed.insert(*bound);
   }
   out->assign(needed.begin(), needed.end());
@@ -487,10 +656,29 @@ Result<PlanNodePtr> Planner::BuildScan(
     conjuncts = std::move(residual);
     double match = table_rows * choice->selectivity;
     if (choice->seq_index != nullptr) {
-      scan = std::make_unique<SpgistScanNode>(
-          ctx_, table, ref.table, qualifier, std::move(ann_names),
-          attach_metadata, choice->seq_index, std::move(choice->seq_probe),
-          std::move(choice->predicate_text));
+      switch (choice->seq_kind) {
+        case AccessChoice::SeqKind::kProbe:
+          scan = std::make_unique<SpgistScanNode>(
+              ctx_, table, ref.table, qualifier, std::move(ann_names),
+              attach_metadata, choice->seq_index,
+              std::move(choice->seq_probe),
+              std::move(choice->predicate_text));
+          break;
+        case AccessChoice::SeqKind::kRegex:
+          scan = std::make_unique<SpgistRegexScanNode>(
+              ctx_, table, ref.table, qualifier, std::move(ann_names),
+              attach_metadata, choice->seq_index,
+              std::move(*choice->seq_regex),
+              std::move(choice->predicate_text));
+          break;
+        case AccessChoice::SeqKind::kAlign:
+          scan = std::make_unique<SpgistAlignScanNode>(
+              ctx_, table, ref.table, qualifier, std::move(ann_names),
+              attach_metadata, choice->seq_index,
+              std::move(choice->align_query), choice->align_min,
+              choice->align_strict, std::move(choice->predicate_text));
+          break;
+      }
       scan->SetEstimate(ClampRows(match, table_rows),
                         IndexScanCost(table_rows, match));
     } else if (choice->index_only) {
@@ -831,10 +1019,92 @@ Result<PlanNodePtr> Planner::PlanDmlScan(const std::string& table,
                    /*covering_columns=*/nullptr);
 }
 
+Result<PlanNodePtr> Planner::TryPlanTopKScan(const SelectStmt& stmt) {
+  // Shape gate: exactly one table, no clause that would filter or regroup
+  // rows after the scan (any of those would make "the k nearest index
+  // entries" the wrong k), one ascending DISTANCE(col, 'literal') order
+  // key, and a LIMIT to bound the traversal.
+  if (stmt.from.size() != 1 || stmt.where != nullptr ||
+      stmt.awhere != nullptr || stmt.filter != nullptr ||
+      !stmt.group_by.empty() || stmt.having != nullptr ||
+      stmt.ahaving != nullptr || stmt.distinct ||
+      stmt.set_op != SetOpKind::kNone || !stmt.limit.has_value() ||
+      stmt.order_by.size() != 1) {
+    return PlanNodePtr();
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->ContainsAggregate()) return PlanNodePtr();
+  }
+  const OrderKey& key = stmt.order_by[0];
+  if (key.descending || key.expr == nullptr ||
+      key.expr->kind != ExprKind::kFunction ||
+      key.expr->scalar_fn != ScalarFn::kDistance) {
+    return PlanNodePtr();
+  }
+  const Expr* col = key.expr->left.get();
+  const Expr* target = key.expr->right.get();
+  if (col->kind != ExprKind::kColumnRef ||
+      target->kind != ExprKind::kLiteral || !target->literal.is_string()) {
+    return PlanNodePtr();
+  }
+
+  const TableRef& ref = stmt.from[0];
+  if (!ctx_->catalog->HasTable(ref.table)) return PlanNodePtr();
+  BDBMS_ASSIGN_OR_RETURN(Table * table, ctx_->tables(ref.table));
+  std::string qualifier = ref.alias.empty() ? ref.table : ref.alias;
+  std::vector<BoundColumn> scan_columns =
+      QualifiedColumns(table->schema(), qualifier);
+  auto bound = BindColumn(scan_columns, col->qualifier, col->column);
+  if (!bound.ok()) return PlanNodePtr();
+  const SequenceIndex* index = nullptr;
+  for (const auto& owned : table->sequence_indexes()) {
+    if (owned->column() == *bound) {
+      index = owned.get();
+      break;
+    }
+  }
+  if (index == nullptr) return PlanNodePtr();
+
+  // From here the path is committed; real errors surface.
+  BDBMS_RETURN_IF_ERROR(
+      ctx_->access->Check(user_, ref.table, Privilege::kSelect));
+  std::vector<std::string> ann_names = ref.annotation_tables;
+  if (ref.all_annotations) ann_names = ctx_->annotations->ListFor(ref.table);
+  for (const std::string& a : ann_names) {
+    if (!ctx_->catalog->HasAnnotationTable(ref.table, a)) {
+      return Status::NotFound("no annotation table " + a + " on " + ref.table);
+    }
+  }
+
+  size_t k = static_cast<size_t>(*stmt.limit);
+  const TableStats* stats = ctx_->catalog->GetStats(ref.table);
+  double table_rows = stats != nullptr
+                          ? static_cast<double>(stats->row_count)
+                          : static_cast<double>(table->row_count());
+  std::string predicate_text =
+      "(" + ExprToString(*key.expr) + " k=" + std::to_string(k) + ")";
+  PlanNodePtr scan = std::make_unique<SpgistTopKScanNode>(
+      ctx_, table, ref.table, qualifier, std::move(ann_names),
+      /*attach_metadata=*/true, index, target->literal.as_string(), k,
+      std::move(predicate_text));
+  double rows = ClampRows(
+      std::min(table_rows, static_cast<double>(k)), table_rows);
+  scan->SetEstimate(rows, IndexScanCost(table_rows, rows));
+  return scan;
+}
+
 Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
                                             bool as_set_rhs) {
-  BDBMS_ASSIGN_OR_RETURN(PlanNodePtr plan,
-                         PlanFromWhere(stmt, /*allow_index_only=*/true));
+  PlanNodePtr plan;
+  bool order_consumed = false;
+  if (!as_set_rhs) {
+    BDBMS_ASSIGN_OR_RETURN(plan, TryPlanTopKScan(stmt));
+    order_consumed = plan != nullptr;
+  }
+  if (plan == nullptr) {
+    BDBMS_ASSIGN_OR_RETURN(plan, PlanFromWhere(stmt,
+                                               /*allow_index_only=*/true));
+  }
 
   // Estimate helper for the tuple-in/tuple-out nodes above the join.
   auto stacked = [](PlanNodePtr child, auto make, double rows,
@@ -972,13 +1242,35 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
   auto sort_cost = [](double rows) {
     return rows * std::log2(std::max(rows, 2.0)) * cost::kSortTuple;
   };
-  bool is_chain_last = as_set_rhs && stmt.set_op == SetOpKind::kNone;
-  if (!stmt.order_by.empty() && !is_chain_last) {
-    std::vector<std::pair<size_t, bool>> keys;
-    for (const auto& [col, desc] : stmt.order_by) {
-      BDBMS_ASSIGN_OR_RETURN(size_t idx, BindColumn(plan->columns(), "", col));
-      keys.emplace_back(idx, desc);
+  auto build_sort_keys = [](const std::vector<OrderKey>& order_by,
+                            const std::vector<BoundColumn>& columns)
+      -> Result<std::vector<SortNode::Key>> {
+    std::vector<SortNode::Key> keys;
+    for (const OrderKey& key : order_by) {
+      SortNode::Key k;
+      k.descending = key.descending;
+      if (key.expr != nullptr) {
+        k.expr = key.expr.get();
+        // Like bare keys, expression keys read the projected output;
+        // surface unknown columns at plan time, not mid-sort.
+        std::vector<const Expr*> refs;
+        CollectColumnRefs(key.expr.get(), &refs);
+        for (const Expr* ref : refs) {
+          BDBMS_ASSIGN_OR_RETURN(
+              size_t idx, BindColumn(columns, ref->qualifier, ref->column));
+          (void)idx;
+        }
+      } else {
+        BDBMS_ASSIGN_OR_RETURN(k.column, BindColumn(columns, "", key.column));
+      }
+      keys.push_back(k);
     }
+    return keys;
+  };
+  bool is_chain_last = as_set_rhs && stmt.set_op == SetOpKind::kNone;
+  if (!stmt.order_by.empty() && !is_chain_last && !order_consumed) {
+    BDBMS_ASSIGN_OR_RETURN(std::vector<SortNode::Key> keys,
+                           build_sort_keys(stmt.order_by, plan->columns()));
     double rows = plan->est_rows();
     plan = stacked(
         std::move(plan),
@@ -1025,12 +1317,9 @@ Result<PlanNodePtr> Planner::PlanSelectImpl(const SelectStmt& stmt,
       const SelectStmt* last = stmt.set_rhs.get();
       while (last->set_op != SetOpKind::kNone) last = last->set_rhs.get();
       if (!last->order_by.empty()) {
-        std::vector<std::pair<size_t, bool>> keys;
-        for (const auto& [col, desc] : last->order_by) {
-          BDBMS_ASSIGN_OR_RETURN(size_t idx,
-                                 BindColumn(plan->columns(), "", col));
-          keys.emplace_back(idx, desc);
-        }
+        BDBMS_ASSIGN_OR_RETURN(
+            std::vector<SortNode::Key> keys,
+            build_sort_keys(last->order_by, plan->columns()));
         double srows = plan->est_rows();
         plan = stacked(
             std::move(plan),

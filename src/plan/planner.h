@@ -20,6 +20,13 @@ namespace bdbms {
 //    B+-tree indexes, prefix/exact descents on SP-GiST sequence indexes
 //    (SpgistScan) — is costed against the sequential scan, and the
 //    cheapest alternative wins, consuming its conjuncts;
+//  * `col MATCHES '<regex>'` and leading-wildcard LIKE patterns on a
+//    sequence-indexed column descend the trie NFA-guided
+//    (SpgistRegexScan); `ALIGN(col, 'seq') >= s` lower bounds take the
+//    shared-prefix Smith–Waterman descent (SpgistAlignScan);
+//  * `ORDER BY DISTANCE(col, 'seq') LIMIT k` over a sequence-indexed
+//    column becomes a best-first ranked trie traversal with the LIMIT
+//    pushed into the scan (SpgistTopKScan);
 //  * a single-table SELECT whose referenced columns are all key columns
 //    of an index answers from the index keys alone (IndexOnlyScan, no
 //    base-table fetches), with or without a probe;
@@ -72,6 +79,14 @@ class Planner {
   // set-op recursion: rhs plans suppress their own LIMIT (it applies to
   // the combined result, like a trailing ORDER BY).
   Result<PlanNodePtr> PlanSelectImpl(const SelectStmt& stmt, bool as_set_rhs);
+
+  // Ranked trie traversal: a single-table SELECT shaped exactly
+  // `... ORDER BY DISTANCE(col, 'seq') [ASC] LIMIT k` with no filtering
+  // clauses, where `col` carries a sequence index, scans the trie
+  // best-first and stops after the k closest rows (plus ties) — the LIMIT
+  // is pushed into the scan. Returns nullptr when the statement does not
+  // match; the caller falls back to sort-the-world.
+  Result<PlanNodePtr> TryPlanTopKScan(const SelectStmt& stmt);
 
   const ExecContext* ctx_;
   std::string user_;

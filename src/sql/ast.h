@@ -23,10 +23,11 @@ using ExprPtr = std::unique_ptr<Expr>;
 enum class ExprKind {
   kLiteral,    // 42, 'text', NULL
   kColumnRef,  // col or tbl.col
-  kBinary,     // comparisons, AND/OR, arithmetic, LIKE
+  kBinary,     // comparisons, AND/OR, arithmetic, LIKE, MATCHES
   kUnary,      // NOT, -, IS NULL, IS NOT NULL
   kAggregate,  // COUNT/SUM/AVG/MIN/MAX
   kAnnField,   // VALUE / CATEGORY / AUTHOR inside AWHERE/AHAVING/FILTER
+  kFunction,   // ALIGN(seq, 'ACGT'), DISTANCE(seq, 'ACGT')
 };
 
 enum class BinOp {
@@ -34,11 +35,17 @@ enum class BinOp {
   kAnd, kOr,
   kAdd, kSub, kMul, kDiv,
   kLike,
+  kMatches,  // full-string regular-expression match
 };
 
 enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
 
 enum class AggFn { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+// Two-argument sequence scalar functions (docs/sql-dialect.md):
+//   ALIGN(a, b)    — Smith–Waterman local alignment score (INT)
+//   DISTANCE(a, b) — Levenshtein edit distance (INT)
+enum class ScalarFn { kAlign, kDistance };
 
 // Annotation attributes addressable in annotation conditions:
 //   VALUE     — the annotation's XML body text
@@ -56,9 +63,10 @@ struct Expr {
   UnOp un_op = UnOp::kNot;         // kUnary
   AggFn agg_fn = AggFn::kCount;    // kAggregate
   AnnField ann_field = AnnField::kValue;  // kAnnField
+  ScalarFn scalar_fn = ScalarFn::kAlign;  // kFunction
 
-  ExprPtr left;   // kBinary
-  ExprPtr right;  // kBinary
+  ExprPtr left;   // kBinary / kFunction first argument
+  ExprPtr right;  // kBinary / kFunction second argument
   ExprPtr child;  // kUnary / kAggregate argument (null for COUNT(*))
 
   bool ContainsAggregate() const {
@@ -94,6 +102,14 @@ struct TableRef {
 
 enum class SetOpKind { kNone, kUnion, kIntersect, kExcept };
 
+// One ORDER BY key: a bare (possibly qualified) column name, or — for
+// expression keys like DISTANCE(seq, 'ACGT') — the expression itself.
+struct OrderKey {
+  std::string column;  // nonempty iff the key is a bare column reference
+  ExprPtr expr;        // set iff the key is an expression
+  bool descending = false;
+};
+
 struct SelectStmt {
   bool distinct = false;
   bool star = false;               // SELECT *
@@ -105,7 +121,7 @@ struct SelectStmt {
   ExprPtr having;
   ExprPtr ahaving;                 // annotation condition on groups
   ExprPtr filter;                  // annotation filter (tuples all pass)
-  std::vector<std::pair<std::string, bool>> order_by;  // (column, descending)
+  std::vector<OrderKey> order_by;
   std::optional<uint64_t> limit;
   SetOpKind set_op = SetOpKind::kNone;
   std::unique_ptr<SelectStmt> set_rhs;

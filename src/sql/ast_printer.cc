@@ -19,6 +19,7 @@ std::string_view BinOpName(BinOp op) {
     case BinOp::kMul: return "*";
     case BinOp::kDiv: return "/";
     case BinOp::kLike: return "LIKE";
+    case BinOp::kMatches: return "MATCHES";
   }
   return "?";
 }
@@ -74,6 +75,15 @@ std::string ExprToString(const Expr& e) {
       out += " ";
       out += BinOpName(e.bin_op);
       out += " ";
+      out += ExprToString(*e.right);
+      out += ")";
+      return out;
+    }
+    case ExprKind::kFunction: {
+      std::string out(e.scalar_fn == ScalarFn::kAlign ? "ALIGN" : "DISTANCE");
+      out += "(";
+      out += ExprToString(*e.left);
+      out += ", ";
       out += ExprToString(*e.right);
       out += ")";
       return out;

@@ -24,7 +24,7 @@ const std::set<std::string>& Keywords() {
       "PROVENANCE", "INT",   "INTEGER",  "DOUBLE",    "TEXT",      "SEQUENCE",
       "ALL",       "INDEX",  "EXPLAIN",  "LIMIT",     "ANALYZE",
       "SPGIST",    "CHECKPOINT", "BEGIN", "COMMIT",   "ROLLBACK",
-      "TRANSACTION",
+      "TRANSACTION", "MATCHES",
   };
   return *kw;
 }

@@ -658,19 +658,23 @@ class Parser {
       Advance();
       BDBMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
       for (;;) {
-        BDBMS_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
-        if (Cur().IsSymbol(".")) {
-          Advance();
-          BDBMS_ASSIGN_OR_RETURN(c, ExpectIdentifier());
+        // A key is a (possibly qualified) column name or a scalar
+        // expression — e.g. DISTANCE(Seq, 'ACGT'). Bare column refs
+        // keep the historical behaviour (qualifier dropped).
+        OrderKey key;
+        BDBMS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        if (e->kind == ExprKind::kColumnRef) {
+          key.column = std::move(e->column);
+        } else {
+          key.expr = std::move(e);
         }
-        bool desc = false;
         if (Cur().IsKeyword("DESC")) {
-          desc = true;
+          key.descending = true;
           Advance();
         } else if (Cur().IsKeyword("ASC")) {
           Advance();
         }
-        stmt.order_by.emplace_back(std::move(c), desc);
+        stmt.order_by.push_back(std::move(key));
         if (Cur().IsSymbol(",")) {
           Advance();
           continue;
@@ -795,6 +799,7 @@ class Parser {
     else if (Cur().IsSymbol(">")) op = BinOp::kGt;
     else if (Cur().IsSymbol(">=")) op = BinOp::kGe;
     else if (Cur().IsKeyword("LIKE")) op = BinOp::kLike;
+    else if (Cur().IsKeyword("MATCHES")) op = BinOp::kMatches;
     else return left;
     Advance();
     BDBMS_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
@@ -912,6 +917,19 @@ class Parser {
           if (upper == "MAX") e->agg_fn = AggFn::kMax;
           BDBMS_ASSIGN_OR_RETURN(e->child, ParseExpr());
         }
+        BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return e;
+      }
+      // Sequence scalar functions: ALIGN(a, b), DISTANCE(a, b).
+      if (Peek().IsSymbol("(") && (upper == "ALIGN" || upper == "DISTANCE")) {
+        Advance();  // name
+        Advance();  // (
+        e->kind = ExprKind::kFunction;
+        e->scalar_fn =
+            upper == "ALIGN" ? ScalarFn::kAlign : ScalarFn::kDistance;
+        BDBMS_ASSIGN_OR_RETURN(e->left, ParseExpr());
+        BDBMS_RETURN_IF_ERROR(ExpectSymbol(","));
+        BDBMS_ASSIGN_OR_RETURN(e->right, ParseExpr());
         BDBMS_RETURN_IF_ERROR(ExpectSymbol(")"));
         return e;
       }

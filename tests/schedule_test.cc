@@ -40,7 +40,9 @@ TEST_P(ScheduleSeedTest, DurableInterleavingRecoversToOracleState) {
   cfg.seed = GetParam();
   cfg.sessions = 3;
   cfg.txns_per_session = 4;
-  cfg.dir = FreshDir("schedule_wal");
+  // Seed-specific scratch dir: ctest -j runs the corpus seeds in
+  // parallel processes, which would otherwise race on a shared dir.
+  cfg.dir = FreshDir("schedule_wal_" + std::to_string(GetParam()));
   ScheduleOutcome out = RunDeterministicSchedule(cfg);
   EXPECT_TRUE(out.ok) << out.message;
 }

@@ -86,7 +86,7 @@ TEST(ParserTest, SelectWithAllAsqlClauses) {
   EXPECT_NE(sel.awhere, nullptr);
   EXPECT_NE(sel.filter, nullptr);
   ASSERT_EQ(sel.order_by.size(), 1u);
-  EXPECT_TRUE(sel.order_by[0].second);  // DESC
+  EXPECT_TRUE(sel.order_by[0].descending);
 }
 
 TEST(ParserTest, SelectIntersect) {
